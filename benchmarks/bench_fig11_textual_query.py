@@ -1,0 +1,86 @@
+"""Fig. 11 — neighbor search with a textual query (a venue keyword).
+
+The paper queries the vocabulary token of a sports pub and shows ACTOR
+returning the pub's neighborhood words and nearby hotspots.  We query a
+venue name token and check that the top spatial neighbors sit near the
+actual venue and the top words share the venue's topic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import textual_query
+from repro.eval import format_table
+
+
+def pick_query_venue(city, vocab):
+    """A venue whose name token survived vocabulary pruning."""
+    for venue in city.venues:
+        if venue.name_token in vocab:
+            return venue
+    raise RuntimeError("no venue token in vocabulary")
+
+
+@pytest.mark.benchmark(group="fig11-textual-query")
+def test_fig11_textual_query(benchmark, datasets, actor_models, crossmap_models):
+    bundle = datasets["tweet"]
+    city = bundle.city
+    actor = actor_models["tweet"]
+    crossmap = crossmap_models["tweet"]
+    venue = pick_query_venue(city, actor.built.vocab)
+    token = venue.name_token
+
+    result_actor = benchmark.pedantic(
+        textual_query, args=(actor, token), kwargs=dict(k=10),
+        rounds=3, iterations=1,
+    )
+    result_crossmap = textual_query(crossmap, token, k=10)
+
+    headers = ["rank", "ACTOR word", "CrossMap word"]
+    rows = [
+        [i + 1, aw, cw]
+        for i, (aw, cw) in enumerate(
+            zip(result_actor.top_words(), result_crossmap.top_words())
+        )
+    ]
+    print()
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"Fig. 11 — textual query {token!r} "
+                f"(venue at {venue.location}, "
+                f"topic={city.topics[venue.topic_id].name})"
+            ),
+        )
+    )
+
+    # Shape 1: ACTOR's nearest spatial hotspots sit near the actual venue.
+    hotspots = actor.built.detector.spatial_hotspots
+    distances = [
+        float(np.linalg.norm(hotspots[idx] - np.asarray(venue.location)))
+        for idx, _score in result_actor.locations[:3]
+    ]
+    print(f"ACTOR top-3 hotspot distances to venue: {distances}")
+    assert min(distances) < 3.0, distances
+
+    # Shape 2: ACTOR's top words share the venue's topic (or are venue
+    # tokens of the same topic).
+    topic = city.topics[venue.topic_id]
+    same_topic = sum(
+        1
+        for w in result_actor.top_words()
+        if city.topic_of_word(w) == topic.topic_id
+        or w.startswith(f"venue_{topic.name}")
+    )
+    assert same_topic >= 3, result_actor.top_words()
+
+    # Shape 3: temporal neighbors cluster near the topic's peak hour.
+    hour_gaps = [
+        min(abs(h - topic.peak_hour), 24 - abs(h - topic.peak_hour))
+        for h, _s in result_actor.times[:3]
+    ]
+    assert min(hour_gaps) < 4.0, hour_gaps

@@ -1,0 +1,75 @@
+"""Fig. 9 — neighbor search with a spatial query.
+
+The paper queries the port of Los Angeles and shows ACTOR returning
+port-specific words ("dock", "departure", "port of la") where CrossMap
+returns generic words ("today", "time").  We query the location of a venue
+and check that ACTOR's top words contain more venue-topic-specific terms
+(topic keywords + venue tokens) than generic common words.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import specificity
+from repro.core import spatial_query
+from repro.eval import format_table
+
+
+@pytest.mark.benchmark(group="fig9-spatial-query")
+def test_fig9_spatial_query(benchmark, datasets, actor_models, crossmap_models):
+    bundle = datasets["tweet"]  # the paper's Fig. 9 uses the TWEET dataset
+    city = bundle.city
+    actor = actor_models["tweet"]
+    crossmap = crossmap_models["tweet"]
+    # Query a distinctive venue location (the 'port' analog).
+    venue = city.venues[0]
+    location = venue.location
+
+    result_actor = benchmark.pedantic(
+        spatial_query, args=(actor, location), kwargs=dict(k=10),
+        rounds=3, iterations=1,
+    )
+    result_crossmap = spatial_query(crossmap, location, k=10)
+
+    headers = ["rank", "ACTOR word", "CrossMap word"]
+    rows = [
+        [i + 1, aw, cw]
+        for i, (aw, cw) in enumerate(
+            zip(result_actor.top_words(), result_crossmap.top_words())
+        )
+    ]
+    print()
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"Fig. 9 — spatial query at venue {venue.name_token} "
+                f"(topic={city.topics[venue.topic_id].name}) {location}"
+            ),
+        )
+    )
+
+    actor_specificity = specificity(result_actor.top_words(), city)
+    crossmap_specificity = specificity(result_crossmap.top_words(), city)
+    print(
+        f"specific-word fraction: ACTOR={actor_specificity:.2f} "
+        f"CrossMap={crossmap_specificity:.2f}"
+    )
+
+    # Shape: ACTOR's results are at least as venue/topic-specific.
+    assert actor_specificity >= crossmap_specificity - 0.1
+
+    # The query venue's own topic should appear among ACTOR's top words.
+    topic = city.topics[venue.topic_id]
+    top = set(result_actor.top_words())
+    topic_hit = any(
+        w in top for w in topic.keywords
+    ) or any(w.startswith(f"venue_{topic.name}") for w in top)
+    assert topic_hit, result_actor.top_words()
+
+    # Returned temporal neighbors are valid hours.
+    for hour, _score in result_actor.times:
+        assert 0.0 <= hour < 24.0

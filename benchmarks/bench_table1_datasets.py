@@ -1,0 +1,93 @@
+"""Table 1 — dataset statistics.
+
+Regenerates the paper's Table 1 for the three synthetic preset corpora:
+record counts, split sizes, activity-graph |V| and |E|, and the number of
+spatial / temporal / word / user units.  The benchmarked operation is the
+full graph-construction pass (hotspot detection + vocabulary + edges),
+which is the system's ingest path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import generate_dataset
+from repro.eval import format_table
+from repro.graphs import GraphBuilder
+
+from common import N_RECORDS, SEED
+
+
+def build_graphs(bundle):
+    return GraphBuilder().build(bundle.train)
+
+
+@pytest.mark.benchmark(group="table1-graph-build")
+def test_table1_dataset_statistics(benchmark, datasets):
+    built = {
+        name: build_graphs(bundle) for name, bundle in datasets.items()
+    }
+    # Benchmark the ingest path on the utgeo2011 preset.
+    benchmark.pedantic(
+        build_graphs,
+        args=(datasets["utgeo2011"],),
+        rounds=2,
+        iterations=1,
+    )
+
+    headers = [
+        "DATA", "#Records", "#Train", "#Valid", "#Test",
+        "|V|", "|E|", "#Spatial", "#Temporal", "#Word", "#User",
+        "mention%",
+    ]
+    rows = []
+    for name, bundle in datasets.items():
+        graph_summary = built[name].activity.summary()
+        rows.append(
+            [
+                name,
+                len(bundle.corpus),
+                len(bundle.train),
+                len(bundle.valid),
+                len(bundle.test),
+                graph_summary["n_nodes"],
+                graph_summary["n_edges"],
+                graph_summary["n_spatial"],
+                graph_summary["n_temporal"],
+                graph_summary["n_words"],
+                graph_summary["n_users"],
+                round(100 * bundle.corpus.mention_rate(), 1),
+            ]
+        )
+    print()
+    print(format_table(headers, rows, title="Table 1 — dataset statistics"))
+
+    # Shape checks mirroring the paper's Table 1.
+    for name in datasets:
+        summary = built[name].activity.summary()
+        assert summary["n_spatial"] > summary["n_temporal"], name
+        assert summary["n_edges"] > summary["n_nodes"], name
+    # Only UTGEO2011 has mention data.
+    assert datasets["utgeo2011"].corpus.mention_rate() > 0.1
+    assert datasets["tweet"].corpus.mention_rate() == 0.0
+    assert datasets["4sq"].corpus.mention_rate() == 0.0
+    # 4SQ has the smallest vocabulary (Table 1: 3,973 vs 20,000).
+    assert (
+        built["4sq"].activity.summary()["n_words"]
+        < built["tweet"].activity.summary()["n_words"]
+    )
+
+
+@pytest.mark.benchmark(group="table1-hotspots")
+def test_table1_hotspot_detection_cost(benchmark, datasets):
+    """Isolate the mean-shift hotspot detection cost (Algorithm 1, line 1)."""
+    from repro.hotspots import HotspotDetector
+
+    corpus = datasets["utgeo2011"].train
+
+    def detect():
+        return HotspotDetector().fit(corpus)
+
+    detector = benchmark.pedantic(detect, rounds=2, iterations=1)
+    assert detector.n_spatial > 10
+    assert detector.n_temporal > 3

@@ -1,0 +1,90 @@
+"""Table 3 / Fig. 6 — case study: time prediction ranking.
+
+The paper's example asks for the most plausible timestamp of a performance
+at a music bar — a nightlife record — and shows both methods ranking the
+evening candidates highest.  We pick a record from the topic whose peak
+hour is latest in the evening and print the ranked candidate timestamps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import case_study, format_table
+
+
+def find_nightlife_record(bundle):
+    """A record of the latest-evening topic, with its signature keyword."""
+    city = bundle.city
+    evening_topic = max(
+        city.topics, key=lambda t: min(abs(t.peak_hour - 22.0), abs(t.peak_hour - 22.0 + 24))
+    )
+    # Prefer the topic genuinely peaked near late evening (20h-24h window).
+    candidates = [
+        t for t in city.topics if 19.0 <= t.peak_hour <= 24.0
+    ] or [evening_topic]
+    topic = candidates[0]
+    signature = set(topic.keywords[:10])
+    for record in bundle.test:
+        if signature & set(record.words) and not record.mentions:
+            return record, topic
+    raise ValueError("no nightlife-style record in the test split")
+
+
+@pytest.mark.benchmark(group="table3-case-time")
+def test_table3_time_prediction_case_study(
+    benchmark, datasets, actor_models, crossmap_models
+):
+    bundle = datasets["utgeo2011"]
+    record, topic = find_nightlife_record(bundle)
+    actor = actor_models["utgeo2011"]
+    crossmap = crossmap_models["utgeo2011"]
+
+    def run_case():
+        return case_study(
+            {"ACTOR": actor, "CrossMap": crossmap},
+            record,
+            "time",
+            bundle.test,
+            n_noise=10,
+            seed=12,
+        )
+
+    result = benchmark.pedantic(run_case, rounds=2, iterations=1)
+
+    headers = ["Timestamp (h of day)", "truth", "ACTOR", "CrossMap"]
+    rows = [
+        [
+            f"{row.candidate % 24:.2f}",
+            "*" if row.is_truth else "",
+            row.ranks["ACTOR"],
+            row.ranks["CrossMap"],
+        ]
+        for row in result.rows
+    ]
+    print()
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"Table 3 — time prediction case study (topic={topic.name}, "
+                f"peak={topic.peak_hour:.1f}h, truth={record.time_of_day:.1f}h)"
+            ),
+        )
+    )
+
+    # Shape: both methods put hour-of-day candidates near the topic peak at
+    # the top (the paper calls both methods' top-3 'acceptable').  Check
+    # ACTOR specifically: its top-3 candidates average closer to the peak
+    # hour than its bottom-3.
+    by_actor = sorted(result.rows, key=lambda r: r.ranks["ACTOR"])
+
+    def mean_peak_distance(rows):
+        hours = [r.candidate % 24 for r in rows]
+        return sum(
+            min(abs(h - topic.peak_hour), 24 - abs(h - topic.peak_hour))
+            for h in hours
+        ) / len(hours)
+
+    assert mean_peak_distance(by_actor[:3]) <= mean_peak_distance(by_actor[-3:])

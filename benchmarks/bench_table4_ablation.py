@@ -1,0 +1,78 @@
+"""Table 4 — ablation test: ACTOR w/o inter, ACTOR w/o intra, complete.
+
+The paper removes (a) the inter-record structure — user-interaction
+pretraining plus the {UT, UW, UL} objectives — and (b) the intra-record
+bag-of-words structure, and shows each removal costs MRR, with the inter
+structure mattering most on UTGEO2011 (the only corpus with real mentions).
+
+An extra ablation row (not in the paper's table but called out in
+Section 5.2.1) isolates the LINE *initialization*: inter objectives kept,
+hierarchical initialization replaced by random vectors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import evaluate_model, format_mrr_table
+
+from common import train_actor
+
+
+@pytest.fixture(scope="module")
+def ablation_models(datasets, actor_models):
+    models = {}
+    for name, bundle in datasets.items():
+        models[name] = {
+            "ACTOR w/o inter": train_actor(bundle, use_inter=False),
+            "ACTOR w/o intra": train_actor(bundle, use_intra_bow=False),
+            "ACTOR w/o init": train_actor(bundle, init_from_users=False),
+            "ACTOR-complete": actor_models[name],
+        }
+    return models
+
+
+@pytest.mark.benchmark(group="table4-ablation")
+def test_table4_ablation(benchmark, ablation_models, task_queries, datasets):
+    results = {}
+    for name, models in ablation_models.items():
+        results[name] = {
+            row: evaluate_model(model, task_queries[name])
+            for row, model in models.items()
+        }
+
+    # Benchmark one ablated training run (the w/o-inter variant is the
+    # cheapest meaningful one).
+    benchmark.pedantic(
+        train_actor,
+        args=(datasets["utgeo2011"],),
+        kwargs=dict(use_inter=False, epochs=3),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    for name, rows in results.items():
+        print(format_mrr_table(rows, title=f"Table 4 — ablation on {name}"))
+        print()
+
+    # Shape: on the mention-bearing dataset the complete model beats both
+    # ablations on a majority of tasks.
+    utgeo = results["utgeo2011"]
+    for ablated in ("ACTOR w/o inter", "ACTOR w/o intra"):
+        wins = sum(
+            utgeo["ACTOR-complete"][t] >= utgeo[ablated][t]
+            for t in ("text", "location", "time")
+        )
+        assert wins >= 2, (ablated, utgeo)
+
+    # The inter-record structure must help on the mention-bearing corpus:
+    # removing it costs MRR on average across the three tasks.
+    def mean_drop(dataset):
+        rows = results[dataset]
+        return sum(
+            rows["ACTOR-complete"][t] - rows["ACTOR w/o inter"][t]
+            for t in ("text", "location", "time")
+        ) / 3
+
+    assert mean_drop("utgeo2011") > 0.0, results["utgeo2011"]

@@ -1,0 +1,72 @@
+"""Ablation study: what each piece of ACTOR buys (paper Table 4).
+
+Trains the complete model plus three ablations on the mention-bearing
+preset and prints the MRR deltas:
+
+* **w/o inter**  — no user-interaction pretraining, no {UT, UW, UL}
+  objectives (drops the hierarchical layer entirely);
+* **w/o intra**  — words treated individually instead of the record-level
+  bag-of-words structure;
+* **w/o init**   — inter objectives kept but the LINE-seeded
+  initialization replaced with random vectors (isolates Section 5.2.1's
+  contribution; not a row in the paper's table, but implied by it).
+
+Run:
+    python examples/ablation_study.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Actor, ActorConfig, generate_dataset
+from repro.eval import evaluate_models, format_mrr_table
+
+DIM = 48
+EPOCHS = 15
+SEED = 5
+
+
+def main() -> None:
+    data = generate_dataset("utgeo2011", n_records=3000, seed=SEED)
+    print(f"dataset: {data.summary()}\n")
+
+    variants = {
+        "ACTOR w/o inter": ActorConfig(
+            dim=DIM, epochs=EPOCHS, use_inter=False, seed=SEED
+        ),
+        "ACTOR w/o intra": ActorConfig(
+            dim=DIM, epochs=EPOCHS, use_intra_bow=False, seed=SEED
+        ),
+        "ACTOR w/o init": ActorConfig(
+            dim=DIM, epochs=EPOCHS, init_from_users=False, seed=SEED
+        ),
+        "ACTOR-complete": ActorConfig(dim=DIM, epochs=EPOCHS, seed=SEED),
+    }
+
+    fitted = {}
+    for name, config in variants.items():
+        start = time.perf_counter()
+        fitted[name] = Actor(config).fit(data.train)
+        print(f"trained {name:<17} in {time.perf_counter() - start:5.1f}s")
+    print()
+
+    results = evaluate_models(
+        fitted, data.test, n_noise=10, max_queries=150, seed=1
+    )
+    print(format_mrr_table(results, title="Table 4 — ablation on utgeo2011"))
+
+    complete = results["ACTOR-complete"]
+    print("\ndeltas vs complete (negative = ablation hurts):")
+    for name, row in results.items():
+        if name == "ACTOR-complete":
+            continue
+        deltas = ", ".join(
+            f"{task} {row[task] - complete[task]:+.4f}"
+            for task in ("text", "location", "time")
+        )
+        print(f"  {name:<17} {deltas}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Method comparison: a miniature Table 2.
+
+Trains every compared method from the paper's Section 6.1.2 on one
+dataset and prints the MRR table — the quickest way to see the headline
+result (hierarchical embedding > flat cross-modal embedding > homogeneous
+embedding > topic models) on your own machine.
+
+Run:
+    python examples/compare_methods.py [dataset] [n_records]
+
+    dataset    one of utgeo2011 | tweet | 4sq (default utgeo2011)
+    n_records  corpus size (default 3000)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import (
+    LGTA,
+    MGTM,
+    Actor,
+    ActorConfig,
+    CrossMap,
+    LineModel,
+    MetaPath2Vec,
+    generate_dataset,
+)
+from repro.eval import evaluate_models, format_mrr_table
+
+# Matched SGNS budgets across methods; see benchmarks/common.py and
+# EXPERIMENTS.md for the calibration rationale.
+DIM = 48
+EPOCHS = 25
+NEGATIVES = 5
+LR = 0.01
+SEED = 3
+
+
+def build_models():
+    """The eight Table-2 rows, with matched budgets (see EXPERIMENTS.md)."""
+    return {
+        "LGTA": LGTA(n_regions=20, n_topics=10, n_iter=25, seed=SEED),
+        "MGTM": MGTM(n_regions=35, n_topics=10, n_iter=25, seed=SEED),
+        "metapath2vec": MetaPath2Vec(
+            dim=DIM, walks_per_node=6, walk_length=30, seed=SEED
+        ),
+        "LINE": LineModel(dim=DIM, negatives=NEGATIVES, lr=LR, seed=SEED),
+        "LINE(U)": LineModel(
+            dim=DIM, negatives=NEGATIVES, lr=LR, include_users=True, seed=SEED
+        ),
+        "CrossMap": CrossMap(
+            dim=DIM, epochs=EPOCHS, negatives=NEGATIVES, lr=LR, seed=SEED
+        ),
+        "CrossMap(U)": CrossMap(
+            dim=DIM, epochs=EPOCHS, negatives=NEGATIVES, lr=LR,
+            include_users=True, seed=SEED,
+        ),
+        "ACTOR": Actor(
+            ActorConfig(
+                dim=DIM, epochs=EPOCHS, negatives=NEGATIVES, lr=LR, seed=SEED
+            )
+        ),
+    }
+
+
+def main() -> None:
+    dataset_name = sys.argv[1] if len(sys.argv) > 1 else "utgeo2011"
+    n_records = int(sys.argv[2]) if len(sys.argv) > 2 else 3000
+    data = generate_dataset(dataset_name, n_records=n_records, seed=SEED)
+    print(f"dataset: {data.summary()}\n")
+
+    fitted = {}
+    for name, model in build_models().items():
+        start = time.perf_counter()
+        fitted[name] = model.fit(data.train)
+        print(f"trained {name:<14} in {time.perf_counter() - start:6.1f}s")
+    print()
+
+    results = evaluate_models(
+        fitted, data.test, n_noise=10, max_queries=150, seed=1
+    )
+    print(
+        format_mrr_table(
+            results, title=f"Mini Table 2 — MRR on {dataset_name}"
+        )
+    )
+    print('\n("/" = the method cannot rank that modality, as in the paper)')
+
+
+if __name__ == "__main__":
+    main()

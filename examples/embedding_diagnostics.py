@@ -1,0 +1,78 @@
+"""Embedding diagnostics: score a trained model against ground truth.
+
+The synthetic city knows its own latent structure, so embedding quality
+can be *measured* rather than eyeballed.  This example trains ACTOR and
+CrossMap and compares three diagnostics:
+
+* topic coherence (within-topic minus cross-topic word similarity),
+* venue localization (does a venue keyword sit near the venue?),
+* temporal alignment (does a topic keyword sit near its peak hour?).
+
+Run:
+    python examples/embedding_diagnostics.py
+"""
+
+from __future__ import annotations
+
+from repro import Actor, ActorConfig, CrossMap, generate_dataset
+from repro.eval import (
+    format_table,
+    temporal_alignment,
+    topic_coherence,
+    venue_localization,
+)
+
+DIM = 48
+EPOCHS = 20
+SEED = 17
+
+
+def main() -> None:
+    data = generate_dataset("utgeo2011", n_records=3000, seed=SEED)
+    city = data.city
+
+    models = {
+        "ACTOR": Actor(
+            ActorConfig(dim=DIM, epochs=EPOCHS, negatives=5, lr=0.01, seed=SEED)
+        ).fit(data.train),
+        "CrossMap": CrossMap(
+            dim=DIM, epochs=EPOCHS, negatives=5, lr=0.01, seed=SEED
+        ).fit(data.train),
+    }
+
+    rows = []
+    for name, model in models.items():
+        coherence = topic_coherence(model, city)
+        localization = venue_localization(model, city)
+        alignment = temporal_alignment(model, city)
+        rows.append(
+            [
+                name,
+                f"{coherence.score:.4f}",
+                f"{localization.score:.2f} "
+                f"(med {localization.detail['median_km']:.2f} km)",
+                f"{alignment.score:.2f} "
+                f"(med {alignment.detail['median_hours']:.1f} h)",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "model",
+                "topic coherence gap",
+                "venue hit@3km",
+                "peak-hour hit@3h",
+            ],
+            rows,
+            title="Embedding diagnostics vs simulator ground truth",
+        )
+    )
+    print(
+        "\nHigher is better everywhere; the hierarchical model should show"
+        " equal-or-better structure recovery than the flat embedding."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Proximity analysis: Definitions 3-5 and meta-graph structure, hands-on.
+
+Builds the graphs for a small corpus and inspects the quantities the paper
+defines before any embedding happens:
+
+* first-order proximity (edge weights / co-occurrence counts);
+* second-order proximity (shared-neighborhood similarity);
+* high-order, mention-mediated proximity (inter-record meta-graph paths);
+* instance counts of the meta-graphs M1-M6 (how much high-order structure
+  the corpus actually contains — the paper quotes 16.8% mentioning records
+  for UTGEO2011).
+
+Run:
+    python examples/proximity_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.core import INTER_META_GRAPHS, count_inter_instances
+from repro.data import generate_dataset
+from repro.graphs import (
+    GraphBuilder,
+    NodeType,
+    first_order_proximity,
+    meta_graph_proximity,
+    second_order_proximity,
+)
+
+
+def main() -> None:
+    data = generate_dataset("utgeo2011", n_records=1500, seed=4)
+    built = GraphBuilder().build(data.train)
+    activity = built.activity
+    print(
+        f"activity graph: {activity.summary()}\n"
+        f"interaction graph: {built.interaction.n_users} users, "
+        f"{built.interaction.n_edges} mention edges\n"
+    )
+
+    # --- first vs second order on two words of the same topic -------------
+    city = data.city
+    topic = city.topics[0]
+    in_vocab = [w for w in topic.keywords if w in built.vocab][:3]
+    w_a, w_b = in_vocab[0], in_vocab[1]
+    other_topic = city.topics[1]
+    w_other = next(w for w in other_topic.keywords if w in built.vocab)
+    node_a = activity.index_of(NodeType.WORD, w_a)
+    node_b = activity.index_of(NodeType.WORD, w_b)
+    node_other = activity.index_of(NodeType.WORD, w_other)
+
+    print(f"first-order  ({w_a}, {w_b}):       "
+          f"{first_order_proximity(activity, node_a, node_b):.1f} co-occurrences")
+    print(f"first-order  ({w_a}, {w_other}):   "
+          f"{first_order_proximity(activity, node_a, node_other):.1f} co-occurrences")
+    print(f"second-order ({w_a}, {w_b}):       "
+          f"{second_order_proximity(activity, node_a, node_b):.4f}")
+    print(f"second-order ({w_a}, {w_other}):   "
+          f"{second_order_proximity(activity, node_a, node_other):.4f}")
+    print("-> same-topic words share far more neighborhood than cross-topic\n")
+
+    # --- high-order proximity through the user layer ----------------------
+    high = meta_graph_proximity(built, node_a, node_other)
+    print(
+        f"meta-graph (high-order) proximity ({w_a}, {w_other}): {high:.1f}"
+        "\n-> even cross-topic units can be linked through mentioning users\n"
+    )
+
+    # --- how much M1-M6 structure does the corpus contain? ----------------
+    print("inter-record meta-graph instances (Definition 6 / Fig. 3b):")
+    for meta in INTER_META_GRAPHS:
+        count = count_inter_instances(built, meta)
+        pair = "-".join(t.value for t in meta.unit_pair)
+        print(f"  {meta.name} ({pair}): {count:,}")
+    print(
+        f"\nmentioning records: {100 * data.train.mention_rate():.1f}% "
+        "(paper reports 16.8% for UTGEO2011)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: train ACTOR on a synthetic check-in corpus and query it.
+
+Run:
+    python examples/quickstart.py
+
+Walks through the full pipeline of the paper's Algorithm 1 —
+hotspot detection, graph construction, hierarchical embedding — and then
+asks the model the three cross-modal questions from Section 3: predict the
+activity, the location, and the time of held-out records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Actor, ActorConfig, generate_dataset
+from repro.eval import build_task_queries, evaluate_model
+
+
+def main() -> None:
+    print("=== ACTOR quickstart ===\n")
+
+    # 1. Data: a synthetic UTGEO2011-like corpus (geo-tagged posts with
+    #    @mentions), split into train/valid/test.
+    data = generate_dataset("utgeo2011", n_records=4000, seed=42)
+    print(f"dataset: {data.summary()}\n")
+
+    # 2. Model: paper defaults, scaled to laptop size.
+    config = ActorConfig(dim=64, epochs=20, seed=42)
+    model = Actor(config).fit(data.train)
+    summary = model.built.activity.summary()
+    print(
+        f"activity graph: {summary['n_nodes']} nodes, "
+        f"{summary['n_edges']} edges "
+        f"({summary['n_spatial']} spatial hotspots, "
+        f"{summary['n_temporal']} temporal hotspots, "
+        f"{summary['n_words']} keywords, {summary['n_users']} users)"
+    )
+    print(f"final training loss: {model.trainer.loss_history[-1]:.4f}\n")
+
+    # 3. Cross-modal prediction on one held-out record.
+    record = next(r for r in data.test if len(r.words) >= 3)
+    noise = [r for r in data.test.records[:40] if r.record_id != record.record_id]
+    candidates = [record.location] + [r.location for r in noise[:10]]
+    scores = model.score_candidates(
+        target="location",
+        candidates=candidates,
+        time=record.timestamp,
+        words=record.words,
+    )
+    rank = int((np.argsort(-scores) == 0).nonzero()[0][0]) + 1
+    print(f"record text: {' '.join(record.words)}")
+    print(f"record time: {record.time_of_day:.1f}h")
+    print(
+        f"location prediction: true location ranked {rank} of "
+        f"{len(candidates)} candidates\n"
+    )
+
+    # 4. Full MRR evaluation (Table-2 protocol) on 100 test queries.
+    queries = build_task_queries(data.test, n_noise=10, max_queries=100, seed=1)
+    result = evaluate_model(model, queries)
+    print("MRR over 100 held-out queries (1 truth + 10 noise candidates):")
+    for task, mrr in result.items():
+        print(f"  {task:<9} {mrr:.4f}")
+    print("\n(random guessing would score ~0.274)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Urban exploration: the introduction's motivating questions.
+
+The paper opens with three questions a spatiotemporal activity model
+should answer:
+
+  "Where should a shopping mania who cares about accessible transportation
+   go?"                                 -> textual query, spatial answer
+  "What are the popular activities around the beach at dusk?"
+                                        -> spatial+temporal query, text answer
+  "When is the fit time for visiting X?"-> textual query, temporal answer
+
+This example trains ACTOR on an LA-like corpus and answers all three with
+neighbor search (Section 6.4's machinery).
+
+Run:
+    python examples/urban_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import Actor, ActorConfig, generate_dataset
+from repro.core import spatial_query, temporal_query, textual_query
+
+
+def pick_topic(city, name_fragment):
+    for topic in city.topics:
+        if name_fragment in topic.name:
+            return topic
+    return city.topics[0]
+
+
+def main() -> None:
+    data = generate_dataset("tweet", n_records=4000, seed=7)
+    city = data.city
+    model = Actor(ActorConfig(dim=64, epochs=20, seed=7)).fit(data.train)
+    vocab = model.built.vocab
+
+    # --- Q1: where does one go for a given activity? ---------------------
+    shopping = pick_topic(city, "shopping")
+    keyword = next(w for w in shopping.keywords if w in vocab)
+    result = textual_query(model, keyword, k=5)
+    hotspots = model.built.detector.spatial_hotspots
+    print(f'Q1. Where to go for "{keyword}" ({shopping.name})?')
+    for idx, score in result.locations:
+        x, y = hotspots[idx]
+        print(f"    hotspot #{idx} at ({x:.1f}, {y:.1f}) km   cos={score:.3f}")
+    print(f"    [ground truth: {shopping.name} venues exist at "
+          f"{[tuple(round(c, 1) for c in v.location) for v in city.venues if v.topic_id == shopping.topic_id][:3]}...]")
+    print()
+
+    # --- Q2: what happens at a place around dusk? ------------------------
+    beach = pick_topic(city, "beach")
+    beach_venue = next(
+        v for v in city.venues if v.topic_id == beach.topic_id
+    )
+    place = spatial_query(model, beach_venue.location, k=8)
+    print(
+        f"Q2. Popular activities near the {beach.name} at "
+        f"({beach_venue.location[0]:.1f}, {beach_venue.location[1]:.1f})?"
+    )
+    print(f"    top words:  {', '.join(place.top_words())}")
+    print(f"    top hours:  {[round(h, 1) for h, _ in place.times[:4]]}")
+    print(f"    [ground truth peak hour: {beach.peak_hour:.1f}h]")
+    print()
+
+    # --- Q3: when to visit a specific venue? -----------------------------
+    venue = next(v for v in city.venues if v.name_token in vocab)
+    when = textual_query(model, venue.name_token, k=4)
+    topic = city.topics[venue.topic_id]
+    print(f"Q3. When to visit {venue.name_token} ({topic.name})?")
+    print(f"    best hours: {[round(h, 1) for h, _ in when.times]}")
+    print(f"    [ground truth peak hour: {topic.peak_hour:.1f}h]")
+    print()
+
+    # --- bonus: what does dusk look like city-wide? ----------------------
+    dusk = temporal_query(model, 19.5, k=6)
+    print("Bonus. City-wide activities around 19:30:")
+    print(f"    {', '.join(dusk.top_words())}")
+
+
+if __name__ == "__main__":
+    main()

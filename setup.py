@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `pip install -e .` works in offline
+environments whose setuptools lacks PEP-660 editable-wheel support
+(the legacy path uses `setup.py develop`, which needs this file).
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

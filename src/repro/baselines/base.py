@@ -1,0 +1,55 @@
+"""Common interface for every compared method (paper Section 6.1.2).
+
+All eight Table-2 rows — LGTA, MGTM, metapath2vec, LINE, LINE(U), CrossMap,
+CrossMap(U) and ACTOR — are driven by the same evaluation harness through
+:class:`SpatiotemporalModel`: fit on a training corpus, then score candidate
+sets for the three prediction tasks.
+
+Embedding methods get their scoring from
+:class:`~repro.core.prediction.GraphEmbeddingModel` (cosine similarity in
+the shared latent space); the topic models implement probabilistic scoring
+and — like in the paper, where Table 2 shows "/" — do not support the time
+task (``supports_time = False``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.records import Corpus
+
+__all__ = ["SpatiotemporalModel"]
+
+
+class SpatiotemporalModel(ABC):
+    """Fit / score interface shared by ACTOR and every baseline."""
+
+    #: Human-readable name used in result tables.
+    name: str = "model"
+    #: Whether the model can rank time candidates (topic models cannot).
+    supports_time: bool = True
+
+    @abstractmethod
+    def fit(self, corpus: Corpus) -> "SpatiotemporalModel":
+        """Train on ``corpus`` and return ``self``."""
+
+    @abstractmethod
+    def score_candidates(
+        self,
+        *,
+        target: str,
+        candidates: Sequence,
+        time: float | None = None,
+        location: tuple[float, float] | None = None,
+        words: Sequence[str] | None = None,
+    ) -> np.ndarray:
+        """Score each candidate of the ``target`` modality (higher = better).
+
+        Exactly two of ``time`` / ``location`` / ``words`` are given — the
+        observed modalities; ``candidates`` hold values of the third:
+        word bags for ``target="text"``, ``(x, y)`` pairs for
+        ``"location"``, timestamps for ``"time"``.
+        """

@@ -1,0 +1,253 @@
+"""Command-line interface: generate / train / evaluate / query / stats.
+
+Usage (also available as ``python -m repro``)::
+
+    repro generate --preset utgeo2011 --n-records 5000 --out corpus.jsonl
+    repro stats    --corpus corpus.jsonl
+    repro train    --corpus corpus.jsonl --out model.pkl --dim 64 --epochs 20
+    repro evaluate --model model.pkl --corpus test.jsonl
+    repro query    --model model.pkl --word harbor_00
+    repro query    --model model.pkl --time 22.0
+    repro query    --model model.pkl --location 3.5,7.2
+    repro export   --model model.pkl --out bundle/   # pickle-free bundle
+
+Every command prints plain text to stdout; exit code 0 on success, 2 on
+argument errors (argparse convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from pathlib import Path
+
+from repro.core import (
+    Actor,
+    ActorConfig,
+    load_bundle,
+    save_bundle,
+    spatial_query,
+    temporal_query,
+    textual_query,
+)
+from repro.data import generate_dataset, load_corpus, save_corpus
+from repro.eval import build_task_queries, evaluate_model, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ACTOR: spatiotemporal activity modeling "
+        "(TKDE 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser(
+        "generate", help="generate a synthetic corpus and write it as JSONL"
+    )
+    gen.add_argument(
+        "--preset",
+        default="utgeo2011",
+        choices=["utgeo2011", "tweet", "4sq"],
+        help="dataset preset (see repro.data.datasets)",
+    )
+    gen.add_argument("--n-records", type=int, default=5000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output JSONL path")
+    gen.add_argument(
+        "--split",
+        choices=["all", "train", "test"],
+        default="all",
+        help="which split to write (default: the full corpus)",
+    )
+
+    stats = sub.add_parser("stats", help="print Table-1-style corpus statistics")
+    stats.add_argument("--corpus", required=True, help="JSONL corpus path")
+
+    train = sub.add_parser("train", help="train ACTOR on a JSONL corpus")
+    train.add_argument("--corpus", required=True)
+    train.add_argument("--out", required=True, help="output model path (.pkl)")
+    train.add_argument("--dim", type=int, default=64)
+    train.add_argument("--epochs", type=int, default=30)
+    train.add_argument("--lr", type=float, default=0.02)
+    train.add_argument("--negatives", type=int, default=1)
+    train.add_argument("--threads", type=int, default=1)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--no-inter", action="store_true",
+        help="disable the inter-record structure (Table-4 ablation)",
+    )
+    train.add_argument(
+        "--no-intra-bow", action="store_true",
+        help="disable the bag-of-words structure (Table-4 ablation)",
+    )
+
+    ev = sub.add_parser(
+        "evaluate", help="MRR over the three cross-modal prediction tasks"
+    )
+    ev.add_argument("--model", required=True, help="trained model path")
+    ev.add_argument("--corpus", required=True, help="JSONL test corpus path")
+    ev.add_argument("--n-noise", type=int, default=10)
+    ev.add_argument("--max-queries", type=int, default=300)
+    ev.add_argument("--seed", type=int, default=0)
+
+    export = sub.add_parser(
+        "export",
+        help="convert a pickled model into a portable (pickle-free) bundle",
+    )
+    export.add_argument("--model", required=True, help="pickled model path")
+    export.add_argument("--out", required=True, help="bundle directory")
+
+    q = sub.add_parser("query", help="neighbor search around one unit")
+    q.add_argument("--model", required=True)
+    q.add_argument("--k", type=int, default=10)
+    modality = q.add_mutually_exclusive_group(required=True)
+    modality.add_argument("--word", help="textual query keyword")
+    modality.add_argument("--time", type=float, help="temporal query (hours)")
+    modality.add_argument(
+        "--location", help="spatial query as 'x,y' in km"
+    )
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    bundle = generate_dataset(
+        args.preset, n_records=args.n_records, seed=args.seed
+    )
+    corpus = {
+        "all": bundle.corpus,
+        "train": bundle.train,
+        "test": bundle.test,
+    }[args.split]
+    save_corpus(corpus, args.out)
+    print(f"wrote {len(corpus)} records ({args.split} split) to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus)
+    counts = corpus.word_counts()
+    rows = [
+        ["records", len(corpus)],
+        ["users", len(corpus.users())],
+        ["distinct keywords", len(counts)],
+        ["keyword occurrences", sum(counts.values())],
+        ["mention rate", round(corpus.mention_rate(), 4)],
+    ]
+    print(format_table(["statistic", "value"], rows, title=args.corpus))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus)
+    config = ActorConfig(
+        dim=args.dim,
+        epochs=args.epochs,
+        lr=args.lr,
+        negatives=args.negatives,
+        n_threads=args.threads,
+        use_inter=not args.no_inter,
+        use_intra_bow=not args.no_intra_bow,
+        seed=args.seed,
+    )
+    model = Actor(config).fit(corpus)
+    model.save(args.out)
+    summary = model.built.activity.summary()
+    print(
+        f"trained ACTOR (d={args.dim}, epochs={args.epochs}) on "
+        f"{len(corpus)} records: {summary['n_nodes']} nodes, "
+        f"{summary['n_edges']} edges; saved to {args.out}"
+    )
+    return 0
+
+
+def _load_model(path: str):
+    """Load either a pickled Actor or a portable bundle directory."""
+    if Path(path).is_dir():
+        return load_bundle(path)
+    return Actor.load(path)
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    model = Actor.load(args.model)
+    save_bundle(model, args.out)
+    print(f"exported portable bundle to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    corpus = load_corpus(args.corpus)
+    queries = build_task_queries(
+        corpus,
+        n_noise=args.n_noise,
+        max_queries=args.max_queries,
+        seed=args.seed,
+    )
+    result = evaluate_model(model, queries)
+    rows = [[task, mrr] for task, mrr in result.items()]
+    print(format_table(["task", "MRR"], rows, title=f"MRR ({args.corpus})"))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    model = _load_model(args.model)
+    if args.word is not None:
+        result = textual_query(model, args.word, k=args.k)
+    elif args.time is not None:
+        result = temporal_query(model, args.time, k=args.k)
+    else:
+        try:
+            x, y = (float(v) for v in args.location.split(","))
+        except ValueError:
+            print("--location must be 'x,y' (two floats)", file=sys.stderr)
+            return 2
+        result = spatial_query(model, (x, y), k=args.k)
+
+    print(f"query: {result.query_description}")
+    if result.words:
+        rows = [[w, s] for w, s in result.words]
+        print(format_table(["word", "cosine"], rows, title="nearest words"))
+    if result.times:
+        rows = [[f"{h:.2f}", s] for h, s in result.times]
+        print(format_table(["hour", "cosine"], rows, title="nearest times"))
+    if result.locations:
+        hotspots = model.built.detector.spatial_hotspots
+        rows = [
+            [idx, f"({hotspots[idx][0]:.2f}, {hotspots[idx][1]:.2f})", s]
+            for idx, s in result.locations
+        ]
+        print(
+            format_table(
+                ["hotspot", "centre (km)", "cosine"],
+                rows,
+                title="nearest locations",
+            )
+        )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "query": _cmd_query,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

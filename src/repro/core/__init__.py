@@ -1,0 +1,50 @@
+"""ACTOR core: config, meta-graphs, hierarchical embedding, prediction."""
+
+from repro.core.actor import Actor
+from repro.core.config import ActorConfig
+from repro.core.meta_graph import (
+    ALL_META_GRAPHS,
+    INTER_EDGE_TYPES,
+    INTER_META_GRAPHS,
+    INTRA_EDGE_TYPES,
+    M0,
+    MetaGraph,
+    count_inter_instances,
+)
+from repro.core.neighbor import (
+    NeighborResult,
+    spatial_query,
+    temporal_query,
+    textual_query,
+)
+from repro.core.prediction import (
+    GraphEmbeddingModel,
+    cosine_similarities,
+    rank_descending,
+)
+from repro.core.serialize import QueryModel, load_bundle, save_bundle
+from repro.core.streaming import OnlineActor, RecencyBuffer
+
+__all__ = [
+    "Actor",
+    "ActorConfig",
+    "MetaGraph",
+    "M0",
+    "ALL_META_GRAPHS",
+    "INTER_META_GRAPHS",
+    "INTER_EDGE_TYPES",
+    "INTRA_EDGE_TYPES",
+    "count_inter_instances",
+    "GraphEmbeddingModel",
+    "cosine_similarities",
+    "rank_descending",
+    "OnlineActor",
+    "QueryModel",
+    "save_bundle",
+    "load_bundle",
+    "RecencyBuffer",
+    "NeighborResult",
+    "spatial_query",
+    "temporal_query",
+    "textual_query",
+]

@@ -1,0 +1,115 @@
+"""Hierarchical initialization (Algorithm 1, lines 3-4).
+
+The user interaction graph is embedded first (with LINE); then every vertex
+of the activity graph is initialized from a user embedding:
+
+* a **user vertex** copies its own pretrained vector (random if the user
+  never interacted — Section 5.2.1);
+* a **unit vertex** (T/L/W) copies the vector of the *connected user with
+  the highest edge weight* ("we choose the user with the highest weight to
+  get the initial embedding vector"), plus a small jitter so different units
+  seeded by the same user are not identical;
+* vertices with no user connection get the standard small-uniform random
+  initialization.
+
+This is how first-layer (interaction-graph) structure flows up into the
+second layer before any activity-graph training happens — the "hierarchy"
+of the hierarchical embedding framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.activity_graph import ActivityGraph
+from repro.graphs.interaction_graph import UserInteractionGraph
+from repro.graphs.types import EdgeType, NodeType
+from repro.utils.rng import ensure_rng
+
+__all__ = ["random_init", "initialize_from_users"]
+
+_USER_EDGE_TYPES = (EdgeType.UT, EdgeType.UL, EdgeType.UW)
+
+
+def random_init(
+    n_nodes: int, dim: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Standard small-uniform center and context matrices."""
+    scale = 0.5 / dim
+    center = rng.uniform(-scale, scale, size=(n_nodes, dim))
+    context = rng.uniform(-scale, scale, size=(n_nodes, dim))
+    return center, context
+
+
+def initialize_from_users(
+    activity: ActivityGraph,
+    interaction: UserInteractionGraph,
+    user_vectors: np.ndarray | None,
+    dim: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    noise: float = 0.02,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Center/context matrices for the activity graph, seeded hierarchically.
+
+    Parameters
+    ----------
+    activity:
+        Finalized activity graph (with U vertices and U-edges).
+    interaction:
+        Finalized user interaction graph.
+    user_vectors:
+        ``(n_users, dim)`` LINE embeddings aligned with
+        ``interaction.users``; ``None`` falls back to fully random
+        initialization (the corpora without mention data).
+    dim:
+        Embedding dimension; must match ``user_vectors`` if given.
+    noise:
+        Std of Gaussian jitter added to every copied vector.
+
+    Returns
+    -------
+    ``(center, context)`` matrices of shape ``(n_nodes, dim)``.
+    """
+    rng = ensure_rng(seed)
+    center, context = random_init(activity.n_nodes, dim, rng)
+    if user_vectors is None:
+        return center, context
+    if user_vectors.shape[1] != dim:
+        raise ValueError(
+            f"user_vectors dim {user_vectors.shape[1]} != requested dim {dim}"
+        )
+
+    # Map activity-graph user vertices to their interaction-graph vectors.
+    # Users who never interacted (zero interaction degree) keep random init,
+    # because their LINE vector was never trained.
+    degree = interaction.degree
+    user_vec_of_node: dict[int, np.ndarray] = {}
+    for u_name, u_vec, u_deg in zip(interaction.users, user_vectors, degree):
+        if u_deg == 0.0 or not activity.has_node(NodeType.USER, u_name):
+            continue
+        node = activity.index_of(NodeType.USER, u_name)
+        user_vec_of_node[node] = u_vec
+        center[node] = u_vec + rng.normal(0.0, noise, size=dim)
+        context[node] = u_vec + rng.normal(0.0, noise, size=dim)
+
+    # For each unit vertex, find its maximum-weight user connection.
+    best_weight: dict[int, float] = {}
+    best_user: dict[int, int] = {}
+    for edge_type in _USER_EDGE_TYPES:
+        edge_set = activity.edge_set(edge_type)
+        for user_node, unit_node, weight in zip(
+            edge_set.src, edge_set.dst, edge_set.weight
+        ):
+            unit = int(unit_node)
+            if weight > best_weight.get(unit, 0.0):
+                best_weight[unit] = float(weight)
+                best_user[unit] = int(user_node)
+
+    for unit, user_node in best_user.items():
+        vec = user_vec_of_node.get(user_node)
+        if vec is None:
+            continue  # best user never interacted -> keep random init
+        center[unit] = vec + rng.normal(0.0, noise, size=dim)
+        context[unit] = vec + rng.normal(0.0, noise, size=dim)
+    return center, context

@@ -1,0 +1,147 @@
+"""Meta-graph definitions (paper Section 5.1, Fig. 3b).
+
+Definition 6: a meta-graph is a sub-graphical scheme — a set of typed
+vertices with an adjacency relation.  ACTOR uses two families:
+
+* **M0, the intra-record meta-graph**: the co-occurrence clique of one
+  record's units {T, L, W...} with edge types ``{TL, LW, WT, WW}``.  Its
+  bag-of-words reading (footnote 4) treats all words of a record as one
+  summed textual side.
+* **M1-M6, the inter-record meta-graphs**: two mention-linked users, each
+  attached to units of their own records —
+  ``unit_A -- user_A -- user_B -- unit_B``.  They are categorized by which
+  unit-type pair ``(X, Y)`` they connect across the records; with three unit
+  types there are exactly six unordered pairs, matching the paper's count.
+  (The paper's figure does not spell out the numbering; we fix M4 = (T, W)
+  because the running example — temporal unit T1 reaching textual unit W2
+  through the user layer — is called an M4 instance.)
+
+The edge-type sets that the training objective (Eq. 6) sums over are
+``INTRA_EDGE_TYPES`` and ``INTER_EDGE_TYPES``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.builder import BuiltGraphs
+from repro.graphs.types import EdgeType, NodeType
+
+__all__ = [
+    "MetaGraph",
+    "M0",
+    "INTER_META_GRAPHS",
+    "ALL_META_GRAPHS",
+    "INTRA_EDGE_TYPES",
+    "INTER_EDGE_TYPES",
+    "count_inter_instances",
+]
+
+INTRA_EDGE_TYPES: tuple[EdgeType, ...] = (
+    EdgeType.TL,
+    EdgeType.LW,
+    EdgeType.WT,
+    EdgeType.WW,
+)
+INTER_EDGE_TYPES: tuple[EdgeType, ...] = (
+    EdgeType.UT,
+    EdgeType.UW,
+    EdgeType.UL,
+)
+
+
+@dataclass(frozen=True)
+class MetaGraph:
+    """One meta-graph scheme.
+
+    Attributes
+    ----------
+    name:
+        ``"M0"`` ... ``"M6"``.
+    kind:
+        ``"intra"`` or ``"inter"``.
+    unit_pair:
+        For inter meta-graphs, the unordered unit-type pair ``(X, Y)``
+        connected across the two records; ``None`` for M0.
+    """
+
+    name: str
+    kind: str
+    unit_pair: tuple[NodeType, NodeType] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("intra", "inter"):
+            raise ValueError(f"kind must be 'intra' or 'inter', got {self.kind!r}")
+        if self.kind == "inter" and self.unit_pair is None:
+            raise ValueError("inter meta-graphs need a unit_pair")
+
+
+M0 = MetaGraph(name="M0", kind="intra")
+
+# Six unordered pairs over {T, L, W}; M4 pinned to (T, W) per the paper's
+# running example, remaining labels assigned in a stable documented order.
+INTER_META_GRAPHS: tuple[MetaGraph, ...] = (
+    MetaGraph("M1", "inter", (NodeType.TIME, NodeType.TIME)),
+    MetaGraph("M2", "inter", (NodeType.LOCATION, NodeType.LOCATION)),
+    MetaGraph("M3", "inter", (NodeType.WORD, NodeType.WORD)),
+    MetaGraph("M4", "inter", (NodeType.TIME, NodeType.WORD)),
+    MetaGraph("M5", "inter", (NodeType.TIME, NodeType.LOCATION)),
+    MetaGraph("M6", "inter", (NodeType.LOCATION, NodeType.WORD)),
+)
+
+ALL_META_GRAPHS: tuple[MetaGraph, ...] = (M0, *INTER_META_GRAPHS)
+
+_UNIT_EDGE: dict[NodeType, EdgeType] = {
+    NodeType.TIME: EdgeType.UT,
+    NodeType.LOCATION: EdgeType.UL,
+    NodeType.WORD: EdgeType.UW,
+}
+
+
+def count_inter_instances(built: BuiltGraphs, meta: MetaGraph) -> int:
+    """Count instances of an inter-record meta-graph in the built graphs.
+
+    An instance of meta-graph ``(X, Y)`` is a path
+    ``x -- a -- b -- y`` where ``(a, b)`` is a user-interaction edge, ``x``
+    is an X-unit adjacent to ``a`` and ``y`` a Y-unit adjacent to ``b``
+    (units counted distinctly; both orientations for ``X != Y``).  These
+    paths contain more than two hops, which is exactly why the paper calls
+    the encoded proximity *high-order*.
+    """
+    if meta.kind != "inter":
+        raise ValueError(f"{meta.name} is not an inter-record meta-graph")
+    type_x, type_y = meta.unit_pair  # type: ignore[misc]
+    deg_x = _distinct_unit_neighbors(built, type_x)
+    deg_y = _distinct_unit_neighbors(built, type_y)
+
+    interaction = built.interaction
+    interaction.finalize()
+    total = 0
+    activity = built.activity
+    for a_idx, b_idx in zip(interaction.edge_set.src, interaction.edge_set.dst):
+        name_a = interaction.users[int(a_idx)]
+        name_b = interaction.users[int(b_idx)]
+        if not (
+            activity.has_node(NodeType.USER, name_a)
+            and activity.has_node(NodeType.USER, name_b)
+        ):
+            continue
+        a = activity.index_of(NodeType.USER, name_a)
+        b = activity.index_of(NodeType.USER, name_b)
+        if type_x is type_y:
+            total += deg_x.get(a, 0) * deg_x.get(b, 0)
+        else:
+            total += deg_x.get(a, 0) * deg_y.get(b, 0)
+            total += deg_y.get(a, 0) * deg_x.get(b, 0)
+    return total
+
+
+def _distinct_unit_neighbors(
+    built: BuiltGraphs, unit_type: NodeType
+) -> dict[int, int]:
+    """Per-user count of distinct adjacent units of ``unit_type``."""
+    edge_set = built.activity.edge_set(_UNIT_EDGE[unit_type])
+    counts: dict[int, int] = {}
+    for user_node in edge_set.src:  # U is always the src side of U-edges
+        counts[int(user_node)] = counts.get(int(user_node), 0) + 1
+    return counts

@@ -1,0 +1,102 @@
+"""Qualitative neighbor search (paper Section 6.4, Figs. 9-11).
+
+Given a spatial, temporal or textual query, return the nearest units of
+*every other modality* — "What are people talking about near the port?",
+"What happens around 10 pm?", "Where and when does this venue keyword
+live?".  The benches for Figs. 9-11 print exactly these tables for ACTOR
+vs. CrossMap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from repro.core.prediction import GraphEmbeddingModel
+
+__all__ = ["NeighborResult", "spatial_query", "temporal_query", "textual_query"]
+
+
+@dataclass
+class NeighborResult:
+    """Top-k neighbor lists per modality for one query.
+
+    ``words`` holds keyword strings, ``times`` hour-of-day floats,
+    ``locations`` spatial hotspot indices — each paired with its cosine
+    similarity, descending.
+    """
+
+    query_description: str
+    words: list[tuple[str, float]] = field(default_factory=list)
+    times: list[tuple[float, float]] = field(default_factory=list)
+    locations: list[tuple[int, float]] = field(default_factory=list)
+
+    def top_words(self) -> list[str]:
+        """The word neighbors without their scores, best first."""
+        return [w for w, _s in self.words]
+
+
+def _resolve_times(
+    model: GraphEmbeddingModel, raw: list[tuple[Hashable, float]]
+) -> list[tuple[float, float]]:
+    """Map temporal hotspot indices to their hour-of-day values."""
+    hotspots = model.built.detector.temporal_hotspots
+    return [(float(hotspots[int(idx)]), score) for idx, score in raw]
+
+
+def spatial_query(
+    model: GraphEmbeddingModel,
+    location: tuple[float, float],
+    *,
+    k: int = 10,
+) -> NeighborResult:
+    """Nearest words and times to a location (Fig. 9's port-of-LA query)."""
+    query = model.unit_vector("location", location)
+    if query is None:
+        raise ValueError(f"location {location!r} could not be mapped to a hotspot")
+    return NeighborResult(
+        query_description=f"location={location}",
+        words=model.neighbors(query, "word", k),
+        times=_resolve_times(model, model.neighbors(query, "time", k)),
+    )
+
+
+def temporal_query(
+    model: GraphEmbeddingModel,
+    time: float,
+    *,
+    k: int = 10,
+) -> NeighborResult:
+    """Nearest words and locations to an hour-of-day (Fig. 10's 10 pm query)."""
+    query = model.unit_vector("time", time)
+    if query is None:
+        raise ValueError(f"time {time!r} could not be mapped to a hotspot")
+    return NeighborResult(
+        query_description=f"time={time}",
+        words=model.neighbors(query, "word", k),
+        locations=[
+            (int(key), score) for key, score in model.neighbors(query, "location", k)
+        ],
+    )
+
+
+def textual_query(
+    model: GraphEmbeddingModel,
+    word: str,
+    *,
+    k: int = 10,
+) -> NeighborResult:
+    """Nearest units of every modality to a keyword (Fig. 11's pub query)."""
+    query = model.unit_vector("word", word)
+    if query is None:
+        raise ValueError(f"word {word!r} is not in the model vocabulary")
+    return NeighborResult(
+        query_description=f"word={word!r}",
+        words=[
+            (w, s) for w, s in model.neighbors(query, "word", k + 1) if w != word
+        ][:k],
+        times=_resolve_times(model, model.neighbors(query, "time", k)),
+        locations=[
+            (int(key), score) for key, score in model.neighbors(query, "location", k)
+        ],
+    )

@@ -1,0 +1,206 @@
+"""Cross-modal prediction API (paper Sections 3 and 6.2.1).
+
+Given any two of (time, location, text) the model must rank candidates for
+the third: the query's available units are embedded and averaged, each
+candidate is embedded, and candidates are ranked by cosine similarity —
+"compute the cosine similarity of each candidate ... and rank them in the
+descending order".
+
+:class:`GraphEmbeddingModel` is the shared base for every embedding-based
+model in this repository (ACTOR, CrossMap, LINE, metapath2vec): it owns the
+built graphs plus center/context matrices and implements the full query
+surface — unit lookup, query composition, candidate scoring and
+nearest-neighbor search.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.graphs.builder import BuiltGraphs
+from repro.graphs.types import NodeType
+
+__all__ = [
+    "cosine_similarities",
+    "rank_descending",
+    "GraphEmbeddingModel",
+    "TARGETS",
+]
+
+TARGETS = ("text", "location", "time")
+
+_MODALITY_TO_TYPE = {
+    "time": NodeType.TIME,
+    "location": NodeType.LOCATION,
+    "word": NodeType.WORD,
+    "user": NodeType.USER,
+}
+
+
+def cosine_similarities(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Cosine similarity of ``query`` against every row of ``matrix``.
+
+    Zero vectors (an out-of-vocabulary candidate, an empty query) get
+    similarity 0 rather than NaN.
+    """
+    query_norm = np.linalg.norm(query)
+    row_norms = np.linalg.norm(matrix, axis=1)
+    denom = query_norm * row_norms
+    scores = np.zeros(matrix.shape[0])
+    valid = denom > 0
+    scores[valid] = (matrix[valid] @ query) / denom[valid]
+    return scores
+
+
+def rank_descending(scores: np.ndarray) -> np.ndarray:
+    """1-based rank of each entry under descending-score order.
+
+    Ties are broken by original position (stable), matching a ranked list.
+    """
+    order = np.argsort(-scores, kind="stable")
+    ranks = np.empty_like(order)
+    ranks[order] = np.arange(1, scores.shape[0] + 1)
+    return ranks
+
+
+class GraphEmbeddingModel:
+    """Query surface shared by every embedding model over the activity graph.
+
+    Subclasses populate ``self.built`` (graphs + detector + vocab) and
+    ``self.center`` / ``self.context`` embedding matrices in ``fit``.
+    """
+
+    built: BuiltGraphs
+    center: np.ndarray
+    context: np.ndarray
+
+    # ------------------------------------------------------------- unit level
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimension."""
+        return self.center.shape[1]
+
+    def node_vector(self, node: int) -> np.ndarray:
+        """Center vector of a dense graph node index."""
+        return self.center[node]
+
+    def unit_vector(self, modality: str, value) -> np.ndarray | None:
+        """Embed one raw value of ``modality``; ``None`` if unmappable.
+
+        * ``"time"`` — a timestamp (hours); snapped to its temporal hotspot.
+        * ``"location"`` — an ``(x, y)`` pair; snapped to its spatial
+          hotspot.
+        * ``"word"`` — a keyword; ``None`` when pruned from the vocabulary.
+        * ``"user"`` — a user name; ``None`` when unseen in training.
+        """
+        node = self._node_of(modality, value)
+        return None if node is None else self.center[node]
+
+    def _node_of(self, modality: str, value) -> int | None:
+        if modality not in _MODALITY_TO_TYPE:
+            raise ValueError(
+                f"modality must be one of {sorted(_MODALITY_TO_TYPE)}, got {modality!r}"
+            )
+        activity = self.built.activity
+        if modality == "time":
+            idx = int(self.built.detector.assign_temporal(np.asarray([value]))[0])
+            return activity.index_of(NodeType.TIME, idx)
+        if modality == "location":
+            loc = np.asarray(value, dtype=float)[None, :]
+            idx = int(self.built.detector.assign_spatial(loc)[0])
+            return activity.index_of(NodeType.LOCATION, idx)
+        node_type = _MODALITY_TO_TYPE[modality]
+        if activity.has_node(node_type, value):
+            return activity.index_of(node_type, value)
+        return None
+
+    def words_vector(self, words: Iterable[str]) -> np.ndarray:
+        """Mean of the in-vocabulary word vectors (zeros if none survive)."""
+        vectors = [
+            v
+            for v in (self.unit_vector("word", w) for w in words)
+            if v is not None
+        ]
+        if not vectors:
+            return np.zeros(self.dim)
+        return np.mean(vectors, axis=0)
+
+    # ------------------------------------------------------------ query level
+
+    def query_vector(
+        self,
+        *,
+        time: float | None = None,
+        location: tuple[float, float] | None = None,
+        words: Sequence[str] | None = None,
+    ) -> np.ndarray:
+        """Average of the available modalities' unit vectors."""
+        parts: list[np.ndarray] = []
+        if time is not None:
+            vec = self.unit_vector("time", time)
+            if vec is not None:
+                parts.append(vec)
+        if location is not None:
+            vec = self.unit_vector("location", location)
+            if vec is not None:
+                parts.append(vec)
+        if words is not None:
+            parts.append(self.words_vector(words))
+        if not parts:
+            return np.zeros(self.dim)
+        return np.mean(parts, axis=0)
+
+    def candidate_vector(self, target: str, candidate) -> np.ndarray:
+        """Embed one candidate of the ``target`` modality.
+
+        Text candidates are word bags (sequences of keywords); location
+        candidates are coordinate pairs; time candidates are timestamps.
+        """
+        if target == "text":
+            return self.words_vector(candidate)
+        if target == "location":
+            vec = self.unit_vector("location", candidate)
+        elif target == "time":
+            vec = self.unit_vector("time", candidate)
+        else:
+            raise ValueError(f"target must be one of {TARGETS}, got {target!r}")
+        return np.zeros(self.dim) if vec is None else vec
+
+    def score_candidates(
+        self,
+        *,
+        target: str,
+        candidates: Sequence,
+        time: float | None = None,
+        location: tuple[float, float] | None = None,
+        words: Sequence[str] | None = None,
+    ) -> np.ndarray:
+        """Cosine score of every candidate against the query (higher = better)."""
+        query = self.query_vector(time=time, location=location, words=words)
+        matrix = np.stack(
+            [self.candidate_vector(target, c) for c in candidates]
+        )
+        return cosine_similarities(query, matrix)
+
+    # --------------------------------------------------------------- neighbors
+
+    def modality_vectors(
+        self, modality: str
+    ) -> tuple[list[Hashable], np.ndarray]:
+        """All unit keys of ``modality`` with their center-vector matrix."""
+        node_type = _MODALITY_TO_TYPE[modality]
+        nodes = self.built.activity.nodes_of_type(node_type)
+        keys = [self.built.activity.key_of(int(n)) for n in nodes]
+        return keys, self.center[nodes]
+
+    def neighbors(
+        self, query_vec: np.ndarray, modality: str, k: int = 10
+    ) -> list[tuple[Hashable, float]]:
+        """Top-``k`` nearest units of ``modality`` to ``query_vec`` by cosine."""
+        keys, matrix = self.modality_vectors(modality)
+        scores = cosine_similarities(query_vec, matrix)
+        order = np.argsort(-scores, kind="stable")[:k]
+        return [(keys[i], float(scores[i])) for i in order]

@@ -1,0 +1,153 @@
+"""Portable, pickle-free model serialization.
+
+:meth:`Actor.save`/:meth:`Actor.load` use pickle, which is convenient but
+carries the usual trust caveats and ties the file to this codebase's
+internals.  This module writes a *portable inference bundle* instead — a
+directory of plain ``.npz``/``.json`` files containing exactly what the
+query surface needs:
+
+```
+bundle/
+  manifest.json     format version, dims, detector period, config snapshot
+  embeddings.npz    center, context (float64)
+  hotspots.npz      spatial (S, 2), temporal (T,)
+  nodes.json        node registry: ordered [type, key] pairs
+  vocab.json        retained keywords in id order
+```
+
+:func:`load_bundle` reconstructs a :class:`QueryModel` — the full
+:class:`~repro.core.prediction.GraphEmbeddingModel` query surface
+(prediction, neighbor search) without training state.  Retraining requires
+the original corpus; persist the fitted :class:`Actor` with pickle if you
+need that.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.actor import Actor
+from repro.core.prediction import GraphEmbeddingModel
+from repro.data.text import Vocabulary
+from repro.graphs.activity_graph import ActivityGraph
+from repro.graphs.builder import BuiltGraphs
+from repro.graphs.interaction_graph import UserInteractionGraph
+from repro.graphs.types import NodeType
+from repro.hotspots.detector import HotspotDetector
+
+__all__ = ["save_bundle", "load_bundle", "QueryModel", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+class QueryModel(GraphEmbeddingModel):
+    """Inference-only model reconstructed from a serialized bundle.
+
+    Exposes the complete query surface (``score_candidates``,
+    ``neighbors``, ``unit_vector`` ...) but has no trainer and no edges —
+    only the node registry, hotspots, vocabulary and embeddings.
+    """
+
+    name = "ACTOR(bundle)"
+    supports_time = True
+
+    def __init__(
+        self, built: BuiltGraphs, center: np.ndarray, context: np.ndarray
+    ) -> None:
+        self.built = built
+        self.center = center
+        self.context = context
+
+
+def save_bundle(model: Actor | QueryModel, directory: str | Path) -> Path:
+    """Write ``model``'s inference state to ``directory`` (created if needed)."""
+    if not isinstance(model, QueryModel) and not model.is_fitted:
+        raise ValueError("cannot serialize an unfitted model")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    activity = model.built.activity
+    nodes = [
+        [activity.type_of(i).value, activity.key_of(i)]
+        for i in range(activity.n_nodes)
+    ]
+    detector = model.built.detector
+
+    np.savez_compressed(
+        directory / "embeddings.npz",
+        center=model.center,
+        context=model.context,
+    )
+    np.savez_compressed(
+        directory / "hotspots.npz",
+        spatial=detector.spatial_hotspots,
+        temporal=detector.temporal_hotspots,
+    )
+    (directory / "nodes.json").write_text(json.dumps(nodes))
+    (directory / "vocab.json").write_text(
+        json.dumps(model.built.vocab.words)
+    )
+    config = getattr(model, "config", None)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "dim": int(model.center.shape[1]),
+        "n_nodes": int(model.center.shape[0]),
+        "period": float(getattr(detector, "period", 24.0)),
+        "config": asdict(config) if config is not None else None,
+    }
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_bundle(directory: str | Path) -> QueryModel:
+    """Reconstruct a :class:`QueryModel` from a bundle directory."""
+    directory = Path(directory)
+    manifest = json.loads((directory / "manifest.json").read_text())
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported bundle format {manifest.get('format_version')!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+
+    with np.load(directory / "embeddings.npz") as data:
+        center = np.array(data["center"])
+        context = np.array(data["context"])
+    with np.load(directory / "hotspots.npz") as data:
+        detector = HotspotDetector.from_arrays(
+            data["spatial"], data["temporal"], period=manifest["period"]
+        )
+
+    nodes = json.loads((directory / "nodes.json").read_text())
+    if len(nodes) != manifest["n_nodes"] or center.shape[0] != len(nodes):
+        raise ValueError("bundle is inconsistent: node/embedding count mismatch")
+
+    activity = ActivityGraph()
+    for type_value, key in nodes:
+        node_type = NodeType(type_value)
+        # JSON round-trips hotspot indices as ints and words/users as str;
+        # T/L keys are indices.
+        if node_type in (NodeType.TIME, NodeType.LOCATION):
+            key = int(key)
+        activity.add_node(node_type, key)
+    activity.finalize()
+
+    words = json.loads((directory / "vocab.json").read_text())
+    vocab = Vocabulary(min_count=1)
+    vocab.fit([])  # freeze empty, then append in stored id order
+    for word in words:
+        vocab.add_word(word)
+
+    interaction = UserInteractionGraph()
+    interaction.finalize()
+    built = BuiltGraphs(
+        activity=activity,
+        interaction=interaction,
+        detector=detector,
+        vocab=vocab,
+        record_units=[],
+    )
+    return QueryModel(built=built, center=center, context=context)

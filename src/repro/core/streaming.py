@@ -1,0 +1,279 @@
+"""Online / streaming ACTOR: recency-aware continued training.
+
+The paper's own follow-up work (ReAct, reference [8]: "processes continuous
+data streams and reveals recency-aware spatiotemporal activities") motivates
+an online variant.  :class:`OnlineActor` warm-starts from a fully trained
+:class:`~repro.core.actor.Actor` and then consumes new records in batches:
+
+1. each new record is discretized with the *frozen* hotspot detector
+   (hotspots are not re-detected online — the documented ReAct-style
+   simplification) and its keywords are resolved against a *growable*
+   vocabulary;
+2. unseen words and users get fresh embedding rows (random init);
+3. the record's co-occurrence and user edges enter a **recency buffer**
+   whose sampling weights decay exponentially with age
+   (``weight * 0.5^(age / half_life)``), so recent activity dominates;
+4. a burst of SGNS steps over the buffer updates the embeddings in place.
+
+The full query surface (prediction, neighbor search) keeps working
+throughout, including for the streamed-in units.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+import numpy as np
+
+from repro.core.actor import Actor
+from repro.core.prediction import GraphEmbeddingModel
+from repro.data.records import Record
+from repro.embedding.alias import AliasTable
+from repro.embedding.sgns import sgns_step
+from repro.graphs.types import NodeType
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["RecencyBuffer", "OnlineActor"]
+
+
+class RecencyBuffer:
+    """Edge buffer with exponential recency decay.
+
+    Stores (src, dst, weight, born) tuples; sampling probability is
+    ``weight * 0.5^((clock - born) / half_life)``.  The alias table is
+    rebuilt lazily when the buffer changed since the last sample call —
+    append-heavy workloads pay O(n) rebuild once per training burst.
+
+    Parameters
+    ----------
+    half_life:
+        Age (in clock ticks — one tick per ingested batch) at which an
+        edge's sampling weight halves.
+    max_size:
+        Oldest edges are evicted beyond this capacity.
+    """
+
+    def __init__(self, *, half_life: float = 10.0, max_size: int = 200_000) -> None:
+        check_positive("half_life", half_life)
+        check_positive("max_size", max_size)
+        self.half_life = float(half_life)
+        self.max_size = int(max_size)
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._weight: list[float] = []
+        self._born: list[int] = []
+        self.clock = 0
+        self._table: AliasTable | None = None
+        self._table_clock = -1
+
+    def __len__(self) -> int:
+        return len(self._src)
+
+    def tick(self) -> None:
+        """Advance the clock (call once per ingested batch)."""
+        self.clock += 1
+
+    def add_edge(self, src: int, dst: int, weight: float = 1.0) -> None:
+        """Buffer one undirected edge with the current clock as birth time."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self._src.append(int(src))
+        self._dst.append(int(dst))
+        self._weight.append(float(weight))
+        self._born.append(self.clock)
+        self._table = None
+        if len(self._src) > self.max_size:
+            excess = len(self._src) - self.max_size
+            del self._src[:excess]
+            del self._dst[:excess]
+            del self._weight[:excess]
+            del self._born[:excess]
+
+    def decayed_weights(self) -> np.ndarray:
+        """Current sampling weights (recency decay applied)."""
+        born = np.asarray(self._born, dtype=float)
+        weight = np.asarray(self._weight, dtype=float)
+        age = self.clock - born
+        return weight * np.power(0.5, age / self.half_life)
+
+    def sample(
+        self, size: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``size`` edges ∝ decayed weight; random orientation."""
+        if not self._src:
+            raise ValueError("buffer is empty")
+        if self._table is None or self._table_clock != self.clock:
+            self._table = AliasTable(np.maximum(self.decayed_weights(), 1e-12))
+            self._table_clock = self.clock
+        idx = self._table.sample(size, seed=rng)
+        src = np.asarray(self._src, dtype=np.int64)[idx]
+        dst = np.asarray(self._dst, dtype=np.int64)[idx]
+        flip = rng.random(size) < 0.5
+        return np.where(flip, dst, src), np.where(flip, src, dst)
+
+
+class OnlineActor(GraphEmbeddingModel):
+    """Streaming wrapper around a warm-started :class:`Actor`.
+
+    Parameters
+    ----------
+    base:
+        A fitted Actor; its embeddings are copied (the base model is not
+        mutated) and then updated online.
+    half_life:
+        Recency half-life of the edge buffer, in ingested batches.
+    online_lr:
+        Learning rate for the online SGNS bursts.
+    steps_per_batch:
+        SGNS mini-batches run per :meth:`partial_fit` call.
+    """
+
+    def __init__(
+        self,
+        base: Actor,
+        *,
+        half_life: float = 10.0,
+        online_lr: float = 0.01,
+        steps_per_batch: int = 50,
+        batch_size: int = 256,
+        negatives: int = 2,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if not base.is_fitted:
+            raise ValueError("base Actor must be fitted before going online")
+        check_positive("online_lr", online_lr)
+        check_positive("steps_per_batch", steps_per_batch)
+        self.built = base.built
+        self.config = base.config
+        self.center = np.array(base.center)      # private copies
+        self.context = np.array(base.context)
+        self.buffer = RecencyBuffer(half_life=half_life)
+        self.online_lr = float(online_lr)
+        self.steps_per_batch = int(steps_per_batch)
+        self.batch_size = int(batch_size)
+        self.negatives = int(negatives)
+        self._rng = ensure_rng(seed)
+        # Rows appended beyond the base graph's node count, keyed like
+        # activity-graph handles.  The finalized base graph stays immutable.
+        self._extra_nodes: dict[tuple[NodeType, Hashable], int] = {}
+        self.n_ingested = 0
+
+    # ------------------------------------------------------------- node space
+
+    def _node_of(self, modality: str, value) -> int | None:
+        node = super()._node_of(modality, value)
+        if node is not None:
+            return node
+        node_type = {
+            "word": NodeType.WORD,
+            "user": NodeType.USER,
+        }.get(modality)
+        if node_type is None:
+            return None
+        return self._extra_nodes.get((node_type, value))
+
+    def _get_or_create(self, node_type: NodeType, key: Hashable) -> int:
+        """Resolve a unit to a row, appending a fresh row when unseen."""
+        if self.built.activity.has_node(node_type, key):
+            return self.built.activity.index_of(node_type, key)
+        handle = (node_type, key)
+        existing = self._extra_nodes.get(handle)
+        if existing is not None:
+            return existing
+        row = self.center.shape[0]
+        scale = 0.5 / self.dim
+        self.center = np.vstack(
+            [self.center, self._rng.uniform(-scale, scale, size=(1, self.dim))]
+        )
+        self.context = np.vstack(
+            [self.context, self._rng.uniform(-scale, scale, size=(1, self.dim))]
+        )
+        self._extra_nodes[handle] = row
+        if node_type is NodeType.WORD:
+            self.built.vocab.add_word(key)
+        return row
+
+    def modality_vectors(self, modality: str):
+        """Like the base method, but includes streamed-in extra units."""
+        keys, matrix = super().modality_vectors(modality)
+        node_type = {
+            "time": NodeType.TIME,
+            "location": NodeType.LOCATION,
+            "word": NodeType.WORD,
+            "user": NodeType.USER,
+        }[modality]
+        extra = [
+            (key, row)
+            for (t, key), row in self._extra_nodes.items()
+            if t is node_type
+        ]
+        if extra:
+            keys = keys + [key for key, _row in extra]
+            matrix = np.vstack(
+                [matrix, self.center[[row for _key, row in extra]]]
+            )
+        return keys, matrix
+
+    # ------------------------------------------------------------- streaming
+
+    def partial_fit(self, records: Iterable[Record]) -> "OnlineActor":
+        """Ingest a batch of new records and run an online training burst."""
+        detector = self.built.detector
+        vocab = self.built.vocab
+        count = 0
+        for record in records:
+            count += 1
+            s_idx, t_idx = detector.assign_record(
+                record.location, record.timestamp
+            )
+            t_node = self._get_or_create(NodeType.TIME, t_idx)
+            l_node = self._get_or_create(NodeType.LOCATION, s_idx)
+            word_nodes = []
+            for word in record.words:
+                if word in vocab or self._should_admit(word):
+                    word_nodes.append(self._get_or_create(NodeType.WORD, word))
+            self.buffer.add_edge(t_node, l_node)
+            for w in word_nodes:
+                self.buffer.add_edge(l_node, w)
+                self.buffer.add_edge(w, t_node)
+            distinct = list(dict.fromkeys(word_nodes))
+            for i, w1 in enumerate(distinct):
+                for w2 in distinct[i + 1 :]:
+                    self.buffer.add_edge(w1, w2)
+            linked = [record.user, *record.mentions]
+            for name in dict.fromkeys(linked):
+                u_node = self._get_or_create(NodeType.USER, name)
+                self.buffer.add_edge(u_node, t_node)
+                self.buffer.add_edge(u_node, l_node)
+                for w in distinct:
+                    self.buffer.add_edge(u_node, w)
+        if count == 0:
+            return self
+        self.n_ingested += count
+        self.buffer.tick()
+        self._train_burst()
+        return self
+
+    def _should_admit(self, word: str) -> bool:
+        """Whether an out-of-vocabulary word gets a fresh embedding row.
+
+        Capped vocabularies refuse growth; everything else is admitted.
+        """
+        vocab = self.built.vocab
+        return vocab.max_size is None or len(vocab) < vocab.max_size
+
+    def _train_burst(self) -> None:
+        """Run the online SGNS steps over the recency buffer."""
+        if len(self.buffer) == 0:
+            return
+        n_rows = self.center.shape[0]
+        for _ in range(self.steps_per_batch):
+            src, dst = self.buffer.sample(self.batch_size, self._rng)
+            # Negatives: uniform over all known rows — the buffer's node
+            # population is small and shifting, so degree-based noise is
+            # not meaningful online.
+            neg = self._rng.integers(
+                0, n_rows, size=(self.batch_size, self.negatives)
+            )
+            sgns_step(self.center, self.context, src, dst, neg, self.online_lr)

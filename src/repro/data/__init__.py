@@ -1,0 +1,25 @@
+"""Data layer: records, text processing, synthetic corpora and IO."""
+
+from repro.data.datasets import DatasetBundle, generate_dataset, preset_config
+from repro.data.io import load_corpus, save_corpus
+from repro.data.records import Corpus, Record
+from repro.data.splits import SplitSizes, train_valid_test_split
+from repro.data.synthetic import CityConfig, CityModel
+from repro.data.text import DEFAULT_STOPWORDS, Vocabulary, tokenize
+
+__all__ = [
+    "Corpus",
+    "Record",
+    "Vocabulary",
+    "tokenize",
+    "DEFAULT_STOPWORDS",
+    "CityConfig",
+    "CityModel",
+    "DatasetBundle",
+    "generate_dataset",
+    "preset_config",
+    "SplitSizes",
+    "train_valid_test_split",
+    "save_corpus",
+    "load_corpus",
+]

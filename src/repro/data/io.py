@@ -1,0 +1,64 @@
+"""JSONL persistence for corpora.
+
+One record per line, so corpora stream and diff cleanly.  Round-trips all
+:class:`~repro.data.records.Record` fields exactly (floats included).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.data.records import Corpus, Record
+
+__all__ = ["save_corpus", "load_corpus", "record_to_dict", "record_from_dict"]
+
+
+def record_to_dict(record: Record) -> dict:
+    """A JSON-serializable dict for ``record``."""
+    return {
+        "record_id": record.record_id,
+        "user": record.user,
+        "timestamp": record.timestamp,
+        "location": list(record.location),
+        "words": list(record.words),
+        "mentions": list(record.mentions),
+    }
+
+
+def record_from_dict(data: dict) -> Record:
+    """Inverse of :func:`record_to_dict`."""
+    return Record(
+        record_id=int(data["record_id"]),
+        user=str(data["user"]),
+        timestamp=float(data["timestamp"]),
+        location=(float(data["location"][0]), float(data["location"][1])),
+        words=tuple(data["words"]),
+        mentions=tuple(data.get("mentions", ())),
+    )
+
+
+def save_corpus(corpus: Corpus, path: str | Path) -> None:
+    """Write ``corpus`` to ``path`` as JSON Lines."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in corpus:
+            handle.write(json.dumps(record_to_dict(record)) + "\n")
+
+
+def load_corpus(path: str | Path) -> Corpus:
+    """Read a corpus previously written by :func:`save_corpus`."""
+    path = Path(path)
+    records = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(record_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed record line"
+                ) from exc
+    return Corpus(records=records)

@@ -1,0 +1,62 @@
+"""Random train/valid/test splitting of a corpus.
+
+Section 6.1.1: "The train/valid/test split is done randomly from all the
+records."  Splits are by record, seeded, and disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.records import Corpus
+from repro.utils.rng import ensure_rng
+
+__all__ = ["SplitSizes", "train_valid_test_split"]
+
+
+@dataclass(frozen=True)
+class SplitSizes:
+    """Fractions of the corpus for each split; must sum to <= 1."""
+
+    train: float = 0.9
+    valid: float = 0.05
+    test: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("train", self.train), ("valid", self.valid), ("test", self.test)
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} fraction must be in [0, 1], got {value}")
+        if self.train + self.valid + self.test > 1.0 + 1e-9:
+            raise ValueError("split fractions must sum to at most 1")
+
+
+def train_valid_test_split(
+    corpus: Corpus,
+    *,
+    sizes: SplitSizes | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[Corpus, Corpus, Corpus]:
+    """Shuffle record indices and cut them into three disjoint corpora.
+
+    Valid and test sizes are rounded to integers first so small corpora
+    still get non-empty evaluation splits whenever the fractions allow.
+    """
+    sizes = sizes or SplitSizes()
+    rng = ensure_rng(seed)
+    n = len(corpus)
+    order = rng.permutation(n)
+    n_valid = int(round(n * sizes.valid))
+    n_test = int(round(n * sizes.test))
+    n_train = min(int(round(n * sizes.train)), n - n_valid - n_test)
+    train_idx = order[:n_train]
+    valid_idx = order[n_train : n_train + n_valid]
+    test_idx = order[n_train + n_valid : n_train + n_valid + n_test]
+    return (
+        corpus.subset(train_idx.tolist()),
+        corpus.subset(valid_idx.tolist()),
+        corpus.subset(test_idx.tolist()),
+    )

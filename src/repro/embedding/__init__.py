@@ -1,0 +1,31 @@
+"""Embedding substrate: alias sampling, SGNS kernels, LINE, Hogwild SGD."""
+
+from repro.embedding.alias import AliasTable
+from repro.embedding.edge_sampler import (
+    NOISE_POWER,
+    EdgeBatch,
+    NoiseSampler,
+    TypedEdgeSampler,
+)
+from repro.embedding.line import LineEmbedding, merge_edge_sets
+from repro.embedding.parallel import HogwildPool, fork_available, hogwild_run
+from repro.embedding.shared import SharedMatrix
+from repro.embedding.sgns import sgns_batch_loss, sgns_step, sgns_step_bow, sigmoid
+
+__all__ = [
+    "AliasTable",
+    "NoiseSampler",
+    "TypedEdgeSampler",
+    "EdgeBatch",
+    "NOISE_POWER",
+    "LineEmbedding",
+    "merge_edge_sets",
+    "hogwild_run",
+    "HogwildPool",
+    "fork_available",
+    "SharedMatrix",
+    "sgns_step",
+    "sgns_step_bow",
+    "sgns_batch_loss",
+    "sigmoid",
+]

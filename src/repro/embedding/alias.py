@@ -1,0 +1,79 @@
+"""Alias method for O(1) sampling from a fixed discrete distribution.
+
+Section 5.2.3: "The alias sampling method is used for edge sampling, which
+takes O(1) time when repeatedly drawing samples from the same distribution."
+This is the classic Walker/Vose construction: O(n) setup producing a
+probability table and an alias table, after which each draw costs one
+uniform integer, one uniform float and one comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["AliasTable"]
+
+
+class AliasTable:
+    """Walker alias table over ``len(weights)`` outcomes.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative, not-all-zero outcome weights; normalized internally.
+
+    Examples
+    --------
+    >>> table = AliasTable([1.0, 3.0])
+    >>> draws = table.sample(10_000, seed=0)
+    >>> 0.70 < (draws == 1).mean() < 0.80
+    True
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D array")
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        self.n = weights.size
+        self.probabilities = weights / total
+
+        # Vose's algorithm: split outcomes into under- and over-full bins.
+        scaled = self.probabilities * self.n
+        self._prob = np.ones(self.n, dtype=np.float64)
+        self._alias = np.arange(self.n, dtype=np.int64)
+        small = [i for i in range(self.n) if scaled[i] < 1.0]
+        large = [i for i in range(self.n) if scaled[i] >= 1.0]
+        scaled = scaled.copy()
+        while small and large:
+            s, l = small.pop(), large.pop()
+            self._prob[s] = scaled[s]
+            self._alias[s] = l
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0
+            (small if scaled[l] < 1.0 else large).append(l)
+        for i in small + large:  # numerical leftovers sit at probability 1
+            self._prob[i] = 1.0
+
+    def sample(
+        self, size: int, *, seed: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Draw ``size`` outcome indices in O(size)."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        rng = ensure_rng(seed)
+        bins = rng.integers(0, self.n, size=size)
+        coins = rng.random(size)
+        take_alias = coins >= self._prob[bins]
+        result = bins.copy()
+        result[take_alias] = self._alias[bins[take_alias]]
+        return result
+
+    def sample_one(self, *, seed: int | np.random.Generator | None = None) -> int:
+        """Draw a single outcome index."""
+        return int(self.sample(1, seed=seed)[0])

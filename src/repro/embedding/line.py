@@ -1,0 +1,126 @@
+"""LINE: Large-scale Information Network Embedding (Tang et al., WWW 2015).
+
+LINE plays two roles in this reproduction:
+
+* **Substrate** — Algorithm 1, Line 3: "Train the user interaction graph
+  with LINE and get the user embeddings."  The second-order variant is used
+  so users with similar interaction neighborhoods land close together.
+* **Baseline** — Table 2's ``LINE`` and ``LINE(U)`` rows embed the activity
+  graph as if it were homogeneous (all edge types pooled into one edge set).
+
+First-order proximity optimizes ``sigma(u_i . u_j)`` over observed edges
+(center vectors on both sides); second-order is exactly SGNS with separate
+context vectors.  Both use edge sampling + negative sampling, sharing the
+kernels in :mod:`repro.embedding.sgns`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.edge_sampler import TypedEdgeSampler
+from repro.embedding.sgns import sgns_step
+from repro.graphs.types import EdgeSet
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["LineEmbedding", "merge_edge_sets"]
+
+
+def merge_edge_sets(edge_sets: list[EdgeSet]) -> EdgeSet:
+    """Pool several typed edge sets into one homogeneous edge set.
+
+    Used by the LINE / LINE(U) baselines, which ignore edge types.  The
+    returned set reuses the first input's ``edge_type`` tag (irrelevant to
+    homogeneous training).
+    """
+    non_empty = [es for es in edge_sets if len(es) > 0]
+    if not non_empty:
+        raise ValueError("cannot merge: all edge sets are empty")
+    return EdgeSet(
+        edge_type=non_empty[0].edge_type,
+        src=np.concatenate([es.src for es in non_empty]),
+        dst=np.concatenate([es.dst for es in non_empty]),
+        weight=np.concatenate([es.weight for es in non_empty]),
+    )
+
+
+class LineEmbedding:
+    """LINE trainer over a single (possibly pooled) edge set.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimension.
+    order:
+        1 for first-order proximity, 2 for second-order (SGNS, default —
+        what the paper uses for the user interaction graph).
+    negatives:
+        Negative samples per edge (K).
+    lr:
+        Initial learning rate; decays linearly to ``lr / 10`` over training.
+    batch_size:
+        Edges per SGD step (the paper's mini-batch m).
+    """
+
+    def __init__(
+        self,
+        dim: int = 64,
+        *,
+        order: int = 2,
+        negatives: int = 5,
+        lr: float = 0.025,
+        batch_size: int = 256,
+    ) -> None:
+        check_positive("dim", dim)
+        if order not in (1, 2):
+            raise ValueError(f"order must be 1 or 2, got {order}")
+        check_positive("lr", lr)
+        check_positive("batch_size", batch_size)
+        self.dim = int(dim)
+        self.order = order
+        self.negatives = int(negatives)
+        self.lr = float(lr)
+        self.batch_size = int(batch_size)
+        self.embeddings: np.ndarray | None = None
+        self.context: np.ndarray | None = None
+
+    def fit(
+        self,
+        edge_set: EdgeSet,
+        n_nodes: int,
+        *,
+        n_samples: int = 200_000,
+        seed: int | np.random.Generator | None = 0,
+    ) -> "LineEmbedding":
+        """Train on ``edge_set`` over ``n_nodes`` vertices.
+
+        Parameters
+        ----------
+        n_samples:
+            Total positive edge samples (the paper scales training by edge
+            samples, not epochs).
+        """
+        check_positive("n_nodes", n_nodes)
+        rng = ensure_rng(seed)
+        scale = 0.5 / self.dim
+        center = rng.uniform(-scale, scale, size=(n_nodes, self.dim))
+        if self.order == 2:
+            context = rng.uniform(-scale, scale, size=(n_nodes, self.dim))
+        else:
+            context = center  # first-order: both sides share vectors
+        sampler = TypedEdgeSampler(edge_set, negatives=self.negatives)
+        n_steps = max(1, int(np.ceil(n_samples / self.batch_size)))
+        for step in range(n_steps):
+            lr = self.lr * max(0.1, 1.0 - step / n_steps)
+            batch = sampler.sample_batch(self.batch_size, rng)
+            sgns_step(center, context, batch.src, batch.dst, batch.neg, lr)
+        self.embeddings = center
+        self.context = context if self.order == 2 else center
+        return self
+
+    def vector(self, node: int) -> np.ndarray:
+        """The trained center vector of ``node``."""
+        if self.embeddings is None:
+            raise RuntimeError("LINE is not fitted; call fit() first")
+        return self.embeddings[node]

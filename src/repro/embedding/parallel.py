@@ -1,0 +1,245 @@
+"""Hogwild-style asynchronous SGD (Recht et al., NIPS 2011).
+
+Section 5.2.3: "We adopt the asynchronous stochastic gradient algorithm for
+optimizing Eq. (5)", and Fig. 12b/12c measure strong/weak scaling over 1-4
+workers.  The paper's C++ code uses lock-free pthreads over shared arrays.
+Two equivalents are provided here:
+
+* :func:`hogwild_run` — worker *threads* applying NumPy updates to shared
+  matrices.  Simple and dependency-free, but the scatter-add kernels hold
+  the GIL, so threads provide concurrency without real speedup.  Used for
+  correctness-oriented concurrent execution.
+* :class:`HogwildPool` — worker *processes* forked after setup, updating
+  embedding matrices that live in POSIX shared memory
+  (:class:`~repro.embedding.shared.SharedMatrix`).  This is the honest
+  reproduction of the paper's lock-free parallelism: each process
+  scatter-adds into the same pages without locks, and the occasional lost
+  update is the documented Hogwild trade-off.
+
+Requires a ``fork``-capable platform (Linux, macOS) for the process pool;
+the trainer falls back to single-process execution elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng, spawn_rng
+
+__all__ = ["hogwild_run", "HogwildPool", "fork_available"]
+
+# A step function receives a worker-private RNG and performs one mini-batch
+# update against shared state, returning the batch loss.
+StepFn = Callable[[np.random.Generator], float]
+
+
+def hogwild_run(
+    step_fn: StepFn,
+    n_steps: int,
+    *,
+    n_threads: int = 1,
+    seed: int | np.random.Generator | None = 0,
+) -> float:
+    """Execute ``n_steps`` mini-batch updates across ``n_threads`` workers.
+
+    Parameters
+    ----------
+    step_fn:
+        Performs one update on shared arrays; must be thread-safe in the
+        Hogwild sense (NumPy in-place scatter-adds on shared matrices).
+    n_steps:
+        Total steps, split as evenly as possible across workers.
+    n_threads:
+        Worker count; 1 runs inline with no thread overhead.
+
+    Returns
+    -------
+    Mean loss across all executed steps.
+    """
+    if n_steps < 0:
+        raise ValueError(f"n_steps must be >= 0, got {n_steps}")
+    if n_threads < 1:
+        raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+    if n_steps == 0:
+        return 0.0
+    rng = ensure_rng(seed)
+
+    if n_threads == 1:
+        total = 0.0
+        for _ in range(n_steps):
+            total += step_fn(rng)
+        return total / n_steps
+
+    worker_rngs = spawn_rng(rng, n_threads)
+    per_worker = [n_steps // n_threads] * n_threads
+    for i in range(n_steps % n_threads):
+        per_worker[i] += 1
+    losses = [0.0] * n_threads
+    errors: list[BaseException] = []
+
+    def worker(worker_id: int) -> None:
+        local_rng = worker_rngs[worker_id]
+        acc = 0.0
+        try:
+            for _ in range(per_worker[worker_id]):
+                acc += step_fn(local_rng)
+        except BaseException as exc:  # surface worker failures to the caller
+            errors.append(exc)
+        losses[worker_id] = acc
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return sum(losses) / n_steps
+
+
+def fork_available() -> bool:
+    """Whether the fork start method (needed by :class:`HogwildPool`) exists."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def _worker_loop(tasks, center, context, batch_size, cmd_queue, done_queue, seed):
+    """Worker process body: execute (task_idx, steps, lr) commands.
+
+    ``center`` / ``context`` are shared-memory-backed views, so the
+    scatter-add updates performed here are visible to every process.
+    """
+    rng = np.random.default_rng(seed)
+    while True:
+        message = cmd_queue.get()
+        if message is None:
+            done_queue.put(None)
+            return
+        task_idx, steps, lr = message
+        acc = 0.0
+        try:
+            for _ in range(steps):
+                acc += tasks[task_idx].step(center, context, batch_size, lr, rng)
+            done_queue.put(acc)
+        except Exception as exc:  # surface worker errors to the parent
+            done_queue.put(exc)
+
+
+class HogwildPool:
+    """Persistent fork-based worker pool for lock-free parallel SGD.
+
+    Parameters
+    ----------
+    tasks:
+        The trainer's :class:`~repro.core.trainer.TrainTask` list.  Workers
+        inherit it (and all its samplers) via fork — nothing is pickled.
+    center, context:
+        Shared-memory-backed embedding matrices
+        (:attr:`~repro.embedding.shared.SharedMatrix.array` views).
+    batch_size:
+        Edges per SGD step.
+    n_workers:
+        Number of worker processes.
+    seed:
+        Seeds one independent RNG stream per worker.
+
+    Usage::
+
+        with HogwildPool(tasks, shared_c.array, shared_x.array, 256, 4, 0) as pool:
+            loss = pool.run_task(task_idx=0, n_steps=100, lr=0.02)
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence,
+        center: np.ndarray,
+        context: np.ndarray,
+        batch_size: int,
+        n_workers: int,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if not fork_available():
+            raise RuntimeError(
+                "HogwildPool requires the 'fork' start method (Linux/macOS)"
+            )
+        ctx = mp.get_context("fork")
+        rng = ensure_rng(seed)
+        worker_seeds = rng.integers(0, 2**63 - 1, size=n_workers)
+        self.n_workers = n_workers
+        self._cmd_queues = [ctx.SimpleQueue() for _ in range(n_workers)]
+        self._done_queue = ctx.SimpleQueue()
+        self._procs = [
+            ctx.Process(
+                target=_worker_loop,
+                args=(
+                    tasks,
+                    center,
+                    context,
+                    batch_size,
+                    self._cmd_queues[i],
+                    self._done_queue,
+                    int(worker_seeds[i]),
+                ),
+                daemon=True,
+            )
+            for i in range(n_workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._closed = False
+
+    def run_task(self, task_idx: int, n_steps: int, lr: float) -> float:
+        """Run ``n_steps`` of task ``task_idx`` split across all workers.
+
+        Blocks until every worker finishes its share; returns the mean
+        per-step loss.  Worker exceptions are re-raised here.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if n_steps <= 0:
+            return 0.0
+        shares = [n_steps // self.n_workers] * self.n_workers
+        for i in range(n_steps % self.n_workers):
+            shares[i] += 1
+        active = 0
+        for queue, share in zip(self._cmd_queues, shares):
+            if share > 0:
+                queue.put((task_idx, share, lr))
+                active += 1
+        total = 0.0
+        error: BaseException | None = None
+        for _ in range(active):
+            result = self._done_queue.get()
+            if isinstance(result, BaseException):
+                error = result
+            else:
+                total += result
+        if error is not None:
+            raise error
+        return total / n_steps
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._closed:
+            return
+        for queue in self._cmd_queues:
+            queue.put(None)
+        for _ in self._procs:
+            self._done_queue.get()  # drain the None acknowledgements
+        for proc in self._procs:
+            proc.join(timeout=10)
+        self._closed = True
+
+    def __enter__(self) -> "HogwildPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

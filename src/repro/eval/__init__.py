@@ -1,0 +1,68 @@
+"""Evaluation: MRR retrieval tasks, case studies, scalability, reporting."""
+
+from repro.eval.coherence import (
+    CoherenceReport,
+    temporal_alignment,
+    topic_coherence,
+    venue_localization,
+)
+from repro.eval.casestudy import (
+    CaseStudyResult,
+    CaseStudyRow,
+    case_study,
+    find_venue_record,
+)
+from repro.eval.mrr import (
+    PredictionQuery,
+    hits_at_k,
+    make_queries,
+    mean_reciprocal_rank,
+    query_rank,
+)
+from repro.eval.reporting import format_mrr_table, format_table
+from repro.eval.stats import (
+    BootstrapCI,
+    PermutationResult,
+    bootstrap_mrr_ci,
+    paired_permutation_test,
+    reciprocal_ranks,
+)
+from repro.eval.scalability import (
+    ScalabilityPoint,
+    edges_scaling,
+    strong_scaling,
+    time_training,
+    weak_scaling,
+)
+from repro.eval.tasks import build_task_queries, evaluate_model, evaluate_models
+
+__all__ = [
+    "PredictionQuery",
+    "make_queries",
+    "mean_reciprocal_rank",
+    "hits_at_k",
+    "query_rank",
+    "build_task_queries",
+    "evaluate_model",
+    "evaluate_models",
+    "CaseStudyResult",
+    "CaseStudyRow",
+    "case_study",
+    "find_venue_record",
+    "ScalabilityPoint",
+    "time_training",
+    "edges_scaling",
+    "strong_scaling",
+    "weak_scaling",
+    "format_table",
+    "format_mrr_table",
+    "reciprocal_ranks",
+    "bootstrap_mrr_ci",
+    "paired_permutation_test",
+    "BootstrapCI",
+    "PermutationResult",
+    "CoherenceReport",
+    "topic_coherence",
+    "venue_localization",
+    "temporal_alignment",
+]

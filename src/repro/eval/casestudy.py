@@ -1,0 +1,131 @@
+"""Case-study rankings (paper Section 6.2.4: Figs. 5, 8 and Table 3).
+
+The paper illustrates ACTOR vs. CrossMap by taking one test record, mixing
+its ground-truth target value with 10 noise candidates, and showing the
+full ranked list side by side.  :func:`case_study` reproduces that
+protocol for any pair (or more) of fitted models, and
+:func:`find_venue_record` picks the kind of record the paper picks — one
+whose text names the venue, so a model that captures cross-modal structure
+should rank the truth first.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.prediction import rank_descending
+from repro.data.records import Corpus, Record
+from repro.eval.mrr import PredictionQuery, make_queries
+from repro.utils.rng import ensure_rng
+
+__all__ = ["CaseStudyRow", "CaseStudyResult", "case_study", "find_venue_record"]
+
+
+@dataclass
+class CaseStudyRow:
+    """One candidate with its rank under every compared model."""
+
+    candidate: object
+    is_truth: bool
+    ranks: dict[str, int]
+
+
+@dataclass
+class CaseStudyResult:
+    """A full side-by-side ranking table for one query record."""
+
+    record: Record
+    target: str
+    rows: list[CaseStudyRow]
+
+    def rank_of_truth(self, model_name: str) -> int:
+        """1-based rank ``model_name`` gave the ground-truth candidate."""
+        for row in self.rows:
+            if row.is_truth:
+                return row.ranks[model_name]
+        raise RuntimeError("case study has no ground-truth row")
+
+
+def find_venue_record(
+    corpus: Corpus, *, prefix: str = "venue_", min_words: int = 2
+) -> Record:
+    """The first record whose text contains a venue name token.
+
+    Mirrors the paper's choice of the 'Hand Prop Room' tweet — a record
+    whose text directly reveals its location.
+    """
+    for record in corpus:
+        if len(record.words) >= min_words and any(
+            w.startswith(prefix) for w in record.words
+        ):
+            return record
+    raise ValueError(f"no record with a {prefix!r}* token found")
+
+
+def case_study(
+    models: Mapping[str, object],
+    record: Record,
+    target: str,
+    test_corpus: Corpus,
+    *,
+    n_noise: int = 10,
+    seed: int = 0,
+) -> CaseStudyResult:
+    """Rank the record's ground truth among noise under every model.
+
+    The noise candidates are drawn from ``test_corpus`` exactly as in
+    :func:`repro.eval.mrr.make_queries`; the same shuffled candidate list
+    is scored by each model.
+    """
+    rng = ensure_rng(seed)
+    pool = make_queries(
+        test_corpus, target, n_noise=n_noise, max_queries=None, seed=rng
+    )
+    # Reuse the candidate machinery but pin the query to `record`: rebuild
+    # the candidate list with the record's own truth value.
+    template = pool[0]
+    truth = {
+        "text": record.words,
+        "location": record.location,
+        "time": record.timestamp,
+    }[target]
+    candidates = [
+        c for i, c in enumerate(template.candidates) if i != template.truth_index
+    ]
+    truth_index = int(rng.integers(len(candidates) + 1))
+    candidates.insert(truth_index, truth)
+    query = PredictionQuery(
+        target=target,
+        candidates=candidates,
+        truth_index=truth_index,
+        time=None if target == "time" else record.timestamp,
+        location=None if target == "location" else record.location,
+        words=None if target == "text" else record.words,
+    )
+
+    per_model_ranks: dict[str, list[int]] = {}
+    for name, model in models.items():
+        scores = model.score_candidates(
+            target=query.target,
+            candidates=query.candidates,
+            time=query.time,
+            location=query.location,
+            words=query.words,
+        )
+        per_model_ranks[name] = rank_descending(np.asarray(scores)).tolist()
+
+    rows = [
+        CaseStudyRow(
+            candidate=candidate,
+            is_truth=(i == truth_index),
+            ranks={name: ranks[i] for name, ranks in per_model_ranks.items()},
+        )
+        for i, candidate in enumerate(query.candidates)
+    ]
+    # Order rows by the first model's ranking, like the paper's figures.
+    first = next(iter(models))
+    rows.sort(key=lambda row: row.ranks[first])
+    return CaseStudyResult(record=record, target=target, rows=rows)

@@ -1,0 +1,163 @@
+"""Embedding-quality diagnostics against the simulator's ground truth.
+
+The synthetic corpora come with latent structure (topics, venues, peak
+hours) that real corpora lack; these metrics turn that into quantitative
+embedding diagnostics used by the integration tests, the analysis example
+and ad-hoc debugging:
+
+* :func:`topic_coherence` — mean within-topic vs cross-topic cosine of
+  word embeddings (higher gap = better topical structure);
+* :func:`venue_localization` — how far a venue token's nearest spatial
+  hotspot lies from the actual venue;
+* :func:`temporal_alignment` — circular gap between a topic keyword's
+  nearest temporal hotspot and the topic's true peak hour.
+
+All operate on any :class:`~repro.core.prediction.GraphEmbeddingModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.prediction import GraphEmbeddingModel
+from repro.data.synthetic import CityModel
+
+__all__ = [
+    "CoherenceReport",
+    "topic_coherence",
+    "venue_localization",
+    "temporal_alignment",
+]
+
+
+@dataclass(frozen=True)
+class CoherenceReport:
+    """Summary of one diagnostic; higher ``score`` is better throughout."""
+
+    name: str
+    score: float
+    detail: dict
+
+
+def _normalized(vectors: list[np.ndarray]) -> np.ndarray:
+    matrix = np.stack(vectors)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.clip(norms, 1e-12, None)
+
+
+def topic_coherence(
+    model: GraphEmbeddingModel,
+    city: CityModel,
+    *,
+    words_per_topic: int = 8,
+) -> CoherenceReport:
+    """Within-topic minus cross-topic mean cosine of word embeddings.
+
+    Scores the separation the paper's qualitative figures illustrate: a
+    positive gap means same-activity keywords cluster in the latent space.
+    """
+    vocab = model.built.vocab
+    per_topic: list[np.ndarray] = []
+    for topic in city.topics:
+        vectors = [
+            model.unit_vector("word", w)
+            for w in topic.keywords[:words_per_topic]
+            if w in vocab
+        ]
+        vectors = [v for v in vectors if v is not None]
+        if len(vectors) >= 2:
+            per_topic.append(_normalized(vectors))
+    if len(per_topic) < 2:
+        raise ValueError("need at least two topics with embedded words")
+
+    within_values = []
+    for block in per_topic:
+        sims = block @ block.T
+        mask = ~np.eye(block.shape[0], dtype=bool)
+        within_values.append(sims[mask].mean())
+    within = float(np.mean(within_values))
+
+    cross_values = []
+    for i in range(len(per_topic)):
+        for j in range(i + 1, len(per_topic)):
+            cross_values.append(float((per_topic[i] @ per_topic[j].T).mean()))
+    cross = float(np.mean(cross_values))
+    return CoherenceReport(
+        name="topic_coherence",
+        score=within - cross,
+        detail={"within": within, "cross": cross, "topics": len(per_topic)},
+    )
+
+
+def venue_localization(
+    model: GraphEmbeddingModel,
+    city: CityModel,
+    *,
+    max_venues: int = 40,
+    k: int = 3,
+) -> CoherenceReport:
+    """Fraction of venue tokens whose top-k nearest spatial hotspots include
+    one within 3 km of the true venue (the Fig.-11 behaviour), plus the
+    median best distance."""
+    vocab = model.built.vocab
+    hotspots = model.built.detector.spatial_hotspots
+    best_distances = []
+    for venue in city.venues:
+        if venue.name_token not in vocab:
+            continue
+        query = model.unit_vector("word", venue.name_token)
+        top = model.neighbors(query, "location", k=k)
+        distances = [
+            float(np.linalg.norm(hotspots[int(idx)] - np.asarray(venue.location)))
+            for idx, _score in top
+        ]
+        best_distances.append(min(distances))
+        if len(best_distances) >= max_venues:
+            break
+    if not best_distances:
+        raise ValueError("no venue tokens survived vocabulary pruning")
+    hits = float(np.mean([d < 3.0 for d in best_distances]))
+    return CoherenceReport(
+        name="venue_localization",
+        score=hits,
+        detail={
+            "median_km": float(np.median(best_distances)),
+            "n_venues": len(best_distances),
+        },
+    )
+
+
+def temporal_alignment(
+    model: GraphEmbeddingModel,
+    city: CityModel,
+    *,
+    k: int = 3,
+    period: float = 24.0,
+) -> CoherenceReport:
+    """Fraction of topics whose signature keyword's top-k temporal hotspots
+    include one within 3 h (circular) of the topic's true peak hour."""
+    vocab = model.built.vocab
+    hotspots = model.built.detector.temporal_hotspots
+    gaps = []
+    for topic in city.topics:
+        signature = topic.keywords[0]
+        if signature not in vocab:
+            continue
+        query = model.unit_vector("word", signature)
+        top = model.neighbors(query, "time", k=k)
+        topic_gaps = []
+        for idx, _score in top:
+            hour = float(hotspots[int(idx)])
+            diff = abs(hour - topic.peak_hour)
+            topic_gaps.append(min(diff, period - diff))
+        gaps.append(min(topic_gaps))
+    if not gaps:
+        raise ValueError("no topic signature words survived pruning")
+    hits = float(np.mean([g < 3.0 for g in gaps]))
+    return CoherenceReport(
+        name="temporal_alignment",
+        score=hits,
+        detail={"median_hours": float(np.median(gaps)), "n_topics": len(gaps)},
+    )

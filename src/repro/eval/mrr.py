@@ -1,0 +1,147 @@
+"""Cross-modal retrieval evaluation: candidate sets and Mean Reciprocal Rank.
+
+Section 6.2: for each test record, the ground-truth value of the target
+modality is mixed with 10 noise candidates "randomly chosen from the test
+corpus", every candidate is scored against the two observed modalities, and
+the metric is MRR (Eq. 15):
+
+    MRR = (1 / |Q|) * sum_i 1 / rank_i
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.prediction import TARGETS, rank_descending
+from repro.data.records import Corpus, Record
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "PredictionQuery",
+    "make_queries",
+    "mean_reciprocal_rank",
+    "hits_at_k",
+    "query_rank",
+]
+
+
+@dataclass
+class PredictionQuery:
+    """One retrieval query: observed modalities + a shuffled candidate list.
+
+    Attributes
+    ----------
+    target:
+        ``"text"``, ``"location"`` or ``"time"``.
+    candidates:
+        Ground truth plus noise, in randomized order.
+    truth_index:
+        Position of the ground truth inside ``candidates``.
+    time / location / words:
+        The two observed modalities (the target one is ``None``).
+    """
+
+    target: str
+    candidates: list
+    truth_index: int
+    time: float | None = None
+    location: tuple[float, float] | None = None
+    words: tuple[str, ...] | None = None
+
+
+def _candidate_value(record: Record, target: str):
+    if target == "text":
+        return record.words
+    if target == "location":
+        return record.location
+    if target == "time":
+        return record.timestamp
+    raise ValueError(f"target must be one of {TARGETS}, got {target!r}")
+
+
+def make_queries(
+    test_corpus: Corpus,
+    target: str,
+    *,
+    n_noise: int = 10,
+    max_queries: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> list[PredictionQuery]:
+    """Build one query per test record (subsampled to ``max_queries``).
+
+    Noise candidates are the target-modality values of other randomly
+    chosen test records, following the paper's protocol; text queries skip
+    records with empty word bags (they cannot be scored or serve as
+    ground truth).
+    """
+    rng = ensure_rng(seed)
+    records = [r for r in test_corpus if r.words or target != "text"]
+    if target != "text":
+        records = [r for r in records if r.words]  # observed text needed
+    if len(records) < n_noise + 1:
+        raise ValueError(
+            f"test corpus too small: {len(records)} usable records for "
+            f"{n_noise} noise candidates"
+        )
+    indices = np.arange(len(records))
+    if max_queries is not None and len(records) > max_queries:
+        indices = rng.choice(len(records), size=max_queries, replace=False)
+
+    queries: list[PredictionQuery] = []
+    for i in indices:
+        record = records[int(i)]
+        noise_pool = np.delete(np.arange(len(records)), int(i))
+        noise_idx = rng.choice(noise_pool, size=n_noise, replace=False)
+        candidates = [_candidate_value(records[int(j)], target) for j in noise_idx]
+        truth_index = int(rng.integers(n_noise + 1))
+        candidates.insert(truth_index, _candidate_value(record, target))
+        queries.append(
+            PredictionQuery(
+                target=target,
+                candidates=candidates,
+                truth_index=truth_index,
+                time=None if target == "time" else record.timestamp,
+                location=None if target == "location" else record.location,
+                words=None if target == "text" else record.words,
+            )
+        )
+    return queries
+
+
+def query_rank(model, query: PredictionQuery) -> int:
+    """1-based rank of the ground truth under ``model``'s scores."""
+    scores = model.score_candidates(
+        target=query.target,
+        candidates=query.candidates,
+        time=query.time,
+        location=query.location,
+        words=query.words,
+    )
+    return int(rank_descending(np.asarray(scores))[query.truth_index])
+
+
+def mean_reciprocal_rank(model, queries: Sequence[PredictionQuery]) -> float:
+    """MRR of ``model`` over ``queries`` (Eq. 15)."""
+    if not queries:
+        raise ValueError("queries must be non-empty")
+    return float(
+        np.mean([1.0 / query_rank(model, q) for q in queries])
+    )
+
+
+def hits_at_k(model, queries: Sequence[PredictionQuery], k: int = 1) -> float:
+    """Fraction of queries whose ground truth ranks within the top ``k``.
+
+    A companion metric to MRR (not in the paper's tables, but standard for
+    the same retrieval protocol): ``hits_at_k(..., 1)`` is top-1 accuracy.
+    """
+    if not queries:
+        raise ValueError("queries must be non-empty")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return float(
+        np.mean([query_rank(model, q) <= k for q in queries])
+    )

@@ -1,0 +1,54 @@
+"""Plain-text table rendering for benchmark output.
+
+The bench scripts print the same rows the paper's tables report; this
+module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_mrr_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Fixed-width text table with a header rule.
+
+    ``None`` cells render as ``/`` — the paper's marker for unsupported
+    tasks in Table 2.
+    """
+    def render(cell: object) -> str:
+        if cell is None:
+            return "/"
+        if isinstance(cell, float):
+            return f"{cell:.4f}"
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_mrr_table(
+    results: Mapping[str, Mapping[str, float | None]], *, title: str = ""
+) -> str:
+    """Render ``{model: {task: mrr}}`` in Table-2 layout."""
+    tasks = ("text", "location", "time")
+    headers = ["Method", "Text", "Location", "Time"]
+    rows = [
+        [name, *(result.get(task) for task in tasks)]
+        for name, result in results.items()
+    ]
+    return format_table(headers, rows, title=title)

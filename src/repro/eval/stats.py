@@ -1,0 +1,121 @@
+"""Statistical testing for MRR comparisons.
+
+The paper reports averages of five runs; a reproduction at smaller scale
+should quantify uncertainty explicitly.  This module provides:
+
+* :func:`bootstrap_mrr_ci` — percentile bootstrap confidence interval for
+  one model's MRR over a query set;
+* :func:`paired_permutation_test` — significance of an MRR *difference*
+  between two models on the *same* queries (sign-flip permutation on the
+  paired per-query reciprocal-rank differences), the right test for the
+  Table-2 "ACTOR > CrossMap" claims.
+
+Both operate on per-query reciprocal ranks so the expensive scoring runs
+once per model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.mrr import PredictionQuery, query_rank
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "reciprocal_ranks",
+    "bootstrap_mrr_ci",
+    "paired_permutation_test",
+    "BootstrapCI",
+    "PermutationResult",
+]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """An MRR point estimate with a percentile-bootstrap interval."""
+
+    mrr: float
+    lower: float
+    upper: float
+    confidence: float
+
+
+@dataclass(frozen=True)
+class PermutationResult:
+    """A paired MRR comparison: observed difference and its p-value."""
+
+    mrr_a: float
+    mrr_b: float
+    difference: float
+    p_value: float
+
+
+def reciprocal_ranks(
+    model, queries: Sequence[PredictionQuery]
+) -> np.ndarray:
+    """Per-query ``1 / rank`` values (the terms of Eq. 15)."""
+    if not queries:
+        raise ValueError("queries must be non-empty")
+    return np.asarray([1.0 / query_rank(model, q) for q in queries])
+
+
+def bootstrap_mrr_ci(
+    rr: np.ndarray,
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int | np.random.Generator | None = 0,
+) -> BootstrapCI:
+    """Percentile bootstrap CI for the mean of reciprocal ranks ``rr``."""
+    rr = np.asarray(rr, dtype=float)
+    if rr.ndim != 1 or rr.size == 0:
+        raise ValueError("rr must be a non-empty 1-D array")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = ensure_rng(seed)
+    idx = rng.integers(0, rr.size, size=(n_resamples, rr.size))
+    means = rr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        mrr=float(rr.mean()),
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+    )
+
+
+def paired_permutation_test(
+    rr_a: np.ndarray,
+    rr_b: np.ndarray,
+    *,
+    n_permutations: int = 5000,
+    seed: int | np.random.Generator | None = 0,
+) -> PermutationResult:
+    """Two-sided sign-flip permutation test on paired reciprocal ranks.
+
+    Under the null (the two models rank equally well), each per-query
+    difference is symmetric around zero, so its sign can be flipped.  The
+    p-value is the fraction of sign-flipped mean differences at least as
+    extreme as the observed one (with the +1 correction so p is never 0).
+    """
+    rr_a = np.asarray(rr_a, dtype=float)
+    rr_b = np.asarray(rr_b, dtype=float)
+    if rr_a.shape != rr_b.shape or rr_a.ndim != 1 or rr_a.size == 0:
+        raise ValueError("rr_a and rr_b must be equal-length non-empty 1-D arrays")
+    rng = ensure_rng(seed)
+    diffs = rr_a - rr_b
+    observed = diffs.mean()
+    signs = rng.choice([-1.0, 1.0], size=(n_permutations, diffs.size))
+    permuted = (signs * diffs).mean(axis=1)
+    extreme = np.sum(np.abs(permuted) >= abs(observed) - 1e-15)
+    p_value = (extreme + 1.0) / (n_permutations + 1.0)
+    return PermutationResult(
+        mrr_a=float(rr_a.mean()),
+        mrr_b=float(rr_b.mean()),
+        difference=float(observed),
+        p_value=float(p_value),
+    )

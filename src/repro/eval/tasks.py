@@ -1,0 +1,68 @@
+"""The three cross-modal prediction tasks and the Table-2/Table-4 harness.
+
+Runs activity (text), location and time prediction for one or many fitted
+models over a shared, seeded set of queries so every method ranks exactly
+the same candidate lists — the fair-comparison protocol of Section 6.2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.prediction import TARGETS
+from repro.data.records import Corpus
+from repro.eval.mrr import PredictionQuery, make_queries, mean_reciprocal_rank
+
+__all__ = ["build_task_queries", "evaluate_model", "evaluate_models"]
+
+
+def build_task_queries(
+    test_corpus: Corpus,
+    *,
+    n_noise: int = 10,
+    max_queries: int | None = 300,
+    seed: int = 0,
+) -> dict[str, list[PredictionQuery]]:
+    """One shared query set per task (text / location / time)."""
+    return {
+        target: make_queries(
+            test_corpus,
+            target,
+            n_noise=n_noise,
+            max_queries=max_queries,
+            seed=seed + i,
+        )
+        for i, target in enumerate(TARGETS)
+    }
+
+
+def evaluate_model(
+    model,
+    queries: Mapping[str, list[PredictionQuery]],
+) -> dict[str, float | None]:
+    """MRR per task; ``None`` where the model does not support the task."""
+    results: dict[str, float | None] = {}
+    for target, task_queries in queries.items():
+        if target == "time" and not getattr(model, "supports_time", True):
+            results[target] = None
+            continue
+        results[target] = mean_reciprocal_rank(model, task_queries)
+    return results
+
+
+def evaluate_models(
+    models: Mapping[str, object],
+    test_corpus: Corpus,
+    *,
+    n_noise: int = 10,
+    max_queries: int | None = 300,
+    seed: int = 0,
+) -> dict[str, dict[str, float | None]]:
+    """Evaluate several fitted models on identical query sets.
+
+    Returns ``{model_name: {"text": ..., "location": ..., "time": ...}}``.
+    """
+    queries = build_task_queries(
+        test_corpus, n_noise=n_noise, max_queries=max_queries, seed=seed
+    )
+    return {name: evaluate_model(model, queries) for name, model in models.items()}

@@ -1,0 +1,26 @@
+"""Graph substrate: activity & user interaction graphs (paper Section 4)."""
+
+from repro.graphs.activity_graph import ActivityGraph
+from repro.graphs.builder import BuiltGraphs, GraphBuilder, RecordUnits
+from repro.graphs.interaction_graph import UserInteractionGraph
+from repro.graphs.proximity import (
+    first_order_proximity,
+    meta_graph_proximity,
+    second_order_proximity,
+)
+from repro.graphs.types import EdgeSet, EdgeType, NodeType, edge_type_between
+
+__all__ = [
+    "ActivityGraph",
+    "UserInteractionGraph",
+    "GraphBuilder",
+    "BuiltGraphs",
+    "RecordUnits",
+    "EdgeSet",
+    "EdgeType",
+    "NodeType",
+    "edge_type_between",
+    "first_order_proximity",
+    "second_order_proximity",
+    "meta_graph_proximity",
+]

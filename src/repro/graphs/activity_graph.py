@@ -1,0 +1,248 @@
+"""The heterogeneous activity graph (Definition 1, extended with users).
+
+Vertices are spatial units (hotspot indices), temporal units (hotspot
+indices), textual units (keywords) and — for the hierarchical framework —
+users.  Edges connect units that co-occur in the same record; "within each
+edge type, the edge weight is set to be the co-occurrence count."
+
+The graph is built incrementally (:meth:`add_node` / :meth:`add_edge`
+accumulate co-occurrence counts in hash maps) and then :meth:`finalize`\\ d
+into array-backed :class:`~repro.graphs.types.EdgeSet` objects plus
+per-edge-type degree vectors — the representation the alias samplers and the
+SGNS trainer consume.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Hashable
+
+import numpy as np
+
+from repro.graphs.types import EdgeSet, EdgeType, NodeType, edge_type_between
+
+__all__ = ["ActivityGraph"]
+
+
+class ActivityGraph:
+    """Typed multigraph with co-occurrence-count edge weights.
+
+    Nodes are identified externally by ``(NodeType, key)`` pairs (the key is
+    a hotspot index for T/L, a keyword string for W, a user name for U) and
+    internally by dense integer indices shared across all types — so one
+    embedding matrix covers the whole graph.
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[tuple[NodeType, Hashable], int] = {}
+        self._nodes: list[tuple[NodeType, Hashable]] = []
+        self._edges: dict[EdgeType, dict[tuple[int, int], float]] = defaultdict(dict)
+        self._finalized: dict[EdgeType, EdgeSet] | None = None
+        self._degrees: dict[EdgeType, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of registered vertices (all types)."""
+        return len(self._nodes)
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of distinct (typed) edges."""
+        if self._finalized is not None:
+            return sum(len(es) for es in self._finalized.values())
+        return sum(len(d) for d in self._edges.values())
+
+    def add_node(self, node_type: NodeType, key: Hashable) -> int:
+        """Register ``(node_type, key)`` if new; return its dense index."""
+        handle = (node_type, key)
+        existing = self._index.get(handle)
+        if existing is not None:
+            return existing
+        if self._finalized is not None:
+            raise RuntimeError("graph is finalized; no further mutation allowed")
+        idx = len(self._nodes)
+        self._index[handle] = idx
+        self._nodes.append(handle)
+        return idx
+
+    def index_of(self, node_type: NodeType, key: Hashable) -> int:
+        """Dense index of an existing node; raises ``KeyError`` if absent."""
+        return self._index[(node_type, key)]
+
+    def has_node(self, node_type: NodeType, key: Hashable) -> bool:
+        """Whether ``(node_type, key)`` is registered."""
+        return (node_type, key) in self._index
+
+    def node_of(self, index: int) -> tuple[NodeType, Hashable]:
+        """The ``(type, key)`` handle of dense index ``index``."""
+        return self._nodes[index]
+
+    def type_of(self, index: int) -> NodeType:
+        """Vertex type of dense index ``index``."""
+        return self._nodes[index][0]
+
+    def key_of(self, index: int) -> Hashable:
+        """External key (hotspot index / word / user name) of ``index``."""
+        return self._nodes[index][1]
+
+    def nodes_of_type(self, node_type: NodeType) -> np.ndarray:
+        """Dense indices of all nodes of ``node_type``, ascending."""
+        return np.asarray(
+            [i for i, (t, _k) in enumerate(self._nodes) if t is node_type],
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------ edges
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Accumulate ``weight`` onto the (typed, undirected) edge ``{u, v}``.
+
+        The edge type is inferred from the endpoint node types; self-loops
+        are rejected (a unit never co-occurs with itself).
+        """
+        if self._finalized is not None:
+            raise RuntimeError("graph is finalized; no further mutation allowed")
+        if u == v:
+            raise ValueError(f"self-loop on node {u} is not allowed")
+        if weight <= 0:
+            raise ValueError(f"edge weight must be positive, got {weight}")
+        type_u, type_v = self._nodes[u][0], self._nodes[v][0]
+        edge_type = edge_type_between(type_u, type_v)
+        # Canonical orientation: src side matches endpoints[0]; symmetric
+        # types (WW/UU) order by index so {u,v} and {v,u} collide correctly.
+        first, _second = edge_type.endpoints
+        if type_u is type_v:
+            key = (u, v) if u < v else (v, u)
+        elif type_u is first:
+            key = (u, v)
+        else:
+            key = (v, u)
+        bucket = self._edges[edge_type]
+        bucket[key] = bucket.get(key, 0.0) + float(weight)
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Current co-occurrence weight of ``{u, v}`` (0 if absent)."""
+        type_u, type_v = self._nodes[u][0], self._nodes[v][0]
+        try:
+            edge_type = edge_type_between(type_u, type_v)
+        except KeyError:
+            return 0.0
+        first, _ = edge_type.endpoints
+        if type_u is type_v:
+            key = (u, v) if u < v else (v, u)
+        elif type_u is first:
+            key = (u, v)
+        else:
+            key = (v, u)
+        return self._edges.get(edge_type, {}).get(key, 0.0)
+
+    # --------------------------------------------------------------- finalize
+
+    def finalize(self) -> None:
+        """Freeze the graph into array-backed edge sets and degree vectors.
+
+        Idempotent; after finalization mutation raises.
+        """
+        if self._finalized is not None:
+            return
+        finalized: dict[EdgeType, EdgeSet] = {}
+        degrees: dict[EdgeType, np.ndarray] = {}
+        n = len(self._nodes)
+        for edge_type, bucket in self._edges.items():
+            if not bucket:
+                continue
+            pairs = np.asarray(list(bucket.keys()), dtype=np.int64)
+            weights = np.asarray(list(bucket.values()), dtype=np.float64)
+            edge_set = EdgeSet(
+                edge_type=edge_type,
+                src=pairs[:, 0],
+                dst=pairs[:, 1],
+                weight=weights,
+            )
+            finalized[edge_type] = edge_set
+            degree = np.zeros(n, dtype=np.float64)
+            np.add.at(degree, edge_set.src, edge_set.weight)
+            np.add.at(degree, edge_set.dst, edge_set.weight)
+            degrees[edge_type] = degree
+        self._finalized = finalized
+        self._degrees = degrees
+
+    @property
+    def edge_sets(self) -> dict[EdgeType, EdgeSet]:
+        """Per-type edge arrays; requires :meth:`finalize`."""
+        if self._finalized is None:
+            raise RuntimeError("graph is not finalized; call finalize() first")
+        return self._finalized
+
+    def edge_set(self, edge_type: EdgeType) -> EdgeSet:
+        """The :class:`EdgeSet` for ``edge_type`` (may be empty)."""
+        sets = self.edge_sets
+        if edge_type in sets:
+            return sets[edge_type]
+        empty = np.empty(0, dtype=np.int64)
+        return EdgeSet(
+            edge_type=edge_type, src=empty, dst=empty.copy(),
+            weight=np.empty(0, dtype=np.float64),
+        )
+
+    def degrees(self, edge_type: EdgeType) -> np.ndarray:
+        """Weighted degree ``d_i^e`` of every node within ``edge_type``.
+
+        This is the vertex importance ``lambda_i`` of Eq. (4) and the basis
+        of the negative-sampling noise distribution ``P(v) ∝ d_v^{3/4}``.
+        """
+        if self._degrees is None:
+            raise RuntimeError("graph is not finalized; call finalize() first")
+        if edge_type in self._degrees:
+            return self._degrees[edge_type]
+        return np.zeros(len(self._nodes), dtype=np.float64)
+
+    def total_degree(self) -> np.ndarray:
+        """Weighted degree across all edge types (for global noise draws)."""
+        if self._degrees is None:
+            raise RuntimeError("graph is not finalized; call finalize() first")
+        total = np.zeros(len(self._nodes), dtype=np.float64)
+        for degree in self._degrees.values():
+            total += degree
+        return total
+
+    # ------------------------------------------------------------- utilities
+
+    def neighbors(self, node: int) -> dict[int, float]:
+        """All neighbors of ``node`` with weights, across edge types.
+
+        Used for second-order proximity checks in tests; requires finalize.
+        """
+        result: dict[int, float] = {}
+        for edge_set in self.edge_sets.values():
+            src_mask = edge_set.src == node
+            for other, w in zip(edge_set.dst[src_mask], edge_set.weight[src_mask]):
+                result[int(other)] = result.get(int(other), 0.0) + float(w)
+            dst_mask = edge_set.dst == node
+            for other, w in zip(edge_set.src[dst_mask], edge_set.weight[dst_mask]):
+                result[int(other)] = result.get(int(other), 0.0) + float(w)
+        return result
+
+    def counts_by_type(self) -> dict[NodeType, int]:
+        """Number of nodes per type (the Table-1 statistics)."""
+        counts: dict[NodeType, int] = {t: 0 for t in NodeType}
+        for node_type, _key in self._nodes:
+            counts[node_type] += 1
+        return counts
+
+    def summary(self) -> dict[str, int]:
+        """Graph-size statistics in Table-1 form."""
+        counts = self.counts_by_type()
+        return {
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "n_spatial": counts[NodeType.LOCATION],
+            "n_temporal": counts[NodeType.TIME],
+            "n_words": counts[NodeType.WORD],
+            "n_users": counts[NodeType.USER],
+        }

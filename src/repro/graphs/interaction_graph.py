@@ -1,0 +1,122 @@
+"""The homogeneous user interaction graph (Definition 2).
+
+Vertices are mobile users; an edge links user *i* and user *j* when one
+mentioned the other, weighted by the mention count.  This graph is the
+bottom layer of the hierarchical framework: it is embedded with LINE and the
+resulting user vectors seed the activity-graph initialization.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.graphs.types import EdgeSet, EdgeType
+
+__all__ = ["UserInteractionGraph"]
+
+
+class UserInteractionGraph:
+    """Weighted undirected graph over user names with mention-count weights."""
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+        self._users: list[str] = []
+        self._edges: dict[tuple[int, int], float] = defaultdict(float)
+        self._finalized: EdgeSet | None = None
+        self._degree: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    @property
+    def n_users(self) -> int:
+        """Number of registered users."""
+        return len(self._users)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of distinct mention edges."""
+        return len(self._edges)
+
+    @property
+    def users(self) -> list[str]:
+        """User names in index order."""
+        return list(self._users)
+
+    def add_user(self, name: str) -> int:
+        """Register ``name`` if new; return its index."""
+        existing = self._index.get(name)
+        if existing is not None:
+            return existing
+        if self._finalized is not None:
+            raise RuntimeError("graph is finalized; no further mutation allowed")
+        idx = len(self._users)
+        self._index[name] = idx
+        self._users.append(name)
+        return idx
+
+    def index_of(self, name: str) -> int:
+        """Index of ``name``; raises ``KeyError`` if unknown."""
+        return self._index[name]
+
+    def has_user(self, name: str) -> bool:
+        """Whether ``name`` is registered."""
+        return name in self._index
+
+    def add_mention(self, source: str, target: str, weight: float = 1.0) -> None:
+        """Record that ``source`` mentioned ``target`` (undirected count)."""
+        if self._finalized is not None:
+            raise RuntimeError("graph is finalized; no further mutation allowed")
+        if source == target:
+            return  # self-mentions carry no interaction signal
+        i, j = self.add_user(source), self.add_user(target)
+        key = (i, j) if i < j else (j, i)
+        self._edges[key] += float(weight)
+
+    def mention_weight(self, a: str, b: str) -> float:
+        """Accumulated mention count between users ``a`` and ``b``."""
+        if a not in self._index or b not in self._index:
+            return 0.0
+        i, j = self._index[a], self._index[b]
+        key = (i, j) if i < j else (j, i)
+        return self._edges.get(key, 0.0)
+
+    def finalize(self) -> None:
+        """Freeze into an :class:`EdgeSet` plus a degree vector. Idempotent."""
+        if self._finalized is not None:
+            return
+        if self._edges:
+            pairs = np.asarray(list(self._edges.keys()), dtype=np.int64)
+            weights = np.asarray(list(self._edges.values()), dtype=np.float64)
+            src, dst = pairs[:, 0], pairs[:, 1]
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+            weights = np.empty(0, dtype=np.float64)
+        self._finalized = EdgeSet(
+            edge_type=EdgeType.UU, src=src, dst=dst, weight=weights
+        )
+        degree = np.zeros(len(self._users), dtype=np.float64)
+        np.add.at(degree, src, weights)
+        np.add.at(degree, dst, weights)
+        self._degree = degree
+
+    @property
+    def edge_set(self) -> EdgeSet:
+        """The finalized UU edges; requires :meth:`finalize`."""
+        if self._finalized is None:
+            raise RuntimeError("graph is not finalized; call finalize() first")
+        return self._finalized
+
+    @property
+    def degree(self) -> np.ndarray:
+        """Weighted degree of every user (0 for never-interacting users)."""
+        if self._degree is None:
+            raise RuntimeError("graph is not finalized; call finalize() first")
+        return self._degree
+
+    def isolated_users(self) -> list[str]:
+        """Users with no interaction edges — they get random init vectors."""
+        return [u for u, d in zip(self._users, self.degree) if d == 0.0]

@@ -1,0 +1,106 @@
+"""Graph proximities of different orders (paper Definitions 3-5).
+
+* **First-order proximity** (Definition 3): the edge weight between two
+  vertices (0 when unlinked).
+* **Second-order proximity** (Definition 4): the similarity between the two
+  vertices' adjacency distributions — "the more neighbors they have in
+  common, the more related they are".  Implemented as cosine similarity of
+  the weighted neighbor vectors.
+* **High-order proximity**: connections with more than two hops.  For the
+  hierarchical setting this is realized by the inter-record meta-graphs;
+  :func:`meta_graph_proximity` counts the weighted
+  ``x -- user_a -- user_b -- y`` paths between two units through the user
+  interaction graph, which is exactly the structure ACTOR's embedding is
+  designed to preserve (e.g. T1 ~ W2 in Fig. 3a).
+
+These functions are diagnostic/reference implementations — O(degree) per
+call — used by tests and analyses, not by the trainer's hot path.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.activity_graph import ActivityGraph
+from repro.graphs.builder import BuiltGraphs
+from repro.graphs.types import NodeType
+
+__all__ = [
+    "first_order_proximity",
+    "second_order_proximity",
+    "meta_graph_proximity",
+]
+
+
+def first_order_proximity(graph: ActivityGraph, u: int, v: int) -> float:
+    """Edge weight between ``u`` and ``v``; 0 when no edge exists."""
+    return graph.edge_weight(u, v)
+
+
+def second_order_proximity(graph: ActivityGraph, u: int, v: int) -> float:
+    """Cosine similarity of the two vertices' weighted neighbor vectors.
+
+    Returns 0 when either vertex is isolated.  A vertex is *not* counted
+    as its own neighbor, matching Definition 4's adjacency distributions.
+    """
+    neighbors_u = graph.neighbors(u)
+    neighbors_v = graph.neighbors(v)
+    if not neighbors_u or not neighbors_v:
+        return 0.0
+    shared = set(neighbors_u) & set(neighbors_v)
+    dot = sum(neighbors_u[n] * neighbors_v[n] for n in shared)
+    norm_u = math.sqrt(sum(w * w for w in neighbors_u.values()))
+    norm_v = math.sqrt(sum(w * w for w in neighbors_v.values()))
+    if norm_u == 0.0 or norm_v == 0.0:
+        return 0.0
+    return dot / (norm_u * norm_v)
+
+
+def meta_graph_proximity(built: BuiltGraphs, unit_x: int, unit_y: int) -> float:
+    """Weighted count of inter-record meta-graph paths between two units.
+
+    Sums ``w(x, a) * w(a, b) * w(b, y)`` over all user pairs ``(a, b)``
+    linked in the user interaction graph, where ``w(x, a)`` is the
+    activity-graph weight of the unit-user edge.  Both path orientations
+    are counted.  This is the high-order proximity the inter-record
+    meta-graphs M1-M6 encode; a positive value means the two units are
+    connected through the user layer even if they never co-occur.
+    """
+    activity = built.activity
+    interaction = built.interaction
+    interaction.finalize()
+    if activity.type_of(unit_x) is NodeType.USER:
+        raise ValueError("unit_x must be a T/L/W unit, not a user vertex")
+    if activity.type_of(unit_y) is NodeType.USER:
+        raise ValueError("unit_y must be a T/L/W unit, not a user vertex")
+
+    users_of_x = _user_weights(activity, unit_x)
+    users_of_y = _user_weights(activity, unit_y)
+    if not users_of_x or not users_of_y:
+        return 0.0
+
+    total = 0.0
+    edge_set = interaction.edge_set
+    for a_idx, b_idx, weight in zip(edge_set.src, edge_set.dst, edge_set.weight):
+        name_a = interaction.users[int(a_idx)]
+        name_b = interaction.users[int(b_idx)]
+        if not (
+            activity.has_node(NodeType.USER, name_a)
+            and activity.has_node(NodeType.USER, name_b)
+        ):
+            continue
+        node_a = activity.index_of(NodeType.USER, name_a)
+        node_b = activity.index_of(NodeType.USER, name_b)
+        # x -- a -- b -- y  and  x -- b -- a -- y
+        total += users_of_x.get(node_a, 0.0) * weight * users_of_y.get(node_b, 0.0)
+        total += users_of_x.get(node_b, 0.0) * weight * users_of_y.get(node_a, 0.0)
+    return total
+
+
+def _user_weights(activity: ActivityGraph, unit: int) -> dict[int, float]:
+    """Weights of the user vertices adjacent to ``unit``."""
+    return {
+        node: weight
+        for node, weight in activity.neighbors(unit).items()
+        if activity.type_of(node) is NodeType.USER
+    }

@@ -1,0 +1,126 @@
+"""Vertex/edge type system of the activity graph (Definition 1).
+
+The activity graph is heterogeneous with vertex types ``O_v = {T, L, W}``
+(plus the auxiliary user type ``U`` used by the hierarchical framework and
+the ``(U)`` baselines) and edge types ``O_e = {TL, LW, WT, WW}`` plus the
+inter-record types ``{UT, UL, UW}``.  Edge types are unordered vertex-type
+pairs; :func:`edge_type_between` canonicalizes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["NodeType", "EdgeType", "edge_type_between", "EdgeSet"]
+
+
+class NodeType(str, Enum):
+    """Vertex types: temporal, spatial, textual units and users."""
+
+    TIME = "T"
+    LOCATION = "L"
+    WORD = "W"
+    USER = "U"
+
+    def __repr__(self) -> str:  # "NodeType.TIME" is noisy in test output
+        return f"NodeType.{self.name}"
+
+
+class EdgeType(str, Enum):
+    """Edge types of the (extended) activity graph.
+
+    ``TL, LW, WT, WW`` form the intra-record meta-graph M0; ``UT, UL, UW``
+    are the user-to-unit edges of the inter-record meta-graphs M1-M6.
+    ``UU`` is the user interaction graph's single edge type.
+    """
+
+    TL = "TL"
+    LW = "LW"
+    WT = "WT"
+    WW = "WW"
+    UT = "UT"
+    UL = "UL"
+    UW = "UW"
+    UU = "UU"
+    # Neighborhood-smoothing types used only by the CrossMap baseline, which
+    # links spatially/temporally adjacent hotspots ("the neighborhood
+    # relationship in [7] stems from spatial and temporal continuities").
+    LL = "LL"
+    TT = "TT"
+
+    @property
+    def endpoints(self) -> tuple[NodeType, NodeType]:
+        """The (canonically ordered) vertex types this edge type connects."""
+        return _ENDPOINTS[self]
+
+    def __repr__(self) -> str:
+        return f"EdgeType.{self.name}"
+
+
+_ENDPOINTS: dict[EdgeType, tuple[NodeType, NodeType]] = {
+    EdgeType.TL: (NodeType.TIME, NodeType.LOCATION),
+    EdgeType.LW: (NodeType.LOCATION, NodeType.WORD),
+    EdgeType.WT: (NodeType.WORD, NodeType.TIME),
+    EdgeType.WW: (NodeType.WORD, NodeType.WORD),
+    EdgeType.UT: (NodeType.USER, NodeType.TIME),
+    EdgeType.UL: (NodeType.USER, NodeType.LOCATION),
+    EdgeType.UW: (NodeType.USER, NodeType.WORD),
+    EdgeType.UU: (NodeType.USER, NodeType.USER),
+    EdgeType.LL: (NodeType.LOCATION, NodeType.LOCATION),
+    EdgeType.TT: (NodeType.TIME, NodeType.TIME),
+}
+
+_PAIR_TO_TYPE: dict[frozenset[NodeType], EdgeType] = {
+    frozenset(pair): edge_type for edge_type, pair in _ENDPOINTS.items()
+}
+# frozenset collapses same-type pairs to singletons; register them explicitly.
+_PAIR_TO_TYPE[frozenset({NodeType.WORD})] = EdgeType.WW
+_PAIR_TO_TYPE[frozenset({NodeType.USER})] = EdgeType.UU
+_PAIR_TO_TYPE[frozenset({NodeType.LOCATION})] = EdgeType.LL
+_PAIR_TO_TYPE[frozenset({NodeType.TIME})] = EdgeType.TT
+
+
+def edge_type_between(a: NodeType, b: NodeType) -> EdgeType:
+    """The canonical edge type connecting vertex types ``a`` and ``b``."""
+    try:
+        return _PAIR_TO_TYPE[frozenset({a, b})]
+    except KeyError:
+        raise KeyError(f"no edge type connects {a!r} and {b!r}") from None
+
+
+@dataclass
+class EdgeSet:
+    """Finalized, array-backed view of the edges of one type.
+
+    The canonical interchange format between graphs and the embedding
+    machinery: parallel arrays of endpoints and weights.  ``src`` holds the
+    endpoint whose type is ``edge_type.endpoints[0]`` (for symmetric types
+    like WW the orientation is arbitrary; training samples both directions).
+    """
+
+    edge_type: EdgeType
+    src: np.ndarray
+    dst: np.ndarray
+    weight: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        self.weight = np.asarray(self.weight, dtype=np.float64)
+        if not (self.src.shape == self.dst.shape == self.weight.shape):
+            raise ValueError("src, dst and weight must have identical shapes")
+        if self.src.ndim != 1:
+            raise ValueError("EdgeSet arrays must be one-dimensional")
+        if self.weight.size and (self.weight <= 0).any():
+            raise ValueError("edge weights must be strictly positive")
+
+    def __len__(self) -> int:
+        return self.src.shape[0]
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all edge weights in this set."""
+        return float(self.weight.sum())

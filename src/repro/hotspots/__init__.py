@@ -1,0 +1,20 @@
+"""Hotspot detection: Epanechnikov KDE and mean-shift (paper Section 4.3)."""
+
+from repro.hotspots.detector import HotspotDetector
+from repro.hotspots.grid import GridDetector
+from repro.hotspots.kde import EpanechnikovKDE, epanechnikov
+from repro.hotspots.meanshift import (
+    MeanShiftResult,
+    circular_mean_shift,
+    mean_shift,
+)
+
+__all__ = [
+    "HotspotDetector",
+    "GridDetector",
+    "EpanechnikovKDE",
+    "epanechnikov",
+    "MeanShiftResult",
+    "mean_shift",
+    "circular_mean_shift",
+]

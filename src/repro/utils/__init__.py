@@ -1,0 +1,20 @@
+"""Shared utilities: seeded randomness, validation helpers, timing."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "Timer",
+    "check_finite",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+]

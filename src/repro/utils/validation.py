@@ -1,0 +1,47 @@
+"""Small argument-validation helpers used across the library.
+
+These raise early with informative messages rather than letting NumPy emit
+an opaque broadcasting error three stack frames deeper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_positive", "check_probability", "check_finite", "check_shape"]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (or >= 0 if not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_finite(name: str, array: np.ndarray) -> None:
+    """Raise ``ValueError`` if ``array`` contains NaN or infinity."""
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains non-finite values")
+
+
+def check_shape(name: str, array: np.ndarray, shape: tuple[int | None, ...]) -> None:
+    """Raise ``ValueError`` unless ``array.shape`` matches ``shape``.
+
+    ``None`` entries in ``shape`` match any extent along that axis.
+    """
+    if array.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got {array.ndim}"
+        )
+    for axis, (actual, expected) in enumerate(zip(array.shape, shape)):
+        if expected is not None and actual != expected:
+            raise ValueError(
+                f"{name} has shape {array.shape}, expected {shape} (axis {axis})"
+            )

@@ -1,0 +1,65 @@
+"""Tests for the CrossMap / CrossMap(U) baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CrossMap
+from repro.graphs import EdgeType, NodeType
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset):
+    return CrossMap(
+        dim=16, epochs=2, seed=0
+    ).fit(dataset.train)
+
+
+class TestCrossMap:
+    def test_name(self):
+        assert CrossMap().name == "CrossMap"
+        assert CrossMap(include_users=True).name == "CrossMap(U)"
+
+    def test_no_user_vertices_by_default(self, fitted):
+        assert fitted.built.activity.counts_by_type()[NodeType.USER] == 0
+
+    def test_smoothing_edges_present(self, fitted):
+        assert len(fitted.built.activity.edge_set(EdgeType.LL)) > 0
+        assert len(fitted.built.activity.edge_set(EdgeType.TT)) > 0
+
+    def test_smoothing_can_be_disabled(self, dataset):
+        model = CrossMap(
+            dim=8, epochs=1, neighbor_smoothing=False, seed=0
+        ).fit(dataset.train)
+        assert len(model.built.activity.edge_set(EdgeType.LL)) == 0
+
+    def test_embeddings_shape_and_finite(self, fitted):
+        assert fitted.center.shape[0] == fitted.built.activity.n_nodes
+        assert fitted.center.shape[1] == 16
+        assert np.isfinite(fitted.center).all()
+
+    def test_score_candidates(self, fitted, dataset):
+        records = dataset.test.records[:4]
+        scores = fitted.score_candidates(
+            target="text",
+            candidates=[r.words for r in records],
+            time=records[0].timestamp,
+            location=records[0].location,
+        )
+        assert scores.shape == (4,)
+        assert np.isfinite(scores).all()
+
+    def test_supports_time(self, fitted):
+        assert fitted.supports_time
+
+    def test_crossmap_u_includes_user_vertices(self, dataset):
+        model = CrossMap(
+            dim=8, epochs=1, include_users=True, seed=0
+        ).fit(dataset.train)
+        counts = model.built.activity.counts_by_type()
+        assert counts[NodeType.USER] > 0
+        assert len(model.built.activity.edge_set(EdgeType.UW)) > 0
+
+    def test_seeded_reproducibility(self, dataset):
+        a = CrossMap(dim=8, epochs=1, seed=3).fit(dataset.train)
+        b = CrossMap(dim=8, epochs=1, seed=3).fit(dataset.train)
+        np.testing.assert_array_equal(a.center, b.center)

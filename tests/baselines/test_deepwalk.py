@@ -1,0 +1,115 @@
+"""Tests for the DeepWalk / node2vec baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.deepwalk import DeepWalk, Node2Vec, _HomogeneousAdjacency
+from repro.graphs import NodeType
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset):
+    return DeepWalk(
+        dim=16, walks_per_node=2, walk_length=10, epochs=1, seed=0
+    ).fit(dataset.train)
+
+
+class TestDeepWalk:
+    def test_name(self):
+        assert DeepWalk().name == "DeepWalk"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeepWalk(walks_per_node=0)
+        with pytest.raises(ValueError):
+            DeepWalk(walk_length=0)
+        with pytest.raises(ValueError):
+            DeepWalk(window=0)
+
+    def test_embeddings_finite(self, fitted):
+        assert np.isfinite(fitted.center).all()
+        assert fitted.center.shape[1] == 16
+
+    def test_no_user_vertices(self, fitted):
+        assert fitted.built.activity.counts_by_type()[NodeType.USER] == 0
+
+    def test_score_candidates(self, fitted, dataset):
+        records = dataset.test.records[:3]
+        scores = fitted.score_candidates(
+            target="text",
+            candidates=[r.words for r in records],
+            time=records[0].timestamp,
+            location=records[0].location,
+        )
+        assert scores.shape == (3,)
+
+    def test_walks_stay_on_graph_edges(self, fitted):
+        adjacency = _HomogeneousAdjacency(fitted.built.activity)
+        rng = np.random.default_rng(1)
+        walk = fitted._walk_from(0, adjacency, rng)
+        for a, b in zip(walk, walk[1:]):
+            assert b in adjacency.neighbor_set(a)
+
+    def test_seeded_reproducibility(self, dataset):
+        a = DeepWalk(
+            dim=8, walks_per_node=1, walk_length=6, epochs=1, seed=3
+        ).fit(dataset.train)
+        b = DeepWalk(
+            dim=8, walks_per_node=1, walk_length=6, epochs=1, seed=3
+        ).fit(dataset.train)
+        np.testing.assert_array_equal(a.center, b.center)
+
+
+class TestNode2Vec:
+    def test_name_and_params(self):
+        model = Node2Vec(p=0.5, q=2.0)
+        assert model.name == "node2vec"
+        assert model.p == 0.5
+        assert model.q == 2.0
+
+    def test_rejects_bad_bias_params(self):
+        with pytest.raises(ValueError):
+            Node2Vec(p=0.0)
+        with pytest.raises(ValueError):
+            Node2Vec(q=-1.0)
+
+    def test_fit_runs(self, dataset):
+        model = Node2Vec(
+            dim=8,
+            p=0.5,
+            q=2.0,
+            walks_per_node=1,
+            walk_length=8,
+            epochs=1,
+            seed=0,
+        ).fit(dataset.train)
+        assert np.isfinite(model.center).all()
+
+    def test_biased_walk_valid_edges(self, fitted):
+        model = Node2Vec(p=0.25, q=4.0, walk_length=12)
+        model.built = fitted.built  # reuse the built graph
+        adjacency = _HomogeneousAdjacency(fitted.built.activity)
+        rng = np.random.default_rng(2)
+        walk = model._walk_from(0, adjacency, rng)
+        assert len(walk) > 1
+        for a, b in zip(walk, walk[1:]):
+            assert b in adjacency.neighbor_set(a)
+
+    def test_low_p_increases_backtracking(self, fitted):
+        """p << 1 makes returning to the previous node much more likely."""
+        adjacency = _HomogeneousAdjacency(fitted.built.activity)
+
+        def backtrack_rate(p, seed):
+            model = Node2Vec(p=p, q=1.0, walk_length=20)
+            model.built = fitted.built
+            rng = np.random.default_rng(seed)
+            backtracks = steps = 0
+            for start in range(0, 40):
+                walk = model._walk_from(start, adjacency, rng)
+                for i in range(2, len(walk)):
+                    steps += 1
+                    if walk[i] == walk[i - 2]:
+                        backtracks += 1
+            return backtracks / max(1, steps)
+
+        assert backtrack_rate(0.05, seed=3) > backtrack_rate(20.0, seed=3)

@@ -1,0 +1,136 @@
+"""Tests for the LGTA geographical topic model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LGTA
+from repro.data import Corpus, Record
+
+
+def region_corpus(seed=0, n_per=120):
+    """Two regions with disjoint vocabularies — easy for a topic model."""
+    rng = np.random.default_rng(seed)
+    records = []
+    rid = 0
+    themes = (
+        ((2.0, 2.0), ["coffee", "brunch", "bakery"]),
+        ((15.0, 15.0), ["beer", "concert", "dancing"]),
+    )
+    for center, vocabulary in themes:
+        for _ in range(n_per):
+            loc = rng.normal(center, 0.5, size=2)
+            words = tuple(
+                rng.choice(vocabulary, size=3, replace=True).tolist()
+            )
+            records.append(
+                Record(
+                    record_id=rid,
+                    user=f"u{rid % 9}",
+                    timestamp=float(rng.uniform(0, 24)),
+                    location=(float(loc[0]), float(loc[1])),
+                    words=words,
+                )
+            )
+            rid += 1
+    return Corpus(records=records)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    return LGTA(
+        n_regions=4, n_topics=3, n_iter=25, vocab_min_count=1, seed=0
+    ).fit(region_corpus())
+
+
+class TestConstruction:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            LGTA(n_regions=0)
+        with pytest.raises(ValueError):
+            LGTA(n_topics=0)
+        with pytest.raises(ValueError):
+            LGTA(n_iter=0)
+
+    def test_does_not_support_time(self):
+        assert not LGTA.supports_time
+
+    def test_unfitted_score_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LGTA().score_candidates(
+                target="text", candidates=[("a",)], location=(0.0, 0.0)
+            )
+
+
+class TestFit:
+    def test_parameters_are_valid_distributions(self, fitted):
+        assert fitted.pi.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(fitted.theta.sum(axis=1), 1.0)
+        np.testing.assert_allclose(fitted.phi.sum(axis=1), 1.0)
+        assert (fitted.sigma2 > 0).all()
+
+    def test_loglik_nondecreasing_tail(self, fitted):
+        """EM monotonicity (allowing tiny numerical slack)."""
+        history = fitted.loglik_history
+        assert len(history) == 25
+        for earlier, later in zip(history[5:-1], history[6:]):
+            assert later >= earlier - abs(earlier) * 1e-6
+
+    def test_region_means_near_data_clusters(self, fitted):
+        mu = fitted.mu
+        heavy = fitted.pi > 0.1
+        assert heavy.sum() >= 2
+        dist_a = np.linalg.norm(mu[heavy] - [2, 2], axis=1).min()
+        dist_b = np.linalg.norm(mu[heavy] - [15, 15], axis=1).min()
+        assert dist_a < 1.0
+        assert dist_b < 1.0
+
+
+class TestScoring:
+    def test_text_prediction_prefers_regional_words(self, fitted):
+        scores = fitted.score_candidates(
+            target="text",
+            candidates=[("coffee", "bakery"), ("beer", "dancing")],
+            location=(2.0, 2.0),
+        )
+        assert scores[0] > scores[1]
+
+    def test_location_prediction_prefers_regional_locations(self, fitted):
+        scores = fitted.score_candidates(
+            target="location",
+            candidates=[(2.0, 2.0), (15.0, 15.0)],
+            words=("beer", "concert"),
+        )
+        assert scores[1] > scores[0]
+
+    def test_time_target_raises(self, fitted):
+        with pytest.raises(ValueError, match="time"):
+            fitted.score_candidates(
+                target="time", candidates=[1.0], words=("a",)
+            )
+
+    def test_text_without_location_raises(self, fitted):
+        with pytest.raises(ValueError, match="location"):
+            fitted.score_candidates(target="text", candidates=[("a",)])
+
+    def test_location_without_words_raises(self, fitted):
+        with pytest.raises(ValueError, match="text"):
+            fitted.score_candidates(
+                target="location", candidates=[(0.0, 0.0)]
+            )
+
+    def test_empty_candidate_bag_scores_neg_inf(self, fitted):
+        scores = fitted.score_candidates(
+            target="text",
+            candidates=[(), ("coffee",)],
+            location=(2.0, 2.0),
+        )
+        assert scores[0] == -np.inf
+        assert np.isfinite(scores[1])
+
+    def test_out_of_vocab_words_ignored_in_query(self, fitted):
+        scores = fitted.score_candidates(
+            target="location",
+            candidates=[(2.0, 2.0), (15.0, 15.0)],
+            words=("unseen_word", "coffee"),
+        )
+        assert scores[0] > scores[1]

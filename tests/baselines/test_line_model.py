@@ -1,0 +1,51 @@
+"""Tests for the LINE / LINE(U) activity-graph baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LineModel
+from repro.graphs import NodeType
+
+
+class TestLineModel:
+    def test_names(self):
+        assert LineModel().name == "LINE"
+        assert LineModel(include_users=True).name == "LINE(U)"
+
+    def test_fit_produces_finite_embeddings(self, dataset):
+        model = LineModel(dim=8, n_samples=5_000, seed=0).fit(dataset.train)
+        assert model.center.shape[1] == 8
+        assert np.isfinite(model.center).all()
+
+    def test_plain_line_excludes_users(self, dataset):
+        model = LineModel(dim=8, n_samples=2_000, seed=0).fit(dataset.train)
+        assert model.built.activity.counts_by_type()[NodeType.USER] == 0
+
+    def test_line_u_includes_users(self, dataset):
+        model = LineModel(
+            dim=8, n_samples=2_000, include_users=True, seed=0
+        ).fit(dataset.train)
+        assert model.built.activity.counts_by_type()[NodeType.USER] > 0
+
+    def test_first_order_variant(self, dataset):
+        model = LineModel(
+            dim=8, order=1, n_samples=2_000, seed=0
+        ).fit(dataset.train)
+        assert model.center is model.context
+
+    def test_score_candidates(self, dataset):
+        model = LineModel(dim=8, n_samples=2_000, seed=0).fit(dataset.train)
+        records = dataset.test.records[:3]
+        scores = model.score_candidates(
+            target="location",
+            candidates=[r.location for r in records],
+            time=records[0].timestamp,
+            words=records[0].words,
+        )
+        assert scores.shape == (3,)
+
+    def test_default_sample_budget_scales_with_edges(self, dataset):
+        model = LineModel(dim=8, seed=0)
+        assert model.n_samples is None  # resolved at fit time
+        model.fit(dataset.train)
+        assert np.isfinite(model.center).all()

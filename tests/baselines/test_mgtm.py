@@ -1,0 +1,80 @@
+"""Tests for the MGTM approximation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MGTM
+from tests.baselines.test_lgta import region_corpus
+
+
+class TestConstruction:
+    def test_inherits_lgta_interface(self):
+        model = MGTM()
+        assert model.name == "MGTM"
+        assert not model.supports_time
+
+    def test_rejects_bad_coupling(self):
+        with pytest.raises(ValueError):
+            MGTM(coupling=1.5)
+
+    def test_default_has_more_regions_than_lgta(self):
+        from repro.baselines import LGTA
+
+        assert MGTM().n_regions > LGTA().n_regions
+
+
+class TestFit:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        return MGTM(
+            n_regions=6,
+            n_topics=3,
+            n_iter=15,
+            coupling=0.4,
+            vocab_min_count=1,
+            seed=0,
+        ).fit(region_corpus())
+
+    def test_distributions_valid(self, fitted):
+        np.testing.assert_allclose(fitted.theta.sum(axis=1), 1.0)
+        np.testing.assert_allclose(fitted.phi.sum(axis=1), 1.0)
+
+    def test_scoring_works(self, fitted):
+        scores = fitted.score_candidates(
+            target="text",
+            candidates=[("coffee",), ("beer",)],
+            location=(2.0, 2.0),
+        )
+        assert scores.shape == (2,)
+        assert scores[0] > scores[1]
+
+    def test_coupling_smooths_neighbor_mixtures(self):
+        """Higher coupling -> adjacent regions' topic mixtures closer."""
+        corpus = region_corpus()
+        sharp = MGTM(
+            n_regions=6, n_topics=3, n_iter=15, coupling=0.0,
+            vocab_min_count=1, seed=0,
+        ).fit(corpus)
+        smooth = MGTM(
+            n_regions=6, n_topics=3, n_iter=15, coupling=0.9,
+            vocab_min_count=1, seed=0,
+        ).fit(corpus)
+
+        def mean_neighbor_gap(model):
+            dist = np.linalg.norm(
+                model.mu[:, None, :] - model.mu[None, :, :], axis=2
+            )
+            np.fill_diagonal(dist, np.inf)
+            nearest = dist.argmin(axis=1)
+            gaps = np.abs(model.theta - model.theta[nearest]).sum(axis=1)
+            return gaps.mean()
+
+        assert mean_neighbor_gap(smooth) <= mean_neighbor_gap(sharp)
+
+    def test_zero_coupling_matches_lgta_family(self):
+        """coupling=0 is plain LGTA with more regions — must still fit."""
+        model = MGTM(
+            n_regions=5, n_topics=3, n_iter=5, coupling=0.0,
+            vocab_min_count=1, seed=0,
+        ).fit(region_corpus(n_per=40))
+        assert np.isfinite(model.phi).all()

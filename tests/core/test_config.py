@@ -1,0 +1,40 @@
+"""Tests for ActorConfig validation."""
+
+import pytest
+
+from repro.core import ActorConfig
+
+
+class TestActorConfig:
+    def test_defaults_valid(self):
+        config = ActorConfig()
+        assert config.dim > 0
+        assert config.use_inter and config.use_intra_bow
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("dim", 0),
+            ("lr", 0.0),
+            ("negatives", 0),
+            ("batch_size", 0),
+            ("epochs", 0),
+            ("batches_per_epoch", 0),
+            ("n_threads", 0),
+            ("spatial_bandwidth", 0.0),
+            ("temporal_bandwidth", -1.0),
+            ("init_noise", -0.1),
+        ],
+    )
+    def test_rejects_invalid(self, field, value):
+        with pytest.raises(ValueError):
+            ActorConfig(**{field: value})
+
+    def test_ablation_flags(self):
+        wo_inter = ActorConfig(use_inter=False)
+        assert not wo_inter.use_inter
+        wo_intra = ActorConfig(use_intra_bow=False)
+        assert not wo_intra.use_intra_bow
+
+    def test_batches_per_epoch_none_allowed(self):
+        assert ActorConfig(batches_per_epoch=None).batches_per_epoch is None

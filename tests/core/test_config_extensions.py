@@ -1,0 +1,121 @@
+"""Tests for the flexible meta-graph selection and noise-power knobs."""
+
+import pytest
+
+from repro.core import ActorConfig
+from repro.core.hierarchical import random_init
+from repro.core.trainer import ActorTrainer
+from repro.graphs import GraphBuilder
+from repro.hotspots import HotspotDetector
+
+
+class TestInterEdgeTypesConfig:
+    def test_none_is_default(self):
+        assert ActorConfig().inter_edge_types is None
+
+    def test_valid_subsets_accepted(self):
+        for subset in (("UT",), ("UW", "UL"), ("UT", "UW", "UL")):
+            assert ActorConfig(inter_edge_types=subset).inter_edge_types == subset
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ActorConfig(inter_edge_types=("UT", "XX"))
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ActorConfig(inter_edge_types=())
+
+
+class TestNoisePowerConfig:
+    def test_default_is_word2vec(self):
+        assert ActorConfig().noise_power == 0.75
+
+    def test_zero_allowed(self):
+        assert ActorConfig(noise_power=0.0).noise_power == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="noise_power"):
+            ActorConfig(noise_power=-0.5)
+
+
+class TestTrainerHonorsSelection:
+    @pytest.fixture(scope="class")
+    def small_built(self, corpus):
+        return GraphBuilder(
+            detector=HotspotDetector(min_support=2),
+        ).build(corpus)
+
+    def _tasks(self, built, **config_kwargs):
+        import numpy as np
+
+        config = ActorConfig(dim=8, epochs=1, **config_kwargs)
+        center, context = random_init(
+            built.activity.n_nodes, 8, np.random.default_rng(0)
+        )
+        return {t.name for t in ActorTrainer(built, config, center, context).tasks}
+
+    def test_single_component_selected(self, small_built):
+        names = self._tasks(small_built, inter_edge_types=("UW",))
+        assert "plain:UW" in names
+        assert "plain:UT" not in names
+        assert "plain:UL" not in names
+
+    def test_two_components(self, small_built):
+        names = self._tasks(small_built, inter_edge_types=("UT", "UL"))
+        assert {"plain:UT", "plain:UL"} <= names
+        assert "plain:UW" not in names
+
+    def test_selection_ignored_when_inter_off(self, small_built):
+        names = self._tasks(
+            small_built, use_inter=False, inter_edge_types=("UT",)
+        )
+        assert not any(n.startswith("plain:U") for n in names)
+
+    def test_noise_power_propagates_to_samplers(self, small_built):
+        import numpy as np
+
+        config = ActorConfig(dim=8, epochs=1, noise_power=0.3)
+        center, context = random_init(
+            small_built.activity.n_nodes, 8, np.random.default_rng(0)
+        )
+        trainer = ActorTrainer(small_built, config, center, context)
+        plain = [t for t in trainer.tasks if hasattr(t, "sampler")]
+        assert plain
+        for task in plain:
+            assert task.sampler.noise_power == 0.3
+
+
+class TestNoiseSamplerPower:
+    def test_uniform_power_ignores_degrees(self):
+        import numpy as np
+
+        from repro.embedding import NoiseSampler
+
+        sampler = NoiseSampler(
+            np.asarray([0, 1]), np.asarray([1.0, 1000.0]), noise_power=0.0
+        )
+        draws = sampler.sample((20_000,), np.random.default_rng(0))
+        freq = (draws == 1).mean()
+        assert abs(freq - 0.5) < 0.02
+
+    def test_power_one_matches_raw_degree(self):
+        import numpy as np
+
+        from repro.embedding import NoiseSampler
+
+        degrees = np.asarray([1.0, 3.0])
+        sampler = NoiseSampler(
+            np.asarray([0, 1]), degrees, noise_power=1.0
+        )
+        draws = sampler.sample((50_000,), np.random.default_rng(1))
+        assert abs((draws == 1).mean() - 0.75) < 0.02
+
+    def test_negative_power_rejected(self):
+        import numpy as np
+
+        from repro.embedding import NoiseSampler
+
+        with pytest.raises(ValueError, match="noise_power"):
+            NoiseSampler(
+                np.asarray([0]), np.asarray([1.0]), noise_power=-1.0
+            )

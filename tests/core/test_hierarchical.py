@@ -1,0 +1,152 @@
+"""Tests for hierarchical initialization (Algorithm 1, lines 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchical import initialize_from_users, random_init
+from repro.data import Corpus, Record
+from repro.graphs import GraphBuilder, NodeType
+from repro.hotspots import HotspotDetector
+
+
+@pytest.fixture(scope="module")
+def built_with_mentions():
+    corpus = Corpus(
+        records=[
+            Record(
+                record_id=0,
+                user="alice",
+                timestamp=9.0,
+                location=(0.0, 0.0),
+                words=("coffee",),
+                mentions=("bob",),
+            ),
+            Record(
+                record_id=1,
+                user="bob",
+                timestamp=21.0,
+                location=(10.0, 10.0),
+                words=("beer", "coffee"),
+                mentions=("alice",),
+            ),
+            Record(
+                record_id=2,
+                user="loner",
+                timestamp=12.0,
+                location=(5.0, 5.0),
+                words=("lunch",),
+            ),
+        ]
+        * 3
+    )
+    builder = GraphBuilder(
+        detector=HotspotDetector(
+            spatial_bandwidth=1.0, temporal_bandwidth=1.0, min_support=1
+        ),
+        link_mentions=False,
+    )
+    return builder.build(corpus)
+
+
+class TestRandomInit:
+    def test_shapes_and_scale(self):
+        rng = np.random.default_rng(0)
+        center, context = random_init(10, 8, rng)
+        assert center.shape == (10, 8)
+        assert context.shape == (10, 8)
+        assert np.abs(center).max() <= 0.5 / 8
+        assert not np.array_equal(center, context)
+
+
+class TestInitializeFromUsers:
+    def test_none_user_vectors_gives_random(self, built_with_mentions):
+        center, context = initialize_from_users(
+            built_with_mentions.activity,
+            built_with_mentions.interaction,
+            None,
+            8,
+            seed=0,
+        )
+        assert center.shape[0] == built_with_mentions.activity.n_nodes
+        assert np.abs(center).max() <= 0.5 / 8
+
+    def test_dim_mismatch_raises(self, built_with_mentions):
+        user_vectors = np.zeros((built_with_mentions.interaction.n_users, 4))
+        with pytest.raises(ValueError, match="dim"):
+            initialize_from_users(
+                built_with_mentions.activity,
+                built_with_mentions.interaction,
+                user_vectors,
+                8,
+                seed=0,
+            )
+
+    def test_user_nodes_seeded_from_their_vectors(self, built_with_mentions):
+        built = built_with_mentions
+        interaction = built.interaction
+        user_vectors = np.arange(
+            interaction.n_users * 8, dtype=float
+        ).reshape(interaction.n_users, 8)
+        center, _ = initialize_from_users(
+            built.activity, interaction, user_vectors, 8, seed=0, noise=1e-9
+        )
+        alice_node = built.activity.index_of(NodeType.USER, "alice")
+        alice_vec = user_vectors[interaction.index_of("alice")]
+        np.testing.assert_allclose(center[alice_node], alice_vec, atol=1e-6)
+
+    def test_units_copy_best_connected_user(self, built_with_mentions):
+        """Each unit copies the vector of its max-weight user connection."""
+        built = built_with_mentions
+        interaction = built.interaction
+        user_vectors = np.zeros((interaction.n_users, 8))
+        user_vectors[interaction.index_of("alice")] = 10.0
+        user_vectors[interaction.index_of("bob")] = -10.0
+        center, _ = initialize_from_users(
+            built.activity, interaction, user_vectors, 8, seed=0, noise=1e-9
+        )
+        # 'beer' only ever co-occurs with bob.
+        beer = built.activity.index_of(NodeType.WORD, "beer")
+        np.testing.assert_allclose(center[beer], -10.0, atol=1e-3)
+
+    def test_isolated_user_keeps_random_init(self, built_with_mentions):
+        """'loner' never interacted: LINE never trained a vector for them."""
+        built = built_with_mentions
+        interaction = built.interaction
+        user_vectors = np.full((interaction.n_users, 8), 99.0)
+        center, _ = initialize_from_users(
+            built.activity, interaction, user_vectors, 8, seed=0
+        )
+        loner_node = built.activity.index_of(NodeType.USER, "loner")
+        assert np.abs(center[loner_node]).max() < 1.0  # not the 99 vector
+
+    def test_units_of_isolated_user_keep_random_init(self, built_with_mentions):
+        built = built_with_mentions
+        interaction = built.interaction
+        user_vectors = np.full((interaction.n_users, 8), 99.0)
+        center, _ = initialize_from_users(
+            built.activity, interaction, user_vectors, 8, seed=0
+        )
+        lunch = built.activity.index_of(NodeType.WORD, "lunch")
+        assert np.abs(center[lunch]).max() < 1.0
+
+    def test_noise_jitters_copies(self, built_with_mentions):
+        built = built_with_mentions
+        interaction = built.interaction
+        user_vectors = np.ones((interaction.n_users, 8))
+        center, context = initialize_from_users(
+            built.activity, interaction, user_vectors, 8, seed=0, noise=0.1
+        )
+        alice_node = built.activity.index_of(NodeType.USER, "alice")
+        assert not np.array_equal(center[alice_node], context[alice_node])
+
+    def test_seeded_reproducibility(self, built_with_mentions):
+        built = built_with_mentions
+        user_vectors = np.ones((built.interaction.n_users, 8))
+        a = initialize_from_users(
+            built.activity, built.interaction, user_vectors, 8, seed=3
+        )
+        b = initialize_from_users(
+            built.activity, built.interaction, user_vectors, 8, seed=3
+        )
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])

@@ -1,0 +1,132 @@
+"""Tests for meta-graph definitions and instance counting."""
+
+import pytest
+
+from repro.core import (
+    ALL_META_GRAPHS,
+    INTER_EDGE_TYPES,
+    INTER_META_GRAPHS,
+    INTRA_EDGE_TYPES,
+    M0,
+    MetaGraph,
+    count_inter_instances,
+)
+from repro.data import Corpus, Record
+from repro.graphs import EdgeType, GraphBuilder, NodeType
+from repro.hotspots import HotspotDetector
+
+
+class TestDefinitions:
+    def test_edge_type_sets_match_paper(self):
+        """Eq. 6: M_intra = {TL, LW, WT, WW}, M_inter = {UT, UW, UL}."""
+        assert set(INTRA_EDGE_TYPES) == {
+            EdgeType.TL, EdgeType.LW, EdgeType.WT, EdgeType.WW
+        }
+        assert set(INTER_EDGE_TYPES) == {
+            EdgeType.UT, EdgeType.UW, EdgeType.UL
+        }
+
+    def test_seven_meta_graphs(self):
+        assert len(ALL_META_GRAPHS) == 7
+        assert ALL_META_GRAPHS[0] is M0
+
+    def test_m0_is_intra(self):
+        assert M0.kind == "intra"
+        assert M0.unit_pair is None
+
+    def test_inter_meta_graphs_cover_all_unit_pairs(self):
+        pairs = {frozenset(m.unit_pair) for m in INTER_META_GRAPHS}
+        units = [NodeType.TIME, NodeType.LOCATION, NodeType.WORD]
+        expected = {
+            frozenset({a, b}) for i, a in enumerate(units) for b in units[i:]
+        }
+        assert pairs == expected
+
+    def test_m4_is_time_word(self):
+        """Pinned by the paper's running example (T1 -> W2 via users)."""
+        m4 = next(m for m in INTER_META_GRAPHS if m.name == "M4")
+        assert frozenset(m4.unit_pair) == frozenset(
+            {NodeType.TIME, NodeType.WORD}
+        )
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            MetaGraph(name="MX", kind="diagonal")
+
+    def test_inter_requires_unit_pair(self):
+        with pytest.raises(ValueError, match="unit_pair"):
+            MetaGraph(name="MX", kind="inter")
+
+
+class TestInstanceCounting:
+    @pytest.fixture(scope="class")
+    def built(self):
+        """Fig. 1: B mentions A; A's record has 2 words, B's has 2 words."""
+        corpus = Corpus(
+            records=[
+                Record(
+                    record_id=0,
+                    user="userA",
+                    timestamp=15.0,
+                    location=(0.0, 0.0),
+                    words=("movie", "apes"),
+                ),
+                Record(
+                    record_id=1,
+                    user="userB",
+                    timestamp=20.0,
+                    location=(10.0, 10.0),
+                    words=("theatre", "discount"),
+                    mentions=("userA",),
+                ),
+            ]
+        )
+        from repro.data import Vocabulary
+
+        builder = GraphBuilder(
+            detector=HotspotDetector(
+                spatial_bandwidth=1.0, temporal_bandwidth=1.0, min_support=1
+            ),
+            vocab=Vocabulary(min_count=1),
+            link_mentions=False,  # keep attachment counts easy to reason about
+        )
+        return builder.build(corpus)
+
+    def test_m1_time_time(self, built):
+        m1 = next(m for m in INTER_META_GRAPHS if m.name == "M1")
+        # Each user attaches to exactly 1 temporal unit: 1 * 1 instances.
+        assert count_inter_instances(built, m1) == 1
+
+    def test_m3_word_word(self, built):
+        m3 = next(m for m in INTER_META_GRAPHS if m.name == "M3")
+        # 2 words on each side: 2 * 2 = 4.
+        assert count_inter_instances(built, m3) == 4
+
+    def test_m4_time_word_both_orientations(self, built):
+        m4 = next(m for m in INTER_META_GRAPHS if m.name == "M4")
+        # T_A x W_B + W_A x T_B = 1*2 + 2*1 = 4.
+        assert count_inter_instances(built, m4) == 4
+
+    def test_intra_meta_graph_rejected(self, built):
+        with pytest.raises(ValueError, match="not an inter-record"):
+            count_inter_instances(built, M0)
+
+    def test_no_mentions_means_zero_instances(self):
+        corpus = Corpus(
+            records=[
+                Record(
+                    record_id=0,
+                    user="solo",
+                    timestamp=1.0,
+                    location=(0.0, 0.0),
+                    words=("alone",),
+                )
+            ]
+        )
+        built = GraphBuilder(
+            detector=HotspotDetector(
+                spatial_bandwidth=1.0, temporal_bandwidth=1.0, min_support=1
+            ),
+        ).build(corpus)
+        for meta in INTER_META_GRAPHS:
+            assert count_inter_instances(built, meta) == 0

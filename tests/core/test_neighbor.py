@@ -1,0 +1,62 @@
+"""Tests for neighbor search (Figs. 9-11 machinery)."""
+
+import pytest
+
+from repro.core import spatial_query, temporal_query, textual_query
+
+
+class TestSpatialQuery:
+    def test_returns_words_and_times(self, tiny_actor, dataset):
+        loc = dataset.test[0].location
+        result = spatial_query(tiny_actor, loc, k=5)
+        assert len(result.words) == 5
+        assert len(result.times) == 5
+        assert result.locations == []
+        assert "location" in result.query_description
+
+    def test_scores_descending(self, tiny_actor, dataset):
+        result = spatial_query(tiny_actor, dataset.test[0].location, k=8)
+        sims = [s for _w, s in result.words]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_times_are_hours(self, tiny_actor, dataset):
+        result = spatial_query(tiny_actor, dataset.test[0].location, k=5)
+        for hour, _score in result.times:
+            assert 0.0 <= hour < 24.0
+
+
+class TestTemporalQuery:
+    def test_returns_words_and_locations(self, tiny_actor):
+        result = temporal_query(tiny_actor, 22.0, k=5)
+        assert len(result.words) == 5
+        assert len(result.locations) == 5
+        assert result.times == []
+
+    def test_location_keys_are_hotspot_indices(self, tiny_actor):
+        result = temporal_query(tiny_actor, 22.0, k=5)
+        n_spatial = tiny_actor.built.detector.n_spatial
+        for idx, _score in result.locations:
+            assert 0 <= idx < n_spatial
+
+
+class TestTextualQuery:
+    def test_returns_all_modalities(self, tiny_actor):
+        word = tiny_actor.built.vocab.words[0]
+        result = textual_query(tiny_actor, word, k=5)
+        assert len(result.words) == 5
+        assert len(result.times) == 5
+        assert len(result.locations) == 5
+
+    def test_query_word_excluded_from_its_own_neighbors(self, tiny_actor):
+        word = tiny_actor.built.vocab.words[0]
+        result = textual_query(tiny_actor, word, k=5)
+        assert word not in result.top_words()
+
+    def test_unknown_word_raises(self, tiny_actor):
+        with pytest.raises(ValueError, match="not in the model vocabulary"):
+            textual_query(tiny_actor, "zzz_never_seen")
+
+    def test_top_words_helper(self, tiny_actor):
+        word = tiny_actor.built.vocab.words[0]
+        result = textual_query(tiny_actor, word, k=3)
+        assert result.top_words() == [w for w, _s in result.words]

@@ -1,0 +1,176 @@
+"""Tests for cosine scoring and the GraphEmbeddingModel query surface."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import cosine_similarities, rank_descending
+
+
+class TestCosineSimilarities:
+    def test_identical_vector_scores_one(self):
+        query = np.asarray([1.0, 2.0])
+        scores = cosine_similarities(query, np.asarray([[2.0, 4.0]]))
+        assert scores[0] == pytest.approx(1.0)
+
+    def test_orthogonal_scores_zero(self):
+        scores = cosine_similarities(
+            np.asarray([1.0, 0.0]), np.asarray([[0.0, 1.0]])
+        )
+        assert scores[0] == pytest.approx(0.0)
+
+    def test_opposite_scores_minus_one(self):
+        scores = cosine_similarities(
+            np.asarray([1.0, 0.0]), np.asarray([[-3.0, 0.0]])
+        )
+        assert scores[0] == pytest.approx(-1.0)
+
+    def test_zero_query_gives_zeros(self):
+        scores = cosine_similarities(np.zeros(2), np.ones((3, 2)))
+        np.testing.assert_array_equal(scores, 0.0)
+
+    def test_zero_rows_give_zero(self):
+        scores = cosine_similarities(
+            np.asarray([1.0, 0.0]),
+            np.asarray([[0.0, 0.0], [1.0, 0.0]]),
+        )
+        assert scores[0] == 0.0
+        assert scores[1] == pytest.approx(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        query=arrays(np.float64, 4, elements=st.floats(-5, 5)),
+        matrix=arrays(np.float64, (6, 4), elements=st.floats(-5, 5)),
+    )
+    def test_property_bounded(self, query, matrix):
+        scores = cosine_similarities(query, matrix)
+        assert (scores >= -1.0 - 1e-9).all()
+        assert (scores <= 1.0 + 1e-9).all()
+
+
+class TestRankDescending:
+    def test_simple_order(self):
+        ranks = rank_descending(np.asarray([0.1, 0.9, 0.5]))
+        np.testing.assert_array_equal(ranks, [3, 1, 2])
+
+    def test_ties_stable(self):
+        ranks = rank_descending(np.asarray([0.5, 0.5, 0.1]))
+        np.testing.assert_array_equal(ranks, [1, 2, 3])
+
+    def test_single_element(self):
+        np.testing.assert_array_equal(rank_descending(np.asarray([7.0])), [1])
+
+    @settings(max_examples=30, deadline=None)
+    @given(scores=arrays(np.float64, 8, elements=st.floats(-10, 10)))
+    def test_property_ranks_are_a_permutation(self, scores):
+        ranks = rank_descending(scores)
+        assert sorted(ranks.tolist()) == list(range(1, 9))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        scores=arrays(
+            np.float64, 6, elements=st.floats(-10, 10), unique=True
+        )
+    )
+    def test_property_higher_score_better_rank(self, scores):
+        ranks = rank_descending(scores)
+        best = int(np.argmax(scores))
+        assert ranks[best] == 1
+
+
+class TestQuerySurface:
+    """Exercises the trained tiny ACTOR's GraphEmbeddingModel methods."""
+
+    def test_unit_vector_time(self, tiny_actor):
+        vec = tiny_actor.unit_vector("time", 21.0)
+        assert vec is not None
+        assert vec.shape == (tiny_actor.dim,)
+
+    def test_unit_vector_location(self, tiny_actor, dataset):
+        loc = dataset.test[0].location
+        vec = tiny_actor.unit_vector("location", loc)
+        assert vec is not None
+
+    def test_unit_vector_unknown_word_is_none(self, tiny_actor):
+        assert tiny_actor.unit_vector("word", "zzz_never_seen") is None
+
+    def test_unit_vector_known_word(self, tiny_actor):
+        word = tiny_actor.built.vocab.words[0]
+        assert tiny_actor.unit_vector("word", word) is not None
+
+    def test_unit_vector_user(self, tiny_actor, dataset):
+        user = dataset.train[0].user
+        assert tiny_actor.unit_vector("user", user) is not None
+
+    def test_unit_vector_bad_modality(self, tiny_actor):
+        with pytest.raises(ValueError, match="modality"):
+            tiny_actor.unit_vector("altitude", 3)
+
+    def test_words_vector_empty_is_zero(self, tiny_actor):
+        vec = tiny_actor.words_vector(["zzz_never_seen"])
+        np.testing.assert_array_equal(vec, 0.0)
+
+    def test_words_vector_averages(self, tiny_actor):
+        w1, w2 = tiny_actor.built.vocab.words[:2]
+        mean = tiny_actor.words_vector([w1, w2])
+        expected = (
+            tiny_actor.unit_vector("word", w1)
+            + tiny_actor.unit_vector("word", w2)
+        ) / 2
+        np.testing.assert_allclose(mean, expected)
+
+    def test_query_vector_combines_modalities(self, tiny_actor, dataset):
+        record = dataset.test[0]
+        query = tiny_actor.query_vector(
+            time=record.timestamp, words=record.words
+        )
+        assert query.shape == (tiny_actor.dim,)
+        assert np.linalg.norm(query) > 0
+
+    def test_query_vector_empty_is_zero(self, tiny_actor):
+        np.testing.assert_array_equal(
+            tiny_actor.query_vector(), np.zeros(tiny_actor.dim)
+        )
+
+    def test_candidate_vector_targets(self, tiny_actor, dataset):
+        record = dataset.test[0]
+        assert tiny_actor.candidate_vector("text", record.words).shape == (
+            tiny_actor.dim,
+        )
+        assert tiny_actor.candidate_vector(
+            "location", record.location
+        ).shape == (tiny_actor.dim,)
+        assert tiny_actor.candidate_vector(
+            "time", record.timestamp
+        ).shape == (tiny_actor.dim,)
+
+    def test_candidate_vector_bad_target(self, tiny_actor):
+        with pytest.raises(ValueError, match="target"):
+            tiny_actor.candidate_vector("weather", None)
+
+    def test_score_candidates_shape(self, tiny_actor, dataset):
+        records = dataset.test.records[:5]
+        scores = tiny_actor.score_candidates(
+            target="location",
+            candidates=[r.location for r in records],
+            time=records[0].timestamp,
+            words=records[0].words,
+        )
+        assert scores.shape == (5,)
+        assert np.isfinite(scores).all()
+
+    def test_modality_vectors(self, tiny_actor):
+        keys, matrix = tiny_actor.modality_vectors("word")
+        assert len(keys) == matrix.shape[0]
+        assert matrix.shape[1] == tiny_actor.dim
+
+    def test_neighbors_returns_sorted_topk(self, tiny_actor):
+        word = tiny_actor.built.vocab.words[0]
+        query = tiny_actor.unit_vector("word", word)
+        result = tiny_actor.neighbors(query, "word", k=5)
+        assert len(result) == 5
+        sims = [s for _k, s in result]
+        assert sims == sorted(sims, reverse=True)
+        assert result[0][0] == word  # the word itself is its own neighbor

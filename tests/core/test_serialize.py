@@ -1,0 +1,116 @@
+"""Tests for the portable (pickle-free) model bundle."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import FORMAT_VERSION, QueryModel, load_bundle, save_bundle
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(tiny_actor, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bundle") / "model"
+    save_bundle(tiny_actor, directory)
+    return directory
+
+
+class TestSaveBundle:
+    def test_writes_expected_files(self, bundle_dir):
+        names = {p.name for p in bundle_dir.iterdir()}
+        assert names == {
+            "manifest.json", "embeddings.npz", "hotspots.npz",
+            "nodes.json", "vocab.json",
+        }
+
+    def test_manifest_contents(self, bundle_dir, tiny_actor):
+        manifest = json.loads((bundle_dir / "manifest.json").read_text())
+        assert manifest["format_version"] == FORMAT_VERSION
+        assert manifest["dim"] == tiny_actor.dim
+        assert manifest["n_nodes"] == tiny_actor.center.shape[0]
+        assert manifest["config"]["dim"] == tiny_actor.config.dim
+
+    def test_unfitted_model_rejected(self, tmp_path):
+        from repro.core import Actor
+
+        with pytest.raises(ValueError, match="unfitted"):
+            save_bundle(Actor(), tmp_path / "x")
+
+    def test_no_pickle_files(self, bundle_dir):
+        for path in bundle_dir.iterdir():
+            assert path.suffix in (".json", ".npz")
+
+
+class TestLoadBundle:
+    def test_roundtrip_embeddings(self, bundle_dir, tiny_actor):
+        model = load_bundle(bundle_dir)
+        np.testing.assert_array_equal(model.center, tiny_actor.center)
+        np.testing.assert_array_equal(model.context, tiny_actor.context)
+
+    def test_query_surface_identical(self, bundle_dir, tiny_actor, dataset):
+        model = load_bundle(bundle_dir)
+        record = dataset.test[0]
+        candidates = [r.location for r in dataset.test.records[:6]]
+        original = tiny_actor.score_candidates(
+            target="location",
+            candidates=candidates,
+            time=record.timestamp,
+            words=record.words,
+        )
+        restored = model.score_candidates(
+            target="location",
+            candidates=candidates,
+            time=record.timestamp,
+            words=record.words,
+        )
+        np.testing.assert_allclose(original, restored)
+
+    def test_neighbor_search_identical(self, bundle_dir, tiny_actor):
+        model = load_bundle(bundle_dir)
+        word = tiny_actor.built.vocab.words[0]
+        original = tiny_actor.neighbors(
+            tiny_actor.unit_vector("word", word), "word", k=5
+        )
+        restored = model.neighbors(
+            model.unit_vector("word", word), "word", k=5
+        )
+        assert [w for w, _s in original] == [w for w, _s in restored]
+
+    def test_vocab_order_preserved(self, bundle_dir, tiny_actor):
+        model = load_bundle(bundle_dir)
+        assert model.built.vocab.words == tiny_actor.built.vocab.words
+
+    def test_unknown_format_version_rejected(self, bundle_dir, tmp_path):
+        import shutil
+
+        bad = tmp_path / "bad"
+        shutil.copytree(bundle_dir, bad)
+        manifest = json.loads((bad / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (bad / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="unsupported bundle format"):
+            load_bundle(bad)
+
+    def test_inconsistent_bundle_rejected(self, bundle_dir, tmp_path):
+        import shutil
+
+        bad = tmp_path / "inconsistent"
+        shutil.copytree(bundle_dir, bad)
+        nodes = json.loads((bad / "nodes.json").read_text())
+        (bad / "nodes.json").write_text(json.dumps(nodes[:-1]))
+        with pytest.raises(ValueError, match="mismatch"):
+            load_bundle(bad)
+
+    def test_loaded_model_is_query_model(self, bundle_dir):
+        model = load_bundle(bundle_dir)
+        assert isinstance(model, QueryModel)
+        assert model.supports_time
+        assert model.name == "ACTOR(bundle)"
+
+    def test_bundle_roundtrips_itself(self, bundle_dir, tmp_path):
+        """A loaded QueryModel can be re-serialized identically."""
+        model = load_bundle(bundle_dir)
+        second = tmp_path / "second"
+        save_bundle(model, second)
+        again = load_bundle(second)
+        np.testing.assert_array_equal(model.center, again.center)

@@ -1,0 +1,188 @@
+"""Tests for the online/streaming ACTOR extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import Actor, ActorConfig
+from repro.core.streaming import OnlineActor, RecencyBuffer
+from repro.data import Record, generate_dataset
+
+
+class TestRecencyBuffer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecencyBuffer(half_life=0)
+        with pytest.raises(ValueError):
+            RecencyBuffer(max_size=0)
+        buffer = RecencyBuffer()
+        with pytest.raises(ValueError, match="weight"):
+            buffer.add_edge(0, 1, weight=0.0)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            RecencyBuffer().sample(4, np.random.default_rng(0))
+
+    def test_decay_halves_at_half_life(self):
+        buffer = RecencyBuffer(half_life=5.0)
+        buffer.add_edge(0, 1, weight=2.0)
+        for _ in range(5):
+            buffer.tick()
+        assert buffer.decayed_weights()[0] == pytest.approx(1.0)
+
+    def test_recent_edges_dominate_sampling(self):
+        buffer = RecencyBuffer(half_life=1.0)
+        buffer.add_edge(0, 1)  # old edge
+        for _ in range(10):
+            buffer.tick()
+        buffer.add_edge(2, 3)  # fresh edge
+        src, dst = buffer.sample(2000, np.random.default_rng(0))
+        fresh = np.mean([(s, d) in ((2, 3), (3, 2)) for s, d in zip(src, dst)])
+        assert fresh > 0.95
+
+    def test_sampling_respects_weight(self):
+        buffer = RecencyBuffer(half_life=100.0)
+        buffer.add_edge(0, 1, weight=3.0)
+        buffer.add_edge(2, 3, weight=1.0)
+        src, dst = buffer.sample(20_000, np.random.default_rng(1))
+        heavy = np.mean([(s, d) in ((0, 1), (1, 0)) for s, d in zip(src, dst)])
+        assert heavy == pytest.approx(0.75, abs=0.02)
+
+    def test_eviction_at_capacity(self):
+        buffer = RecencyBuffer(max_size=3)
+        for i in range(5):
+            buffer.add_edge(i, i + 10)
+        assert len(buffer) == 3
+        src, _ = buffer.sample(100, np.random.default_rng(0))
+        assert set(np.unique(src)) <= {2, 3, 4, 12, 13, 14}
+
+    def test_both_orientations_sampled(self):
+        buffer = RecencyBuffer()
+        buffer.add_edge(0, 1)
+        src, _dst = buffer.sample(500, np.random.default_rng(2))
+        assert {0, 1} == set(np.unique(src))
+
+
+@pytest.fixture(scope="module")
+def warm_actor():
+    data = generate_dataset("utgeo2011", n_records=1200, seed=21)
+    actor = Actor(
+        ActorConfig(
+            dim=16, epochs=4, batches_per_epoch=6, line_samples=5_000, seed=2
+        )
+    ).fit(data.train)
+    return data, actor
+
+
+def make_stream_records(base_id, words, location, hour, user="stream_user"):
+    return [
+        Record(
+            record_id=base_id + i,
+            user=user,
+            timestamp=float(hour + 24 * i),
+            location=location,
+            words=tuple(words),
+        )
+        for i in range(20)
+    ]
+
+
+class TestOnlineActor:
+    def test_requires_fitted_base(self):
+        with pytest.raises(ValueError, match="fitted"):
+            OnlineActor(Actor())
+
+    def test_base_model_not_mutated(self, warm_actor):
+        _data, actor = warm_actor
+        before = actor.center.copy()
+        online = OnlineActor(actor, seed=0)
+        online.partial_fit(
+            make_stream_records(10_000, ["nightlife_00"], (5.0, 5.0), 22.0)
+        )
+        np.testing.assert_array_equal(actor.center, before)
+        assert online.n_ingested == 20
+
+    def test_empty_batch_is_noop(self, warm_actor):
+        _data, actor = warm_actor
+        online = OnlineActor(actor, seed=0)
+        before = online.center.copy()
+        online.partial_fit([])
+        np.testing.assert_array_equal(online.center, before)
+
+    def test_new_word_gets_embedding_row(self, warm_actor):
+        _data, actor = warm_actor
+        online = OnlineActor(actor, seed=0)
+        rows_before = online.center.shape[0]
+        assert online.unit_vector("word", "brand_new_venue") is None
+        online.partial_fit(
+            make_stream_records(
+                20_000, ["brand_new_venue", "nightlife_00"], (5.0, 5.0), 22.0
+            )
+        )
+        assert online.center.shape[0] > rows_before
+        assert online.unit_vector("word", "brand_new_venue") is not None
+
+    def test_new_user_resolvable(self, warm_actor):
+        _data, actor = warm_actor
+        online = OnlineActor(actor, seed=0)
+        online.partial_fit(
+            make_stream_records(
+                30_000, ["nightlife_00"], (5.0, 5.0), 22.0, user="u_brand_new"
+            )
+        )
+        assert online.unit_vector("user", "u_brand_new") is not None
+
+    def test_streamed_word_associates_with_its_context(self, warm_actor):
+        """After enough updates the new word's nearest time unit is the
+        hour it streamed in with."""
+        data, actor = warm_actor
+        online = OnlineActor(
+            actor, seed=0, steps_per_batch=150, online_lr=0.05
+        )
+        hour = 22.0
+        location = data.train[0].location
+        for round_id in range(5):
+            online.partial_fit(
+                make_stream_records(
+                    40_000 + 100 * round_id, ["fresh_event"], location, hour
+                )
+            )
+        vec = online.unit_vector("word", "fresh_event")
+        top_times = online.neighbors(vec, "time", k=3)
+        hotspots = online.built.detector.temporal_hotspots
+        gaps = [
+            min(abs(hotspots[int(i)] - hour), 24 - abs(hotspots[int(i)] - hour))
+            for i, _s in top_times
+        ]
+        assert min(gaps) < 4.0, (top_times, hotspots)
+
+    def test_new_word_appears_in_modality_vectors(self, warm_actor):
+        _data, actor = warm_actor
+        online = OnlineActor(actor, seed=0)
+        online.partial_fit(
+            make_stream_records(50_000, ["another_new_word"], (5.0, 5.0), 9.0)
+        )
+        keys, matrix = online.modality_vectors("word")
+        assert "another_new_word" in keys
+        assert matrix.shape[0] == len(keys)
+
+    def test_capped_vocabulary_refuses_growth(self, warm_actor):
+        data, _actor = warm_actor
+        capped = Actor(
+            ActorConfig(
+                dim=8,
+                epochs=1,
+                batches_per_epoch=2,
+                line_samples=2_000,
+                vocab_max_size=5,  # tiny cap: the stream word cannot enter
+                vocab_min_count=1,
+                seed=3,
+            )
+        ).fit(data.train)
+        online = OnlineActor(capped, seed=0)
+        rows_before = online.center.shape[0]
+        online.partial_fit(
+            make_stream_records(60_000, ["word_beyond_cap"], (5.0, 5.0), 9.0)
+        )
+        # word not admitted; only (possibly) the new user row was added
+        assert online.unit_vector("word", "word_beyond_cap") is None
+        assert online.center.shape[0] <= rows_before + 1

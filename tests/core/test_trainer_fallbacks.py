@@ -1,0 +1,77 @@
+"""Tests for graceful degradation on degenerate corpora."""
+
+import numpy as np
+import pytest
+
+from repro.core import Actor, ActorConfig
+from repro.data import Corpus, Record
+
+
+def degenerate_corpus(words_per_record):
+    """Records whose word bags all have exactly ``words_per_record`` words."""
+    rng = np.random.default_rng(0)
+    records = []
+    for i in range(120):
+        words = tuple(f"w{(i + j) % 6}" for j in range(words_per_record))
+        records.append(
+            Record(
+                record_id=i,
+                user=f"u{i % 8}",
+                timestamp=float(rng.uniform(0, 24)) + 24.0 * (i % 10),
+                location=(
+                    float(rng.normal(2.0 + 4.0 * (i % 3), 0.2)),
+                    float(rng.normal(2.0, 0.2)),
+                ),
+                words=words,
+            )
+        )
+    return Corpus(records=records)
+
+
+FAST = dict(
+    dim=8,
+    epochs=1,
+    batches_per_epoch=2,
+    vocab_min_count=1,
+    min_hotspot_support=1,
+    line_samples=1000,
+    seed=0,
+)
+
+
+class TestBowFallbacks:
+    def test_single_word_records_fall_back_on_ww(self, caplog):
+        """No record has 2 words -> WW bag task falls back to plain edges.
+
+        With one word per record there are no WW co-occurrences at all, so
+        no WW task appears in any form — but LW/WT bag tasks still work.
+        """
+        model = Actor(ActorConfig(**FAST)).fit(degenerate_corpus(1))
+        names = {t.name for t in model.trainer.tasks}
+        assert "bow:LW" in names and "bow:WT" in names
+        assert "bow:WW" not in names  # no 2-word records anywhere
+
+    def test_two_word_records_get_full_bow(self):
+        model = Actor(ActorConfig(**FAST)).fit(degenerate_corpus(2))
+        names = {t.name for t in model.trainer.tasks}
+        assert {"bow:LW", "bow:WT", "bow:WW"} <= names
+
+    def test_wordless_corpus_trains_on_tl_only(self):
+        """Records with no words at all: only TL (+user) structure remains."""
+        corpus = Corpus(
+            records=[
+                Record(
+                    record_id=i,
+                    user=f"u{i % 4}",
+                    timestamp=float(i % 24),
+                    location=(float(i % 3), 0.0),
+                    words=(),
+                )
+                for i in range(60)
+            ]
+        )
+        model = Actor(ActorConfig(**FAST)).fit(corpus)
+        names = {t.name for t in model.trainer.tasks}
+        assert "plain:TL" in names
+        assert not any("LW" in n or "WT" in n or "WW" in n for n in names)
+        assert np.isfinite(model.center).all()

@@ -1,0 +1,80 @@
+"""Tests for the dataset presets (Table 1 substitutes)."""
+
+import pytest
+
+from repro.data import generate_dataset, preset_config
+from repro.data.datasets import PRESETS
+
+
+class TestPresetConfig:
+    def test_known_presets(self):
+        for name in ("utgeo2011", "tweet", "4sq"):
+            assert preset_config(name) is PRESETS[name]
+
+    def test_aliases(self):
+        assert preset_config("tweet_like") is PRESETS["tweet"]
+        assert preset_config("foursquare_like") is PRESETS["4sq"]
+        assert preset_config("utgeo2011_like") is PRESETS["utgeo2011"]
+
+    def test_unknown_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="unknown dataset preset"):
+            preset_config("nope")
+
+    def test_only_utgeo_has_mentions(self):
+        """The paper: only UTGEO2011 carries user interaction data."""
+        assert PRESETS["utgeo2011"].mention_rate == pytest.approx(0.168)
+        assert PRESETS["tweet"].mention_rate == 0.0
+        assert PRESETS["4sq"].mention_rate == 0.0
+
+    def test_4sq_has_smallest_vocabulary_configuration(self):
+        """4SQ's Table-1 row: tiny vocabulary, venue-dominated text."""
+        assert (
+            PRESETS["4sq"].keywords_per_topic
+            < PRESETS["tweet"].keywords_per_topic
+        )
+        assert PRESETS["4sq"].n_common_words < PRESETS["tweet"].n_common_words
+        assert (
+            PRESETS["4sq"].venue_word_fraction
+            > PRESETS["tweet"].venue_word_fraction
+        )
+
+
+class TestGenerateDataset:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return generate_dataset("utgeo2011", n_records=600, seed=2)
+
+    def test_split_sizes_sum_to_total(self, bundle):
+        assert (
+            len(bundle.train) + len(bundle.valid) + len(bundle.test)
+            <= len(bundle.corpus)
+        )
+        assert len(bundle.train) > len(bundle.test) > 0
+        assert len(bundle.valid) > 0
+
+    def test_splits_are_disjoint(self, bundle):
+        ids = lambda c: {r.record_id for r in c}  # noqa: E731
+        assert not (ids(bundle.train) & ids(bundle.test))
+        assert not (ids(bundle.train) & ids(bundle.valid))
+        assert not (ids(bundle.valid) & ids(bundle.test))
+
+    def test_summary_fields(self, bundle):
+        summary = bundle.summary()
+        assert summary["name"] == "utgeo2011"
+        assert summary["n_records"] == 600
+        assert summary["vocab_size"] > 0
+        assert 0.0 < summary["mention_rate"] < 0.3
+
+    def test_reproducible(self):
+        a = generate_dataset("4sq", n_records=100, seed=9)
+        b = generate_dataset("4sq", n_records=100, seed=9)
+        assert a.corpus.records == b.corpus.records
+        assert [r.record_id for r in a.train] == [r.record_id for r in b.train]
+
+    def test_tweet_preset_has_no_mentions(self):
+        bundle = generate_dataset("tweet", n_records=200, seed=1)
+        assert bundle.corpus.mention_rate() == 0.0
+
+    def test_city_ground_truth_attached(self, bundle):
+        assert bundle.city.topics
+        assert bundle.city.venues

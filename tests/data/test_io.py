@@ -1,0 +1,75 @@
+"""Tests for JSONL corpus persistence."""
+
+import json
+
+import pytest
+
+from repro.data import Corpus, Record, load_corpus, save_corpus
+from repro.data.io import record_from_dict, record_to_dict
+
+
+def sample_corpus():
+    return Corpus.from_records(
+        [
+            Record(
+                record_id=0,
+                user="alice",
+                timestamp=12.25,
+                location=(3.5, -1.25),
+                words=("harbor", "dock"),
+                mentions=("bob",),
+            ),
+            Record(
+                record_id=1,
+                user="bob",
+                timestamp=0.0,
+                location=(0.0, 0.0),
+                words=(),
+            ),
+        ]
+    )
+
+
+class TestRecordDictRoundtrip:
+    def test_roundtrip_exact(self):
+        record = sample_corpus()[0]
+        assert record_from_dict(record_to_dict(record)) == record
+
+    def test_missing_mentions_defaults_empty(self):
+        data = record_to_dict(sample_corpus()[1])
+        del data["mentions"]
+        assert record_from_dict(data).mentions == ()
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        corpus = sample_corpus()
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        assert loaded.records == corpus.records
+
+    def test_one_record_per_line(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(sample_corpus(), path)
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)  # each line is standalone JSON
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(sample_corpus(), path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_corpus(path)) == 2
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"record_id": 0}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            load_corpus(path)
+
+    def test_load_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert len(load_corpus(path)) == 0

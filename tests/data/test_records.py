@@ -1,0 +1,106 @@
+"""Tests for the Record/Corpus data model."""
+
+import pytest
+
+from repro.data import Corpus, Record
+
+
+def make_record(record_id=0, **overrides):
+    base = dict(
+        record_id=record_id,
+        user="alice",
+        timestamp=26.5,
+        location=(1.0, 2.0),
+        words=("coffee", "brunch"),
+        mentions=(),
+    )
+    base.update(overrides)
+    return Record(**base)
+
+
+class TestRecord:
+    def test_time_of_day_wraps_daily(self):
+        assert make_record(timestamp=26.5).time_of_day == pytest.approx(2.5)
+
+    def test_time_of_day_identity_within_day(self):
+        assert make_record(timestamp=13.0).time_of_day == pytest.approx(13.0)
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError, match="timestamp"):
+            make_record(timestamp=-1.0)
+
+    def test_rejects_non_2d_location(self):
+        with pytest.raises(ValueError, match="location"):
+            make_record(location=(1.0, 2.0, 3.0))
+
+    def test_rejects_empty_user(self):
+        with pytest.raises(ValueError, match="user"):
+            make_record(user="")
+
+    def test_records_are_immutable(self):
+        record = make_record()
+        with pytest.raises(AttributeError):
+            record.user = "bob"
+
+
+class TestCorpus:
+    def test_len_and_iteration(self):
+        corpus = Corpus.from_records(make_record(i) for i in range(3))
+        assert len(corpus) == 3
+        assert [r.record_id for r in corpus] == [0, 1, 2]
+
+    def test_getitem(self):
+        corpus = Corpus.from_records([make_record(0), make_record(1)])
+        assert corpus[1].record_id == 1
+
+    def test_users_includes_mentions_in_first_seen_order(self):
+        corpus = Corpus.from_records(
+            [
+                make_record(0, user="alice", mentions=("carol",)),
+                make_record(1, user="bob"),
+            ]
+        )
+        assert corpus.users() == ["alice", "carol", "bob"]
+
+    def test_users_deduplicates(self):
+        corpus = Corpus.from_records(
+            [make_record(0, user="alice"), make_record(1, user="alice")]
+        )
+        assert corpus.users() == ["alice"]
+
+    def test_word_counts(self):
+        corpus = Corpus.from_records(
+            [
+                make_record(0, words=("a", "b", "a")),
+                make_record(1, words=("b",)),
+            ]
+        )
+        counts = corpus.word_counts()
+        assert counts["a"] == 2
+        assert counts["b"] == 2
+
+    def test_mention_rate(self):
+        corpus = Corpus.from_records(
+            [
+                make_record(0, mentions=("bob",)),
+                make_record(1),
+                make_record(2),
+                make_record(3),
+            ]
+        )
+        assert corpus.mention_rate() == pytest.approx(0.25)
+
+    def test_mention_rate_empty_corpus(self):
+        assert Corpus().mention_rate() == 0.0
+
+    def test_subset_preserves_order(self):
+        corpus = Corpus.from_records(make_record(i) for i in range(5))
+        sub = corpus.subset([4, 0, 2])
+        assert [r.record_id for r in sub] == [4, 0, 2]
+
+    def test_locations_and_timestamps(self):
+        corpus = Corpus.from_records(
+            [make_record(0, location=(3.0, 4.0), timestamp=5.0)]
+        )
+        assert corpus.locations() == [(3.0, 4.0)]
+        assert corpus.timestamps() == [5.0]

@@ -1,0 +1,74 @@
+"""Tests for random corpus splitting."""
+
+import pytest
+
+from repro.data import Corpus, Record, SplitSizes, train_valid_test_split
+
+
+def make_corpus(n):
+    return Corpus.from_records(
+        Record(
+            record_id=i,
+            user=f"u{i}",
+            timestamp=float(i),
+            location=(0.0, 0.0),
+            words=("w",),
+        )
+        for i in range(n)
+    )
+
+
+class TestSplitSizes:
+    def test_defaults(self):
+        sizes = SplitSizes()
+        assert sizes.train + sizes.valid + sizes.test == pytest.approx(1.0)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError, match="sum to at most 1"):
+            SplitSizes(train=0.9, valid=0.2, test=0.2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SplitSizes(train=-0.1)
+
+
+class TestTrainValidTestSplit:
+    def test_partition_is_disjoint_and_complete(self):
+        corpus = make_corpus(100)
+        train, valid, test = train_valid_test_split(corpus, seed=0)
+        all_ids = (
+            [r.record_id for r in train]
+            + [r.record_id for r in valid]
+            + [r.record_id for r in test]
+        )
+        assert len(all_ids) == len(set(all_ids))
+        assert len(all_ids) == 100
+
+    def test_sizes_follow_fractions(self):
+        corpus = make_corpus(200)
+        sizes = SplitSizes(train=0.8, valid=0.1, test=0.1)
+        train, valid, test = train_valid_test_split(corpus, sizes=sizes, seed=0)
+        assert len(train) == 160
+        assert len(valid) == 20
+        assert len(test) == 20
+
+    def test_seeded_reproducibility(self):
+        corpus = make_corpus(50)
+        a = train_valid_test_split(corpus, seed=4)
+        b = train_valid_test_split(corpus, seed=4)
+        for ca, cb in zip(a, b):
+            assert [r.record_id for r in ca] == [r.record_id for r in cb]
+
+    def test_different_seed_shuffles(self):
+        corpus = make_corpus(50)
+        a, _, _ = train_valid_test_split(corpus, seed=1)
+        b, _, _ = train_valid_test_split(corpus, seed=2)
+        assert [r.record_id for r in a] != [r.record_id for r in b]
+
+    def test_small_corpus_gets_nonempty_eval_splits(self):
+        corpus = make_corpus(20)
+        _, valid, test = train_valid_test_split(
+            corpus, sizes=SplitSizes(train=0.8, valid=0.1, test=0.1), seed=0
+        )
+        assert len(valid) == 2
+        assert len(test) == 2

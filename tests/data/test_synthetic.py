@@ -1,0 +1,151 @@
+"""Tests for the synthetic city simulator (the datasets substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.data import CityConfig, CityModel
+
+
+class TestCityConfig:
+    def test_defaults_valid(self):
+        CityConfig()
+
+    def test_rejects_bad_mention_rate(self):
+        with pytest.raises(ValueError):
+            CityConfig(mention_rate=1.5)
+
+    def test_rejects_fraction_overflow(self):
+        with pytest.raises(ValueError, match="must be <= 1"):
+            CityConfig(topic_word_fraction=0.8, venue_word_fraction=0.4)
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            CityConfig(n_topics=0)
+
+
+class TestCityModel:
+    @pytest.fixture(scope="class")
+    def small_city(self):
+        return CityModel(
+            CityConfig(n_topics=4, venues_per_topic=3, n_users=30), seed=1
+        )
+
+    def test_topic_count(self, small_city):
+        assert len(small_city.topics) == 4
+
+    def test_venue_count(self, small_city):
+        assert len(small_city.venues) == 4 * 3
+
+    def test_venues_inside_city(self, small_city):
+        span = small_city.config.city_span_km
+        for venue in small_city.venues:
+            assert 0.0 <= venue.location[0] <= span
+            assert 0.0 <= venue.location[1] <= span
+
+    def test_topic_keyword_probs_normalized(self, small_city):
+        for topic in small_city.topics:
+            assert sum(topic.keyword_probs) == pytest.approx(1.0)
+
+    def test_user_prefs_normalized(self, small_city):
+        for user in small_city.users:
+            assert user.topic_prefs.sum() == pytest.approx(1.0)
+
+    def test_users_have_friends(self, small_city):
+        for user in small_city.users:
+            assert 0 < len(user.friends) <= small_city.config.friends_per_user
+            assert all(0 <= f < len(small_city.users) for f in user.friends)
+
+    def test_generation_is_seeded(self):
+        config = CityConfig(n_users=20)
+        a = CityModel(config, seed=5).generate_corpus(50)
+        b = CityModel(config, seed=5).generate_corpus(50)
+        for ra, rb in zip(a, b):
+            assert ra == rb
+
+    def test_different_seeds_differ(self):
+        config = CityConfig(n_users=20)
+        a = CityModel(config, seed=5).generate_corpus(50)
+        b = CityModel(config, seed=6).generate_corpus(50)
+        assert any(ra != rb for ra, rb in zip(a, b))
+
+    def test_record_ids_sequential(self, small_city):
+        corpus = CityModel(
+            CityConfig(n_users=10), seed=0
+        ).generate_corpus(10)
+        assert [r.record_id for r in corpus] == list(range(10))
+
+
+class TestGenerativeStructure:
+    """The corpus must exhibit the structure ACTOR is designed to exploit."""
+
+    @pytest.fixture(scope="class")
+    def city(self):
+        return CityModel(
+            CityConfig(n_topics=6, n_users=100, mention_rate=0.2), seed=3
+        )
+
+    @pytest.fixture(scope="class")
+    def corpus(self, city):
+        return city.generate_corpus(2000)
+
+    def test_mention_rate_near_configured(self, corpus, city):
+        rate = corpus.mention_rate()
+        assert abs(rate - city.config.mention_rate) < 0.05
+
+    def test_social_records_have_exactly_one_mention(self, corpus):
+        for record in corpus:
+            assert len(record.mentions) <= 1
+
+    def test_mentions_are_real_users(self, corpus, city):
+        names = {u.name for u in city.users}
+        for record in corpus:
+            for mention in record.mentions:
+                assert mention in names
+
+    def test_topic_words_cooccur_with_topic_hours(self, corpus, city):
+        """Non-social records' hours cluster near their topic's peak hour."""
+        for topic in city.topics:
+            signature = topic.keywords[0]
+            hours = [
+                r.time_of_day
+                for r in corpus
+                if signature in r.words and not r.mentions
+            ]
+            if len(hours) < 10:
+                continue
+            diff = np.abs(np.asarray(hours) - topic.peak_hour)
+            circular = np.minimum(diff, 24.0 - diff)
+            # von Mises with kappa=3 has circular std ~ 2.4h; the mean
+            # offset of true draws must be far below the uniform baseline 6h.
+            assert circular.mean() < 4.0
+
+    def test_venue_tokens_colocate(self, corpus, city):
+        """Records naming a venue sit near that venue (non-social ones)."""
+        by_token: dict[str, list] = {}
+        for record in corpus:
+            if record.mentions:
+                continue
+            for word in record.words:
+                if word.startswith("venue_"):
+                    by_token.setdefault(word, []).append(record.location)
+        checked = 0
+        for token, locations in by_token.items():
+            venue = city.venue_by_token(token)
+            if venue is None or len(locations) < 5:
+                continue
+            dists = [
+                np.linalg.norm(np.asarray(l) - np.asarray(venue.location))
+                for l in locations
+            ]
+            assert float(np.median(dists)) < 1.0  # GPS noise is 0.15 km
+            checked += 1
+        assert checked > 0
+
+    def test_ground_truth_topic_of_word(self, city):
+        topic = city.topics[0]
+        assert city.topic_of_word(topic.keywords[0]) == topic.topic_id
+        assert city.topic_of_word("common_001") is None
+
+    def test_rejects_nonpositive_corpus_size(self, city):
+        with pytest.raises(ValueError):
+            city.generate_corpus(0)

@@ -1,0 +1,119 @@
+"""Tests for tokenization and vocabulary management."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import Vocabulary, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Harbor SUNSET") == ["harbor", "sunset"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("coffee, tea! and (cake)") == ["coffee", "tea", "cake"]
+
+    def test_removes_stopwords(self):
+        assert "the" not in tokenize("the harbor")
+
+    def test_drops_mentions(self):
+        assert tokenize("hello @alice nightlife") == ["hello", "nightlife"]
+
+    def test_keeps_hashtags_without_hash(self):
+        assert tokenize("#brunch time") == ["brunch", "time"]
+
+    def test_min_length_filter(self):
+        assert tokenize("a b cc", min_length=2) == ["cc"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_numbers_kept(self):
+        assert tokenize("route 66") == ["route", "66"]
+
+
+class TestVocabulary:
+    def test_fit_assigns_ids_by_frequency(self):
+        vocab = Vocabulary().fit([["b", "a", "a"], ["a", "b", "c"]])
+        assert vocab.id_of("a") == 0  # most frequent
+        assert vocab.id_of("b") == 1
+        assert vocab.id_of("c") == 2
+
+    def test_frequency_ties_break_lexicographically(self):
+        vocab = Vocabulary().fit([["zebra", "apple"]])
+        assert vocab.id_of("apple") < vocab.id_of("zebra")
+
+    def test_min_count_prunes(self):
+        vocab = Vocabulary(min_count=2).fit([["a", "a", "b"]])
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_max_size_keeps_most_frequent(self):
+        vocab = Vocabulary(max_size=1).fit([["a", "a", "b"]])
+        assert len(vocab) == 1
+        assert "a" in vocab
+
+    def test_encode_skips_pruned_words(self):
+        vocab = Vocabulary(min_count=2).fit([["a", "a", "b"]])
+        assert vocab.encode(["a", "b", "a"]) == [0, 0]
+
+    def test_decode_roundtrip(self):
+        vocab = Vocabulary().fit([["x", "y", "z"]])
+        ids = vocab.encode(["x", "z"])
+        assert vocab.decode(ids) == ["x", "z"]
+
+    def test_count_of(self):
+        vocab = Vocabulary().fit([["a", "a"]])
+        assert vocab.count_of("a") == 2
+        assert vocab.count_of("missing") == 0
+
+    def test_double_fit_raises(self):
+        vocab = Vocabulary().fit([["a"]])
+        with pytest.raises(RuntimeError, match="already fitted"):
+            vocab.fit([["b"]])
+
+    def test_is_fitted_flag(self):
+        vocab = Vocabulary()
+        assert not vocab.is_fitted
+        vocab.fit([["a"]])
+        assert vocab.is_fitted
+
+    def test_id_of_unknown_raises_keyerror(self):
+        vocab = Vocabulary().fit([["a"]])
+        with pytest.raises(KeyError):
+            vocab.id_of("unknown")
+
+    def test_rejects_bad_min_count(self):
+        with pytest.raises(ValueError):
+            Vocabulary(min_count=0)
+
+    def test_rejects_bad_max_size(self):
+        with pytest.raises(ValueError):
+            Vocabulary(max_size=0)
+
+    @given(
+        docs=st.lists(
+            st.lists(st.sampled_from(["a", "b", "c", "d", "e"]), max_size=6),
+            max_size=20,
+        )
+    )
+    def test_property_ids_are_dense_and_bijective(self, docs):
+        vocab = Vocabulary().fit(docs)
+        ids = [vocab.id_of(w) for w in vocab.words]
+        assert sorted(ids) == list(range(len(vocab)))
+        for word in vocab.words:
+            assert vocab.word_of(vocab.id_of(word)) == word
+
+    @given(
+        docs=st.lists(
+            st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=5),
+            min_size=1,
+            max_size=15,
+        ),
+        min_count=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_min_count_respected(self, docs, min_count):
+        vocab = Vocabulary(min_count=min_count).fit(docs)
+        for word in vocab.words:
+            assert vocab.count_of(word) >= min_count

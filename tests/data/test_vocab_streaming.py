@@ -1,0 +1,62 @@
+"""Tests for vocabulary growth (streaming support)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Vocabulary
+
+
+class TestAddWord:
+    def test_requires_fitted(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            Vocabulary().add_word("late")
+
+    def test_appends_with_next_id(self):
+        vocab = Vocabulary().fit([["a", "b"]])
+        new_id = vocab.add_word("c")
+        assert new_id == 2
+        assert vocab.word_of(2) == "c"
+        assert vocab.id_of("c") == 2
+
+    def test_existing_word_returns_same_id(self):
+        vocab = Vocabulary().fit([["a"]])
+        assert vocab.add_word("a") == vocab.id_of("a")
+        assert len(vocab) == 1
+
+    def test_rejects_empty_string(self):
+        vocab = Vocabulary().fit([["a"]])
+        with pytest.raises(ValueError, match="non-empty"):
+            vocab.add_word("")
+
+    def test_respects_max_size(self):
+        vocab = Vocabulary(max_size=2).fit([["a", "a", "b"]])
+        with pytest.raises(ValueError, match="max_size"):
+            vocab.add_word("c")
+
+    def test_added_word_encodable(self):
+        vocab = Vocabulary().fit([["a"]])
+        vocab.add_word("fresh")
+        assert vocab.encode(["fresh", "a"]) == [1, 0]
+
+    def test_added_word_count_is_zero(self):
+        """add_word registers the id; it does not fabricate corpus counts."""
+        vocab = Vocabulary().fit([["a"]])
+        vocab.add_word("fresh")
+        assert vocab.count_of("fresh") == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        base=st.lists(
+            st.sampled_from(["a", "b", "c"]), min_size=1, max_size=10
+        ),
+        additions=st.lists(
+            st.sampled_from(["x", "y", "z", "a"]), max_size=8
+        ),
+    )
+    def test_property_ids_stay_dense_after_growth(self, base, additions):
+        vocab = Vocabulary().fit([base])
+        for word in additions:
+            vocab.add_word(word)
+        ids = sorted(vocab.id_of(w) for w in vocab.words)
+        assert ids == list(range(len(vocab)))

@@ -1,0 +1,107 @@
+"""Tests for the alias sampling method."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import AliasTable
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            AliasTable(np.empty(0))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            AliasTable(np.asarray([1.0, -0.5]))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError, match="not all be zero"):
+            AliasTable(np.zeros(3))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            AliasTable(np.ones((2, 2)))
+
+    def test_probabilities_normalized(self):
+        table = AliasTable(np.asarray([2.0, 6.0]))
+        np.testing.assert_allclose(table.probabilities, [0.25, 0.75])
+
+
+class TestSampling:
+    def test_single_outcome(self):
+        table = AliasTable(np.asarray([5.0]))
+        assert (table.sample(100, seed=0) == 0).all()
+
+    def test_zero_weight_never_drawn(self):
+        table = AliasTable(np.asarray([1.0, 0.0, 1.0]))
+        draws = table.sample(5000, seed=0)
+        assert 1 not in draws
+
+    def test_empirical_distribution_matches(self):
+        weights = np.asarray([1.0, 2.0, 3.0, 4.0])
+        table = AliasTable(weights)
+        draws = table.sample(100_000, seed=1)
+        freq = np.bincount(draws, minlength=4) / draws.size
+        np.testing.assert_allclose(freq, weights / weights.sum(), atol=0.01)
+
+    def test_seeded_reproducibility(self):
+        table = AliasTable(np.asarray([1.0, 2.0]))
+        np.testing.assert_array_equal(
+            table.sample(50, seed=7), table.sample(50, seed=7)
+        )
+
+    def test_sample_zero(self):
+        table = AliasTable(np.asarray([1.0]))
+        assert table.sample(0, seed=0).shape == (0,)
+
+    def test_sample_negative_raises(self):
+        table = AliasTable(np.asarray([1.0]))
+        with pytest.raises(ValueError):
+            table.sample(-1)
+
+    def test_sample_one(self):
+        table = AliasTable(np.asarray([1.0, 1.0]))
+        value = table.sample_one(seed=3)
+        assert value in (0, 1)
+
+    def test_generator_seed_advances_stream(self):
+        rng = np.random.default_rng(0)
+        table = AliasTable(np.asarray([1.0, 1.0]))
+        a = table.sample(20, seed=rng)
+        b = table.sample(20, seed=rng)
+        assert not np.array_equal(a, b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+            max_size=50,
+        ).filter(lambda w: sum(w) > 0)
+    )
+    def test_property_draws_in_range_and_supported(self, weights):
+        weights_arr = np.asarray(weights)
+        table = AliasTable(weights_arr)
+        draws = table.sample(500, seed=0)
+        assert ((draws >= 0) & (draws < len(weights))).all()
+        assert (weights_arr[draws] > 0).all()  # zero weights never appear
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=2, max_size=10
+        ),
+        seed=st.integers(0, 100),
+    )
+    def test_property_chi_square_sanity(self, weights, seed):
+        """Empirical frequencies stay within a loose tolerance of truth."""
+        weights_arr = np.asarray(weights)
+        table = AliasTable(weights_arr)
+        n = 20_000
+        draws = table.sample(n, seed=seed)
+        freq = np.bincount(draws, minlength=len(weights)) / n
+        expected = weights_arr / weights_arr.sum()
+        assert np.abs(freq - expected).max() < 0.03

@@ -1,0 +1,141 @@
+"""Tests for typed edge sampling and the negative-noise distribution."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import NOISE_POWER, NoiseSampler, TypedEdgeSampler
+from repro.graphs import EdgeSet, EdgeType
+
+
+def simple_edge_set():
+    """LW edges: locations {0,1}, words {10,11,12}, skewed weights."""
+    return EdgeSet(
+        edge_type=EdgeType.LW,
+        src=np.asarray([0, 0, 1, 1]),
+        dst=np.asarray([10, 11, 11, 12]),
+        weight=np.asarray([4.0, 1.0, 1.0, 2.0]),
+    )
+
+
+class TestNoiseSampler:
+    def test_samples_only_candidates(self):
+        sampler = NoiseSampler(
+            np.asarray([5, 9, 13]), np.asarray([1.0, 2.0, 3.0])
+        )
+        rng = np.random.default_rng(0)
+        draws = sampler.sample((1000,), rng)
+        assert set(np.unique(draws)) <= {5, 9, 13}
+
+    def test_power_smoothing(self):
+        """P(v) ∝ d^0.75: heavy nodes are under-sampled vs raw degree."""
+        degrees = np.asarray([1.0, 100.0])
+        sampler = NoiseSampler(np.asarray([0, 1]), degrees)
+        rng = np.random.default_rng(1)
+        draws = sampler.sample((100_000,), rng)
+        freq1 = (draws == 1).mean()
+        expected = degrees**NOISE_POWER / (degrees**NOISE_POWER).sum()
+        raw = degrees / degrees.sum()
+        assert freq1 == pytest.approx(expected[1], abs=0.01)
+        assert freq1 < raw[1]  # smoothed below the raw-degree share
+
+    def test_shape(self):
+        sampler = NoiseSampler(np.asarray([0, 1]), np.asarray([1.0, 1.0]))
+        rng = np.random.default_rng(2)
+        assert sampler.sample((7, 3), rng).shape == (7, 3)
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            NoiseSampler(np.asarray([0, 1]), np.asarray([1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            NoiseSampler(np.asarray([], dtype=np.int64), np.asarray([]))
+
+
+class TestTypedEdgeSampler:
+    def test_rejects_empty_edge_set(self):
+        empty = EdgeSet(
+            edge_type=EdgeType.LW,
+            src=np.empty(0, dtype=np.int64),
+            dst=np.empty(0, dtype=np.int64),
+            weight=np.empty(0),
+        )
+        with pytest.raises(ValueError, match="empty edge set"):
+            TypedEdgeSampler(empty)
+
+    def test_rejects_zero_negatives(self):
+        with pytest.raises(ValueError, match="negatives"):
+            TypedEdgeSampler(simple_edge_set(), negatives=0)
+
+    def test_batch_shapes(self):
+        sampler = TypedEdgeSampler(simple_edge_set(), negatives=3)
+        batch = sampler.sample_batch(32, np.random.default_rng(0))
+        assert batch.src.shape == (32,)
+        assert batch.dst.shape == (32,)
+        assert batch.neg.shape == (32, 3)
+
+    def test_positive_pairs_are_real_edges(self):
+        edge_set = simple_edge_set()
+        real = {
+            (int(s), int(d)) for s, d in zip(edge_set.src, edge_set.dst)
+        }
+        real |= {(d, s) for s, d in real}
+        sampler = TypedEdgeSampler(edge_set, negatives=1)
+        batch = sampler.sample_batch(200, np.random.default_rng(1))
+        for s, d in zip(batch.src, batch.dst):
+            assert (int(s), int(d)) in real
+
+    def test_edge_sampling_proportional_to_weight(self):
+        edge_set = simple_edge_set()
+        sampler = TypedEdgeSampler(edge_set, negatives=1)
+        rng = np.random.default_rng(2)
+        batch = sampler.sample_batch(50_000, rng)
+        # Edge (0, 10) has half the total weight.
+        pair_count = sum(
+            1
+            for s, d in zip(batch.src, batch.dst)
+            if {int(s), int(d)} == {0, 10}
+        )
+        assert pair_count / 50_000 == pytest.approx(0.5, abs=0.02)
+
+    def test_negatives_come_from_context_side(self):
+        """For an L->W oriented draw, negatives must be word nodes."""
+        sampler = TypedEdgeSampler(simple_edge_set(), negatives=2)
+        rng = np.random.default_rng(3)
+        batch = sampler.sample_batch(500, rng)
+        locations = {0, 1}
+        words = {10, 11, 12}
+        for s, negs in zip(batch.src, batch.neg):
+            side = words if int(s) in locations else locations
+            assert set(int(n) for n in negs) <= side
+
+    def test_both_orientations_occur(self):
+        sampler = TypedEdgeSampler(simple_edge_set(), negatives=1)
+        batch = sampler.sample_batch(500, np.random.default_rng(4))
+        sides = {int(s) in {0, 1} for s in batch.src}
+        assert sides == {True, False}
+
+    def test_oriented_sampling_dst_context(self):
+        sampler = TypedEdgeSampler(simple_edge_set(), negatives=2)
+        batch = sampler.sample_batch_oriented(
+            200, np.random.default_rng(5), context_side="dst"
+        )
+        assert {int(s) for s in batch.src} <= {0, 1}
+        assert {int(d) for d in batch.dst} <= {10, 11, 12}
+        assert set(batch.neg.ravel().tolist()) <= {10, 11, 12}
+
+    def test_oriented_sampling_src_context(self):
+        sampler = TypedEdgeSampler(simple_edge_set(), negatives=2)
+        batch = sampler.sample_batch_oriented(
+            200, np.random.default_rng(6), context_side="src"
+        )
+        assert {int(s) for s in batch.src} <= {10, 11, 12}
+        assert {int(d) for d in batch.dst} <= {0, 1}
+        assert set(batch.neg.ravel().tolist()) <= {0, 1}
+
+    def test_oriented_rejects_bad_side(self):
+        sampler = TypedEdgeSampler(simple_edge_set())
+        with pytest.raises(ValueError, match="context_side"):
+            sampler.sample_batch_oriented(
+                10, np.random.default_rng(0), context_side="middle"
+            )

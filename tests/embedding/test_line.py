@@ -1,0 +1,121 @@
+"""Tests for the LINE embedding substrate."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import LineEmbedding, merge_edge_sets
+from repro.graphs import EdgeSet, EdgeType, UserInteractionGraph
+
+
+def two_communities(n_per=6, seed=0):
+    """Interaction graph with two dense mention communities."""
+    rng = np.random.default_rng(seed)
+    g = UserInteractionGraph()
+    for base in (0, n_per):
+        members = [f"u{base + i}" for i in range(n_per)]
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                if rng.random() < 0.8:
+                    g.add_mention(a, b, weight=float(rng.integers(1, 4)))
+    # one weak cross-community link so the graph is connected
+    g.add_mention("u0", f"u{n_per}", weight=0.2)
+    g.finalize()
+    return g
+
+
+class TestMergeEdgeSets:
+    def test_concatenates(self):
+        a = EdgeSet(
+            edge_type=EdgeType.TL,
+            src=np.asarray([0]), dst=np.asarray([1]), weight=np.asarray([1.0]),
+        )
+        b = EdgeSet(
+            edge_type=EdgeType.LW,
+            src=np.asarray([2]), dst=np.asarray([3]), weight=np.asarray([2.0]),
+        )
+        merged = merge_edge_sets([a, b])
+        assert len(merged) == 2
+        assert merged.total_weight == pytest.approx(3.0)
+
+    def test_skips_empty_sets(self):
+        a = EdgeSet(
+            edge_type=EdgeType.TL,
+            src=np.asarray([0]), dst=np.asarray([1]), weight=np.asarray([1.0]),
+        )
+        empty = EdgeSet(
+            edge_type=EdgeType.WW,
+            src=np.empty(0, dtype=np.int64),
+            dst=np.empty(0, dtype=np.int64),
+            weight=np.empty(0),
+        )
+        assert len(merge_edge_sets([a, empty])) == 1
+
+    def test_all_empty_raises(self):
+        empty = EdgeSet(
+            edge_type=EdgeType.WW,
+            src=np.empty(0, dtype=np.int64),
+            dst=np.empty(0, dtype=np.int64),
+            weight=np.empty(0),
+        )
+        with pytest.raises(ValueError, match="all edge sets are empty"):
+            merge_edge_sets([empty])
+
+
+class TestLineEmbedding:
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError, match="order"):
+            LineEmbedding(8, order=3)
+
+    def test_unfitted_vector_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LineEmbedding(8).vector(0)
+
+    def test_fit_shapes(self):
+        g = two_communities()
+        line = LineEmbedding(16).fit(
+            g.edge_set, g.n_users, n_samples=20_000, seed=0
+        )
+        assert line.embeddings.shape == (g.n_users, 16)
+        assert line.context.shape == (g.n_users, 16)
+
+    def test_first_order_shares_matrices(self):
+        g = two_communities()
+        line = LineEmbedding(8, order=1).fit(
+            g.edge_set, g.n_users, n_samples=5_000, seed=0
+        )
+        assert line.context is line.embeddings
+
+    def test_communities_separate_in_embedding_space(self):
+        """Second-order LINE must place same-community users closer."""
+        n_per = 6
+        g = two_communities(n_per=n_per)
+        line = LineEmbedding(16, negatives=5).fit(
+            g.edge_set, g.n_users, n_samples=60_000, seed=0
+        )
+        emb = line.embeddings / np.linalg.norm(
+            line.embeddings, axis=1, keepdims=True
+        )
+        idx = {name: g.index_of(name) for name in g.users}
+        within, across = [], []
+        for i in range(n_per):
+            for j in range(i + 1, n_per):
+                within.append(
+                    float(emb[idx[f"u{i}"]] @ emb[idx[f"u{j}"]])
+                )
+                across.append(
+                    float(emb[idx[f"u{i}"]] @ emb[idx[f"u{n_per + j}"]])
+                )
+        assert np.mean(within) > np.mean(across)
+
+    def test_seeded_reproducibility(self):
+        g = two_communities()
+        a = LineEmbedding(8).fit(g.edge_set, g.n_users, n_samples=3_000, seed=4)
+        b = LineEmbedding(8).fit(g.edge_set, g.n_users, n_samples=3_000, seed=4)
+        np.testing.assert_array_equal(a.embeddings, b.embeddings)
+
+    def test_embeddings_finite(self):
+        g = two_communities()
+        line = LineEmbedding(8, lr=0.1).fit(
+            g.edge_set, g.n_users, n_samples=10_000, seed=0
+        )
+        assert np.isfinite(line.embeddings).all()

@@ -1,0 +1,150 @@
+"""Tests for shared-memory matrices and the fork-based Hogwild pool."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    HogwildPool,
+    SharedMatrix,
+    TypedEdgeSampler,
+    fork_available,
+    sgns_batch_loss,
+)
+from repro.graphs import EdgeSet, EdgeType
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+class TestSharedMatrix:
+    def test_contents_copied(self):
+        initial = np.arange(12, dtype=float).reshape(3, 4)
+        with SharedMatrix(initial) as shared:
+            np.testing.assert_array_equal(shared.array, initial)
+
+    def test_mutations_visible_through_view(self):
+        with SharedMatrix(np.zeros((2, 2))) as shared:
+            shared.array[0, 0] = 7.0
+            assert shared.copy()[0, 0] == 7.0
+
+    def test_copy_is_private(self):
+        with SharedMatrix(np.zeros((2, 2))) as shared:
+            private = shared.copy()
+            shared.array[0, 0] = 1.0
+            assert private[0, 0] == 0.0
+
+    def test_close_is_idempotent(self):
+        shared = SharedMatrix(np.zeros((2, 2)))
+        shared.close()
+        shared.close()
+
+    def test_dtype_coerced_to_float64(self):
+        with SharedMatrix(np.ones((2, 2), dtype=np.float32)) as shared:
+            assert shared.array.dtype == np.float64
+
+
+def _edge_set():
+    return EdgeSet(
+        edge_type=EdgeType.LW,
+        src=np.asarray([0, 0, 1, 1]),
+        dst=np.asarray([4, 5, 5, 6]),
+        weight=np.asarray([2.0, 1.0, 1.0, 2.0]),
+    )
+
+
+class _SimpleTask:
+    """Minimal TrainTask-compatible object for pool tests."""
+
+    def __init__(self):
+        self.sampler = TypedEdgeSampler(_edge_set(), negatives=1)
+
+    def step(self, center, context, batch_size, lr, rng):
+        from repro.embedding import sgns_step
+
+        batch = self.sampler.sample_batch(batch_size, rng)
+        return sgns_step(center, context, batch.src, batch.dst, batch.neg, lr)
+
+
+@needs_fork
+class TestHogwildPool:
+    def test_parallel_training_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        init_center = rng.uniform(-0.1, 0.1, size=(8, 6))
+        init_context = rng.uniform(-0.1, 0.1, size=(8, 6))
+        task = _SimpleTask()
+        edge_set = _edge_set()
+        neg = rng.integers(0, 8, size=(len(edge_set), 1))
+        loss_before = sgns_batch_loss(
+            init_center, init_context, edge_set.src, edge_set.dst, neg
+        )
+        with SharedMatrix(init_center) as sc, SharedMatrix(init_context) as sx:
+            with HogwildPool(
+                [task], sc.array, sx.array, batch_size=16, n_workers=2, seed=0
+            ) as pool:
+                pool.run_task(0, n_steps=200, lr=0.1)
+            center, context = sc.copy(), sx.copy()
+        loss_after = sgns_batch_loss(
+            center, context, edge_set.src, edge_set.dst, neg
+        )
+        assert loss_after < loss_before
+        assert not np.array_equal(center, init_center)
+
+    def test_run_returns_mean_loss(self):
+        task = _SimpleTask()
+        with SharedMatrix(np.zeros((8, 4))) as sc, SharedMatrix(
+            np.zeros((8, 4))
+        ) as sx:
+            with HogwildPool(
+                [task], sc.array, sx.array, batch_size=8, n_workers=2, seed=1
+            ) as pool:
+                loss = pool.run_task(0, n_steps=10, lr=0.05)
+        assert np.isfinite(loss)
+        assert loss > 0
+
+    def test_zero_steps_noop(self):
+        task = _SimpleTask()
+        with SharedMatrix(np.zeros((8, 4))) as sc, SharedMatrix(
+            np.zeros((8, 4))
+        ) as sx:
+            with HogwildPool(
+                [task], sc.array, sx.array, batch_size=8, n_workers=2, seed=1
+            ) as pool:
+                assert pool.run_task(0, n_steps=0, lr=0.05) == 0.0
+
+    def test_closed_pool_rejects_work(self):
+        task = _SimpleTask()
+        with SharedMatrix(np.zeros((8, 4))) as sc, SharedMatrix(
+            np.zeros((8, 4))
+        ) as sx:
+            pool = HogwildPool(
+                [task], sc.array, sx.array, batch_size=8, n_workers=1, seed=0
+            )
+            pool.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                pool.run_task(0, 1, 0.01)
+
+    def test_worker_exception_propagates(self):
+        class BoomTask:
+            def step(self, *args):
+                raise ValueError("boom in worker")
+
+        with SharedMatrix(np.zeros((4, 2))) as sc, SharedMatrix(
+            np.zeros((4, 2))
+        ) as sx:
+            with HogwildPool(
+                [BoomTask()], sc.array, sx.array, batch_size=4, n_workers=2,
+                seed=0,
+            ) as pool:
+                with pytest.raises(ValueError, match="boom in worker"):
+                    pool.run_task(0, 4, 0.01)
+
+    def test_rejects_zero_workers(self):
+        with SharedMatrix(np.zeros((4, 2))) as sc, SharedMatrix(
+            np.zeros((4, 2))
+        ) as sx:
+            with pytest.raises(ValueError, match="n_workers"):
+                HogwildPool(
+                    [_SimpleTask()], sc.array, sx.array,
+                    batch_size=4, n_workers=0,
+                )

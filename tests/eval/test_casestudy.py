@@ -1,0 +1,82 @@
+"""Tests for the case-study ranking machinery (Figs. 5/8, Table 3)."""
+
+import pytest
+
+from repro.eval import case_study, find_venue_record
+from tests.eval.test_mrr import RandomModel, eval_corpus
+
+
+class TestFindVenueRecord:
+    def test_finds_venue_record(self, dataset):
+        record = find_venue_record(dataset.test)
+        assert any(w.startswith("venue_") for w in record.words)
+        assert len(record.words) >= 2
+
+    def test_missing_prefix_raises(self):
+        with pytest.raises(ValueError, match="no record"):
+            find_venue_record(eval_corpus(), prefix="venue_")
+
+
+class TestCaseStudy:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return eval_corpus(60)
+
+    def test_rows_cover_all_candidates(self, corpus):
+        record = corpus[0]
+        result = case_study(
+            {"A": RandomModel(seed=1), "B": RandomModel(seed=2)},
+            record,
+            "text",
+            corpus,
+            n_noise=10,
+            seed=0,
+        )
+        assert len(result.rows) == 11
+        truth_rows = [r for r in result.rows if r.is_truth]
+        assert len(truth_rows) == 1
+
+    def test_each_model_ranks_are_permutations(self, corpus):
+        result = case_study(
+            {"A": RandomModel(seed=1), "B": RandomModel(seed=2)},
+            corpus[0],
+            "time",
+            corpus,
+            n_noise=10,
+            seed=0,
+        )
+        for name in ("A", "B"):
+            ranks = sorted(row.ranks[name] for row in result.rows)
+            assert ranks == list(range(1, 12))
+
+    def test_rows_sorted_by_first_model(self, corpus):
+        result = case_study(
+            {"A": RandomModel(seed=1), "B": RandomModel(seed=2)},
+            corpus[0],
+            "location",
+            corpus,
+            n_noise=8,
+            seed=0,
+        )
+        first_ranks = [row.ranks["A"] for row in result.rows]
+        assert first_ranks == sorted(first_ranks)
+
+    def test_rank_of_truth(self, corpus):
+        result = case_study(
+            {"A": RandomModel(seed=3)},
+            corpus[0],
+            "text",
+            corpus,
+            n_noise=10,
+            seed=0,
+        )
+        rank = result.rank_of_truth("A")
+        assert 1 <= rank <= 11
+
+    def test_truth_value_matches_record(self, corpus):
+        record = corpus[0]
+        result = case_study(
+            {"A": RandomModel()}, record, "time", corpus, n_noise=5, seed=0
+        )
+        truth_row = next(r for r in result.rows if r.is_truth)
+        assert truth_row.candidate == record.timestamp

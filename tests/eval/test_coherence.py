@@ -1,0 +1,70 @@
+"""Tests for the embedding-quality diagnostics."""
+
+import pytest
+
+from repro.eval.coherence import (
+    temporal_alignment,
+    topic_coherence,
+    venue_localization,
+)
+
+
+class TestTopicCoherence:
+    def test_trained_model_has_positive_gap(self, tiny_actor, dataset):
+        report = topic_coherence(tiny_actor, dataset.city)
+        assert report.name == "topic_coherence"
+        assert report.detail["topics"] >= 2
+        assert report.detail["within"] >= report.detail["cross"] - 0.2
+
+    def test_score_is_within_minus_cross(self, tiny_actor, dataset):
+        report = topic_coherence(tiny_actor, dataset.city)
+        assert report.score == pytest.approx(
+            report.detail["within"] - report.detail["cross"]
+        )
+
+
+class TestVenueLocalization:
+    def test_report_fields(self, tiny_actor, dataset):
+        report = venue_localization(tiny_actor, dataset.city)
+        assert 0.0 <= report.score <= 1.0
+        assert report.detail["median_km"] >= 0.0
+        assert report.detail["n_venues"] > 0
+
+    def test_max_venues_cap(self, tiny_actor, dataset):
+        report = venue_localization(tiny_actor, dataset.city, max_venues=5)
+        assert report.detail["n_venues"] <= 5
+
+
+class TestTemporalAlignment:
+    def test_report_fields(self, tiny_actor, dataset):
+        report = temporal_alignment(tiny_actor, dataset.city)
+        assert 0.0 <= report.score <= 1.0
+        assert 0.0 <= report.detail["median_hours"] <= 12.0
+        assert report.detail["n_topics"] > 0
+
+    def test_circular_gap_bounded_by_half_period(self, tiny_actor, dataset):
+        report = temporal_alignment(tiny_actor, dataset.city, k=1)
+        assert report.detail["median_hours"] <= 12.0
+
+
+class TestErrorPaths:
+    def test_topic_coherence_needs_vocab_overlap(self, tiny_actor):
+        class EmptyCity:
+            topics = []
+
+        with pytest.raises(ValueError, match="at least two topics"):
+            topic_coherence(tiny_actor, EmptyCity())
+
+    def test_venue_localization_needs_tokens(self, tiny_actor):
+        class NoVenueCity:
+            venues = []
+
+        with pytest.raises(ValueError, match="venue tokens"):
+            venue_localization(tiny_actor, NoVenueCity())
+
+    def test_temporal_alignment_needs_topics(self, tiny_actor):
+        class NoTopicCity:
+            topics = []
+
+        with pytest.raises(ValueError, match="signature"):
+            temporal_alignment(tiny_actor, NoTopicCity())

@@ -1,0 +1,173 @@
+"""Tests for candidate-set construction and MRR (Eq. 15)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Corpus, Record
+from repro.eval import make_queries, mean_reciprocal_rank, query_rank
+
+
+def eval_corpus(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    return Corpus.from_records(
+        Record(
+            record_id=i,
+            user=f"u{i % 5}",
+            timestamp=float(rng.uniform(0, 24)),
+            location=(float(rng.uniform(0, 10)), float(rng.uniform(0, 10))),
+            words=(f"w{i % 7}", f"w{(i + 1) % 7}"),
+        )
+        for i in range(n)
+    )
+
+
+class OracleModel:
+    """Ranks the ground truth first by construction."""
+
+    def __init__(self):
+        self.truth = None
+
+    def score_candidates(self, *, target, candidates, **_observed):
+        return np.asarray(
+            [1.0 if c == self.truth else 0.0 for c in candidates]
+        )
+
+
+class RandomModel:
+    def __init__(self, seed=0):
+        self.rng = np.random.default_rng(seed)
+
+    def score_candidates(self, *, target, candidates, **_observed):
+        return self.rng.random(len(candidates))
+
+
+class TestMakeQueries:
+    def test_candidate_count(self):
+        queries = make_queries(eval_corpus(), "location", n_noise=10, seed=0)
+        for q in queries:
+            assert len(q.candidates) == 11
+
+    def test_truth_index_points_at_record_value(self):
+        corpus = eval_corpus()
+        queries = make_queries(corpus, "time", n_noise=5, seed=0)
+        timestamps = {r.timestamp for r in corpus}
+        for q in queries:
+            assert q.candidates[q.truth_index] in timestamps
+
+    def test_observed_modalities_set_correctly(self):
+        queries = make_queries(eval_corpus(), "text", n_noise=5, seed=0)
+        for q in queries:
+            assert q.words is None
+            assert q.time is not None and q.location is not None
+
+    def test_max_queries_subsamples(self):
+        queries = make_queries(
+            eval_corpus(), "location", n_noise=5, max_queries=7, seed=0
+        )
+        assert len(queries) == 7
+
+    def test_seeded_reproducibility(self):
+        a = make_queries(eval_corpus(), "text", n_noise=5, seed=3)
+        b = make_queries(eval_corpus(), "text", n_noise=5, seed=3)
+        for qa, qb in zip(a, b):
+            assert qa.candidates == qb.candidates
+            assert qa.truth_index == qb.truth_index
+
+    def test_truth_index_varies(self):
+        queries = make_queries(eval_corpus(100), "location", n_noise=10, seed=0)
+        positions = {q.truth_index for q in queries}
+        assert len(positions) > 3  # not always the same slot
+
+    def test_too_small_corpus_raises(self):
+        with pytest.raises(ValueError, match="too small"):
+            make_queries(eval_corpus(5), "text", n_noise=10, seed=0)
+
+    def test_bad_target_raises(self):
+        with pytest.raises(ValueError, match="target"):
+            make_queries(eval_corpus(), "altitude", n_noise=3, seed=0)
+
+
+class TestMrr:
+    def test_oracle_scores_one(self):
+        corpus = eval_corpus()
+        queries = make_queries(corpus, "time", n_noise=10, seed=0)
+        model = OracleModel()
+        total = 0.0
+        for q in queries:
+            model.truth = q.candidates[q.truth_index]
+            total += 1.0 / query_rank(model, q)
+        assert total / len(queries) == pytest.approx(1.0)
+
+    def test_random_model_near_expected(self):
+        """E[1/rank] over 11 uniformly ranked candidates = H_11 / 11."""
+        corpus = eval_corpus(200)
+        queries = make_queries(corpus, "location", n_noise=10, seed=1)
+        mrr = mean_reciprocal_rank(RandomModel(seed=2), queries)
+        expected = sum(1.0 / r for r in range(1, 12)) / 11
+        assert mrr == pytest.approx(expected, abs=0.08)
+
+    def test_empty_queries_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            mean_reciprocal_rank(RandomModel(), [])
+
+    def test_mrr_bounds(self):
+        corpus = eval_corpus(60)
+        queries = make_queries(corpus, "text", n_noise=10, seed=0)
+        mrr = mean_reciprocal_rank(RandomModel(seed=5), queries)
+        assert 1.0 / 11 <= mrr <= 1.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_property_rank_in_range(self, seed):
+        corpus = eval_corpus(30, seed=seed)
+        queries = make_queries(corpus, "time", n_noise=6, seed=seed)
+        model = RandomModel(seed)
+        for q in queries[:5]:
+            assert 1 <= query_rank(model, q) <= 7
+
+
+class TestHitsAtK:
+    def test_oracle_hits_at_one(self):
+        from repro.eval import hits_at_k
+
+        corpus = eval_corpus()
+        queries = make_queries(corpus, "time", n_noise=10, seed=0)
+        model = OracleModel()
+        hits = []
+        for q in queries:
+            model.truth = q.candidates[q.truth_index]
+            hits.append(query_rank(model, q) <= 1)
+        assert all(hits)
+
+    def test_random_hits_at_k_matches_k_over_n(self):
+        from repro.eval import hits_at_k
+
+        corpus = eval_corpus(200)
+        queries = make_queries(corpus, "location", n_noise=10, seed=1)
+        h3 = hits_at_k(RandomModel(seed=2), queries, k=3)
+        assert h3 == pytest.approx(3 / 11, abs=0.09)
+
+    def test_monotone_in_k(self):
+        from repro.eval import hits_at_k
+
+        corpus = eval_corpus(80)
+        queries = make_queries(corpus, "text", n_noise=10, seed=0)
+        model = RandomModel(seed=4)
+        values = [hits_at_k(model, queries, k=k) for k in (1, 3, 11)]
+        assert values[0] <= values[1] <= values[2] == 1.0
+
+    def test_rejects_bad_k(self):
+        from repro.eval import hits_at_k
+
+        corpus = eval_corpus(40)
+        queries = make_queries(corpus, "time", n_noise=5, seed=0)
+        with pytest.raises(ValueError, match="k must be"):
+            hits_at_k(RandomModel(), queries, k=0)
+
+    def test_rejects_empty_queries(self):
+        from repro.eval import hits_at_k
+
+        with pytest.raises(ValueError, match="non-empty"):
+            hits_at_k(RandomModel(), [], k=1)

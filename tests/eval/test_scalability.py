@@ -1,0 +1,49 @@
+"""Tests for the Fig.-12 scalability harness."""
+
+import pytest
+
+from repro.core import ActorConfig
+from repro.eval import edges_scaling, strong_scaling, time_training, weak_scaling
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return ActorConfig(dim=8, epochs=1, batch_size=64, seed=0)
+
+
+class TestTimeTraining:
+    def test_returns_positive_seconds(self, built, fast_config):
+        seconds = time_training(
+            built, fast_config, batches_per_epoch=2, n_threads=1
+        )
+        assert seconds > 0.0
+
+    def test_does_not_mutate_config(self, built, fast_config):
+        time_training(built, fast_config, batches_per_epoch=2, n_threads=2)
+        assert fast_config.batches_per_epoch is None
+        assert fast_config.n_threads == 1
+
+
+class TestSweeps:
+    def test_edges_scaling_points(self, built, fast_config):
+        points = edges_scaling(
+            built, fast_config, base_batches=1, multipliers=(1, 2)
+        )
+        assert [p.multiplier for p in points] == [1, 2]
+        assert points[1].samples == 2 * points[0].samples
+        assert all(p.seconds > 0 for p in points)
+
+    def test_strong_scaling_points(self, built, fast_config):
+        points = strong_scaling(
+            built, fast_config, base_batches=1, thread_counts=(1, 2)
+        )
+        assert [p.threads for p in points] == [1, 2]
+        # same workload at every thread count
+        assert points[0].samples == points[1].samples
+
+    def test_weak_scaling_points(self, built, fast_config):
+        points = weak_scaling(
+            built, fast_config, base_batches=1, steps=(1, 2)
+        )
+        assert [(p.threads, p.multiplier) for p in points] == [(1, 1), (2, 2)]
+        assert points[1].samples == 2 * points[0].samples

@@ -1,0 +1,104 @@
+"""Tests for bootstrap CIs and the paired permutation test."""
+
+import numpy as np
+import pytest
+
+from repro.eval.stats import (
+    bootstrap_mrr_ci,
+    paired_permutation_test,
+    reciprocal_ranks,
+)
+from tests.eval.test_mrr import RandomModel, eval_corpus
+from repro.eval import make_queries
+
+
+class TestReciprocalRanks:
+    def test_values_in_range(self):
+        corpus = eval_corpus(60)
+        queries = make_queries(corpus, "time", n_noise=10, seed=0)
+        rr = reciprocal_ranks(RandomModel(seed=1), queries)
+        assert rr.shape == (len(queries),)
+        assert ((rr >= 1.0 / 11) & (rr <= 1.0)).all()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            reciprocal_ranks(RandomModel(), [])
+
+
+class TestBootstrapCI:
+    def test_interval_contains_point_estimate(self):
+        rng = np.random.default_rng(0)
+        rr = rng.uniform(1 / 11, 1.0, size=100)
+        ci = bootstrap_mrr_ci(rr, seed=1)
+        assert ci.lower <= ci.mrr <= ci.upper
+
+    def test_interval_narrows_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_mrr_ci(rng.uniform(0, 1, 30), seed=2)
+        large = bootstrap_mrr_ci(rng.uniform(0, 1, 3000), seed=2)
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_constant_data_gives_degenerate_interval(self):
+        ci = bootstrap_mrr_ci(np.full(50, 0.5), seed=0)
+        assert ci.lower == pytest.approx(0.5)
+        assert ci.upper == pytest.approx(0.5)
+
+    def test_wider_confidence_is_wider_interval(self):
+        rng = np.random.default_rng(3)
+        rr = rng.uniform(0, 1, 200)
+        ci90 = bootstrap_mrr_ci(rr, confidence=0.90, seed=4)
+        ci99 = bootstrap_mrr_ci(rr, confidence=0.99, seed=4)
+        assert (ci99.upper - ci99.lower) >= (ci90.upper - ci90.lower)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mrr_ci(np.empty(0))
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_mrr_ci(np.ones(5), confidence=1.5)
+
+
+class TestPairedPermutationTest:
+    def test_identical_models_not_significant(self):
+        rng = np.random.default_rng(0)
+        rr = rng.uniform(1 / 11, 1.0, size=150)
+        result = paired_permutation_test(rr, rr.copy(), seed=1)
+        assert result.difference == pytest.approx(0.0)
+        assert result.p_value > 0.5
+
+    def test_clear_difference_is_significant(self):
+        rng = np.random.default_rng(1)
+        rr_strong = np.clip(rng.normal(0.8, 0.1, 150), 0.0909, 1.0)
+        rr_weak = np.clip(rng.normal(0.4, 0.1, 150), 0.0909, 1.0)
+        result = paired_permutation_test(rr_strong, rr_weak, seed=2)
+        assert result.difference > 0.3
+        assert result.p_value < 0.01
+
+    def test_p_value_never_zero(self):
+        result = paired_permutation_test(
+            np.ones(20), np.full(20, 0.1), seed=0
+        )
+        assert result.p_value > 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(4)
+        a = rng.uniform(0, 1, 80)
+        b = rng.uniform(0, 1, 80)
+        ab = paired_permutation_test(a, b, seed=5)
+        ba = paired_permutation_test(b, a, seed=5)
+        assert ab.difference == pytest.approx(-ba.difference)
+        assert ab.p_value == pytest.approx(ba.p_value, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            paired_permutation_test(np.empty(0), np.empty(0))
+
+    def test_end_to_end_with_models(self):
+        corpus = eval_corpus(100)
+        queries = make_queries(corpus, "location", n_noise=10, seed=0)
+        rr_a = reciprocal_ranks(RandomModel(seed=1), queries)
+        rr_b = reciprocal_ranks(RandomModel(seed=2), queries)
+        result = paired_permutation_test(rr_a, rr_b, seed=3)
+        # Two random models: no significant difference expected.
+        assert result.p_value > 0.01

@@ -1,0 +1,89 @@
+"""Tests for the multi-model evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.eval import build_task_queries, evaluate_model, evaluate_models
+from tests.eval.test_mrr import RandomModel, eval_corpus
+
+
+class NoTimeModel(RandomModel):
+    supports_time = False
+
+
+class TestBuildTaskQueries:
+    def test_all_three_tasks(self):
+        queries = build_task_queries(eval_corpus(), n_noise=5, seed=0)
+        assert set(queries) == {"text", "location", "time"}
+
+    def test_max_queries_respected(self):
+        queries = build_task_queries(
+            eval_corpus(100), n_noise=5, max_queries=9, seed=0
+        )
+        for task_queries in queries.values():
+            assert len(task_queries) == 9
+
+
+class TestEvaluateModel:
+    def test_all_tasks_scored(self):
+        queries = build_task_queries(eval_corpus(), n_noise=5, seed=0)
+        result = evaluate_model(RandomModel(), queries)
+        assert set(result) == {"text", "location", "time"}
+        for value in result.values():
+            assert 0.0 < value <= 1.0
+
+    def test_unsupported_time_gives_none(self):
+        queries = build_task_queries(eval_corpus(), n_noise=5, seed=0)
+        result = evaluate_model(NoTimeModel(), queries)
+        assert result["time"] is None
+        assert result["text"] is not None
+
+
+class TestEvaluateModels:
+    def test_multiple_models_share_queries(self):
+        corpus = eval_corpus(80)
+        results = evaluate_models(
+            {"a": RandomModel(seed=1), "b": RandomModel(seed=1)},
+            corpus,
+            n_noise=5,
+            max_queries=20,
+            seed=0,
+        )
+        # identical models on identical queries -> identical MRR
+        assert results["a"] == results["b"]
+
+    def test_result_structure(self):
+        results = evaluate_models(
+            {"only": RandomModel()}, eval_corpus(), n_noise=5, seed=0
+        )
+        assert set(results) == {"only"}
+        assert set(results["only"]) == {"text", "location", "time"}
+
+
+class TestReporting:
+    def test_format_table_basic(self):
+        from repro.eval import format_table
+
+        text = format_table(
+            ["A", "B"], [["x", 1.23456], ["y", None]], title="T"
+        )
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert "1.2346" in text
+        assert "/" in text  # None rendered as the paper's '/' marker
+
+    def test_format_mrr_table_layout(self):
+        from repro.eval import format_mrr_table
+
+        table = format_mrr_table(
+            {"LGTA": {"text": 0.5, "location": 0.4, "time": None}}
+        )
+        assert "LGTA" in table
+        assert "Text" in table and "Location" in table and "Time" in table
+        assert "/" in table
+
+    def test_format_table_empty_rows(self):
+        from repro.eval import format_table
+
+        text = format_table(["H1", "H2"], [])
+        assert "H1" in text

@@ -1,0 +1,86 @@
+"""Tests for the homogeneous user interaction graph."""
+
+import pytest
+
+from repro.graphs import UserInteractionGraph
+
+
+class TestUsers:
+    def test_add_user_idempotent(self):
+        g = UserInteractionGraph()
+        assert g.add_user("alice") == g.add_user("alice")
+        assert g.n_users == 1
+
+    def test_index_of(self):
+        g = UserInteractionGraph()
+        g.add_user("alice")
+        g.add_user("bob")
+        assert g.index_of("bob") == 1
+        assert g.has_user("alice")
+        assert not g.has_user("carol")
+
+
+class TestMentions:
+    def test_mention_weight_accumulates(self):
+        g = UserInteractionGraph()
+        g.add_mention("alice", "bob")
+        g.add_mention("bob", "alice")  # undirected: same edge
+        g.add_mention("alice", "bob")
+        assert g.mention_weight("alice", "bob") == pytest.approx(3.0)
+        assert g.mention_weight("bob", "alice") == pytest.approx(3.0)
+
+    def test_mention_registers_both_users(self):
+        g = UserInteractionGraph()
+        g.add_mention("alice", "bob")
+        assert g.has_user("alice") and g.has_user("bob")
+
+    def test_self_mention_ignored(self):
+        g = UserInteractionGraph()
+        g.add_mention("alice", "alice")
+        assert g.n_edges == 0
+
+    def test_unknown_users_have_zero_weight(self):
+        g = UserInteractionGraph()
+        assert g.mention_weight("x", "y") == 0.0
+
+
+class TestFinalize:
+    def test_degree_and_edge_set(self):
+        g = UserInteractionGraph()
+        g.add_mention("a", "b")
+        g.add_mention("a", "c")
+        g.add_mention("a", "b")
+        g.finalize()
+        assert len(g.edge_set) == 2
+        assert g.degree[g.index_of("a")] == pytest.approx(3.0)
+        assert g.degree[g.index_of("b")] == pytest.approx(2.0)
+        assert g.degree[g.index_of("c")] == pytest.approx(1.0)
+
+    def test_isolated_users(self):
+        g = UserInteractionGraph()
+        g.add_user("loner")
+        g.add_mention("a", "b")
+        g.finalize()
+        assert g.isolated_users() == ["loner"]
+
+    def test_empty_graph_finalizes(self):
+        g = UserInteractionGraph()
+        g.finalize()
+        assert len(g.edge_set) == 0
+        assert g.degree.shape == (0,)
+
+    def test_mutation_after_finalize_raises(self):
+        g = UserInteractionGraph()
+        g.add_mention("a", "b")
+        g.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            g.add_mention("a", "c")
+        with pytest.raises(RuntimeError, match="finalized"):
+            g.add_user("d")
+
+    def test_access_before_finalize_raises(self):
+        g = UserInteractionGraph()
+        with pytest.raises(RuntimeError, match="not finalized"):
+            _ = g.edge_set
+        with pytest.raises(RuntimeError, match="not finalized"):
+            _ = g.degree

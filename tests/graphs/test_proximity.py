@@ -1,0 +1,144 @@
+"""Tests for the proximity definitions (paper Definitions 3-5)."""
+
+import pytest
+
+from repro.data import Corpus, Record, Vocabulary
+from repro.graphs import GraphBuilder, NodeType
+from repro.graphs.proximity import (
+    first_order_proximity,
+    meta_graph_proximity,
+    second_order_proximity,
+)
+from repro.hotspots import HotspotDetector
+
+
+@pytest.fixture(scope="module")
+def fig1_built():
+    """The Fig. 1 / Fig. 3a situation: two records, B mentions A."""
+    corpus = Corpus(
+        records=[
+            Record(
+                record_id=0,
+                user="userA",
+                timestamp=15.0,
+                location=(0.0, 0.0),
+                words=("movie", "apes"),
+            ),
+            Record(
+                record_id=1,
+                user="userB",
+                timestamp=20.0,
+                location=(10.0, 10.0),
+                words=("theatre", "discount"),
+                mentions=("userA",),
+            ),
+        ]
+    )
+    return GraphBuilder(
+        detector=HotspotDetector(
+            spatial_bandwidth=1.0, temporal_bandwidth=1.0, min_support=1
+        ),
+        vocab=Vocabulary(min_count=1),
+        link_mentions=False,
+    ).build(corpus)
+
+
+class TestFirstOrder:
+    def test_cooccurring_units_have_positive_proximity(self, fig1_built):
+        activity = fig1_built.activity
+        movie = activity.index_of(NodeType.WORD, "movie")
+        apes = activity.index_of(NodeType.WORD, "apes")
+        assert first_order_proximity(activity, movie, apes) == 1.0
+
+    def test_non_cooccurring_units_have_zero(self, fig1_built):
+        activity = fig1_built.activity
+        movie = activity.index_of(NodeType.WORD, "movie")
+        theatre = activity.index_of(NodeType.WORD, "theatre")
+        assert first_order_proximity(activity, movie, theatre) == 0.0
+
+
+class TestSecondOrder:
+    def test_same_record_words_share_neighbors(self, fig1_built):
+        """'movie' and 'apes' share T, L and the user -> high 2nd order."""
+        activity = fig1_built.activity
+        movie = activity.index_of(NodeType.WORD, "movie")
+        apes = activity.index_of(NodeType.WORD, "apes")
+        theatre = activity.index_of(NodeType.WORD, "theatre")
+        same_record = second_order_proximity(activity, movie, apes)
+        cross_record = second_order_proximity(activity, movie, theatre)
+        assert same_record > cross_record
+
+    def test_symmetric(self, fig1_built):
+        activity = fig1_built.activity
+        movie = activity.index_of(NodeType.WORD, "movie")
+        apes = activity.index_of(NodeType.WORD, "apes")
+        assert second_order_proximity(
+            activity, movie, apes
+        ) == pytest.approx(second_order_proximity(activity, apes, movie))
+
+    def test_self_proximity_is_one(self, fig1_built):
+        activity = fig1_built.activity
+        movie = activity.index_of(NodeType.WORD, "movie")
+        assert second_order_proximity(activity, movie, movie) == pytest.approx(1.0)
+
+    def test_bounded_in_unit_interval(self, fig1_built):
+        activity = fig1_built.activity
+        words = activity.nodes_of_type(NodeType.WORD)
+        for u in words:
+            for v in words:
+                value = second_order_proximity(activity, int(u), int(v))
+                assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestMetaGraphProximity:
+    def test_cross_record_units_connected_through_users(self, fig1_built):
+        """The paper's example: T1 (A's time) ~ W2 (B's word) via the user
+        interaction edge — high-order proximity that first/second order
+        miss entirely."""
+        activity = fig1_built.activity
+        t_a = activity.index_of(
+            NodeType.TIME, int(fig1_built.detector.assign_temporal([15.0])[0])
+        )
+        theatre = activity.index_of(NodeType.WORD, "theatre")
+        assert first_order_proximity(activity, t_a, theatre) == 0.0
+        assert meta_graph_proximity(fig1_built, t_a, theatre) > 0.0
+
+    def test_orientation_symmetric(self, fig1_built):
+        activity = fig1_built.activity
+        movie = activity.index_of(NodeType.WORD, "movie")
+        theatre = activity.index_of(NodeType.WORD, "theatre")
+        assert meta_graph_proximity(
+            fig1_built, movie, theatre
+        ) == pytest.approx(meta_graph_proximity(fig1_built, theatre, movie))
+
+    def test_rejects_user_vertices(self, fig1_built):
+        activity = fig1_built.activity
+        user = activity.index_of(NodeType.USER, "userA")
+        movie = activity.index_of(NodeType.WORD, "movie")
+        with pytest.raises(ValueError, match="unit_x"):
+            meta_graph_proximity(fig1_built, user, movie)
+        with pytest.raises(ValueError, match="unit_y"):
+            meta_graph_proximity(fig1_built, movie, user)
+
+    def test_zero_without_interaction_edges(self):
+        corpus = Corpus(
+            records=[
+                Record(
+                    record_id=0,
+                    user="solo",
+                    timestamp=1.0,
+                    location=(0.0, 0.0),
+                    words=("alone", "quiet"),
+                )
+            ]
+        )
+        built = GraphBuilder(
+            detector=HotspotDetector(
+                spatial_bandwidth=1.0, temporal_bandwidth=1.0, min_support=1
+            ),
+            vocab=Vocabulary(min_count=1),
+        ).build(corpus)
+        activity = built.activity
+        alone = activity.index_of(NodeType.WORD, "alone")
+        quiet = activity.index_of(NodeType.WORD, "quiet")
+        assert meta_graph_proximity(built, alone, quiet) == 0.0

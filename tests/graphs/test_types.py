@@ -1,0 +1,96 @@
+"""Tests for the vertex/edge type system and EdgeSet container."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import EdgeSet, EdgeType, NodeType, edge_type_between
+
+
+class TestEdgeTypeBetween:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (NodeType.TIME, NodeType.LOCATION, EdgeType.TL),
+            (NodeType.LOCATION, NodeType.TIME, EdgeType.TL),
+            (NodeType.LOCATION, NodeType.WORD, EdgeType.LW),
+            (NodeType.WORD, NodeType.TIME, EdgeType.WT),
+            (NodeType.WORD, NodeType.WORD, EdgeType.WW),
+            (NodeType.USER, NodeType.TIME, EdgeType.UT),
+            (NodeType.USER, NodeType.LOCATION, EdgeType.UL),
+            (NodeType.USER, NodeType.WORD, EdgeType.UW),
+            (NodeType.USER, NodeType.USER, EdgeType.UU),
+            (NodeType.LOCATION, NodeType.LOCATION, EdgeType.LL),
+            (NodeType.TIME, NodeType.TIME, EdgeType.TT),
+        ],
+    )
+    def test_all_pairs(self, a, b, expected):
+        assert edge_type_between(a, b) is expected
+
+    def test_symmetric(self):
+        for a in NodeType:
+            for b in NodeType:
+                assert edge_type_between(a, b) is edge_type_between(b, a)
+
+    def test_endpoints_consistency(self):
+        for edge_type in EdgeType:
+            a, b = edge_type.endpoints
+            assert edge_type_between(a, b) is edge_type
+
+
+class TestEdgeSet:
+    def test_basic_construction(self):
+        es = EdgeSet(
+            edge_type=EdgeType.TL,
+            src=np.asarray([0, 1]),
+            dst=np.asarray([2, 3]),
+            weight=np.asarray([1.0, 2.0]),
+        )
+        assert len(es) == 2
+        assert es.total_weight == pytest.approx(3.0)
+
+    def test_dtype_coercion(self):
+        es = EdgeSet(
+            edge_type=EdgeType.WW,
+            src=[0],
+            dst=[1],
+            weight=[1],
+        )
+        assert es.src.dtype == np.int64
+        assert es.weight.dtype == np.float64
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            EdgeSet(
+                edge_type=EdgeType.TL,
+                src=np.asarray([0, 1]),
+                dst=np.asarray([2]),
+                weight=np.asarray([1.0]),
+            )
+
+    def test_rejects_2d_arrays(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            EdgeSet(
+                edge_type=EdgeType.TL,
+                src=np.zeros((2, 2), dtype=np.int64),
+                dst=np.zeros((2, 2), dtype=np.int64),
+                weight=np.ones((2, 2)),
+            )
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            EdgeSet(
+                edge_type=EdgeType.TL,
+                src=np.asarray([0]),
+                dst=np.asarray([1]),
+                weight=np.asarray([0.0]),
+            )
+
+    def test_empty_edge_set_allowed(self):
+        es = EdgeSet(
+            edge_type=EdgeType.TL,
+            src=np.empty(0, dtype=np.int64),
+            dst=np.empty(0, dtype=np.int64),
+            weight=np.empty(0),
+        )
+        assert len(es) == 0
+        assert es.total_weight == 0.0

@@ -1,0 +1,117 @@
+"""Tests for the Epanechnikov kernel density estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hotspots import EpanechnikovKDE, epanechnikov
+
+
+class TestKernel:
+    def test_zero_offset_is_maximum(self):
+        values = epanechnikov(np.asarray([[0.0], [0.5], [0.9]]))
+        assert values[0] == max(values)
+
+    def test_vanishes_outside_unit_ball(self):
+        values = epanechnikov(np.asarray([[1.0], [1.5], [-2.0]]))
+        np.testing.assert_array_equal(values, 0.0)
+
+    def test_1d_normalizer(self):
+        # c_1 = 3/4: K(0) = 0.75
+        assert epanechnikov(np.asarray([[0.0]]))[0] == pytest.approx(0.75)
+
+    def test_2d_normalizer(self):
+        # c_2 = 2/pi
+        assert epanechnikov(np.zeros((1, 2)))[0] == pytest.approx(2.0 / np.pi)
+
+    def test_symmetry(self):
+        u = np.asarray([[0.3], [-0.3]])
+        values = epanechnikov(u)
+        assert values[0] == pytest.approx(values[1])
+
+    def test_1d_integral_is_one(self):
+        grid = np.linspace(-1.5, 1.5, 3001)[:, None]
+        values = epanechnikov(grid)
+        integral = np.trapezoid(values, grid.ravel())
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+
+class TestEpanechnikovKDE:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            EpanechnikovKDE(0.0)
+
+    def test_density_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            EpanechnikovKDE(1.0).density(np.zeros(1))
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(ValueError):
+            EpanechnikovKDE(1.0).fit(np.empty((0, 2)))
+
+    def test_rejects_nonfinite_points(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            EpanechnikovKDE(1.0).fit(np.asarray([[0.0], [np.nan]]))
+
+    def test_density_peaks_at_data_cluster(self):
+        rng = np.random.default_rng(0)
+        points = np.concatenate(
+            [rng.normal(0, 0.2, size=(200, 1)), rng.normal(5, 0.2, size=(50, 1))]
+        )
+        kde = EpanechnikovKDE(0.5).fit(points)
+        dens = kde.density(np.asarray([0.0, 2.5, 5.0]))
+        assert dens[0] > dens[2] > dens[1]
+
+    def test_1d_density_integrates_to_one(self):
+        rng = np.random.default_rng(1)
+        kde = EpanechnikovKDE(0.7).fit(rng.normal(0, 1, size=100))
+        grid = np.linspace(-5, 5, 2001)
+        integral = np.trapezoid(kde.density(grid), grid)
+        assert integral == pytest.approx(1.0, abs=1e-2)
+
+    def test_2d_queries(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(0, 1, size=(300, 2))
+        kde = EpanechnikovKDE(1.0).fit(points)
+        dens = kde.density(np.asarray([[0.0, 0.0], [10.0, 10.0]]))
+        assert dens[0] > 0
+        assert dens[1] == 0.0  # far outside every kernel support
+
+    def test_single_2d_query_vector(self):
+        kde = EpanechnikovKDE(1.0).fit(np.zeros((10, 2)))
+        dens = kde.density(np.asarray([0.0, 0.0]))
+        assert dens.shape == (1,)
+        assert dens[0] > 0
+
+    def test_dimension_mismatch_raises(self):
+        kde = EpanechnikovKDE(1.0).fit(np.zeros((5, 2)))
+        with pytest.raises(ValueError, match="dimension"):
+            kde.density(np.zeros((3, 3)))
+
+    def test_chunked_evaluation_matches_direct(self):
+        """Memory chunking must not change results."""
+        rng = np.random.default_rng(3)
+        points = rng.normal(0, 1, size=(50, 2))
+        kde = EpanechnikovKDE(1.0).fit(points)
+        queries = rng.normal(0, 1, size=(40, 2))
+        expected = np.asarray(
+            [kde.density(q[None, :])[0] for q in queries]
+        )
+        np.testing.assert_allclose(kde.density(queries), expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        points=arrays(
+            np.float64,
+            st.tuples(st.integers(2, 30), st.just(2)),
+            elements=st.floats(-10, 10),
+        ),
+        bandwidth=st.floats(0.1, 5.0),
+    )
+    def test_property_density_nonnegative(self, points, bandwidth):
+        kde = EpanechnikovKDE(bandwidth).fit(points)
+        dens = kde.density(points)
+        assert (dens >= 0).all()
+        assert np.isfinite(dens).all()

@@ -1,0 +1,154 @@
+"""Tests for mean-shift mode seeking (Euclidean and circular)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hotspots import circular_mean_shift, mean_shift
+
+
+def two_blobs(rng, centers=((0.0, 0.0), (10.0, 10.0)), n=150, sigma=0.3):
+    points = []
+    for c in centers:
+        points.append(rng.normal(c, sigma, size=(n, 2)))
+    return np.concatenate(points)
+
+
+class TestMeanShift:
+    def test_finds_two_well_separated_modes(self):
+        rng = np.random.default_rng(0)
+        result = mean_shift(two_blobs(rng), bandwidth=1.0)
+        assert result.n_modes == 2
+        sorted_modes = result.modes[np.argsort(result.modes[:, 0])]
+        np.testing.assert_allclose(sorted_modes[0], [0, 0], atol=0.3)
+        np.testing.assert_allclose(sorted_modes[1], [10, 10], atol=0.3)
+
+    def test_labels_partition_points(self):
+        rng = np.random.default_rng(1)
+        points = two_blobs(rng)
+        result = mean_shift(points, bandwidth=1.0)
+        assert result.labels.shape == (points.shape[0],)
+        assert set(result.labels) == {0, 1}
+        assert result.counts.sum() == points.shape[0]
+
+    def test_modes_ordered_by_support(self):
+        rng = np.random.default_rng(2)
+        points = np.concatenate(
+            [
+                rng.normal((0, 0), 0.2, size=(300, 2)),
+                rng.normal((8, 8), 0.2, size=(50, 2)),
+            ]
+        )
+        result = mean_shift(points, bandwidth=1.0)
+        assert result.counts[0] >= result.counts[1]
+        np.testing.assert_allclose(result.modes[0], [0, 0], atol=0.3)
+
+    def test_min_support_drops_noise_modes(self):
+        rng = np.random.default_rng(3)
+        points = np.concatenate(
+            [rng.normal((0, 0), 0.2, size=(200, 2)), [[50.0, 50.0]]]
+        )
+        lenient = mean_shift(points, bandwidth=1.0, min_support=1)
+        strict = mean_shift(points, bandwidth=1.0, min_support=5)
+        assert strict.n_modes < lenient.n_modes
+
+    def test_1d_input_accepted(self):
+        rng = np.random.default_rng(4)
+        values = np.concatenate(
+            [rng.normal(0, 0.1, 100), rng.normal(5, 0.1, 100)]
+        )
+        result = mean_shift(values, bandwidth=0.5)
+        assert result.n_modes == 2
+        assert result.modes.shape == (2, 1)
+
+    def test_single_point(self):
+        result = mean_shift(np.asarray([[1.0, 2.0]]), bandwidth=1.0)
+        assert result.n_modes == 1
+        np.testing.assert_allclose(result.modes[0], [1.0, 2.0], atol=1e-6)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            mean_shift(np.empty((0, 2)), bandwidth=1.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            mean_shift(np.zeros((3, 2)), bandwidth=0.0)
+
+    def test_modes_separated_by_at_least_bandwidth(self):
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0, 20, size=(400, 2))
+        result = mean_shift(points, bandwidth=2.0)
+        for i in range(result.n_modes):
+            for j in range(i + 1, result.n_modes):
+                assert (
+                    np.linalg.norm(result.modes[i] - result.modes[j]) >= 2.0
+                )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(5, 60),
+        bandwidth=st.floats(0.5, 3.0),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_every_point_gets_a_label(self, n, bandwidth, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 10, size=(n, 2))
+        result = mean_shift(points, bandwidth=bandwidth)
+        assert result.labels.shape == (n,)
+        assert (result.labels >= 0).all()
+        assert (result.labels < result.n_modes).all()
+        assert result.counts.sum() == n
+
+
+class TestCircularMeanShift:
+    def test_mode_across_midnight(self):
+        """23:30 and 00:30 data must merge into one mode near midnight."""
+        rng = np.random.default_rng(0)
+        hours = np.concatenate(
+            [rng.normal(23.5, 0.2, 100), rng.normal(0.5, 0.2, 100)]
+        ) % 24.0
+        result = circular_mean_shift(hours, bandwidth=1.0)
+        assert result.n_modes == 1
+        mode = result.modes[0, 0]
+        circ_dist = min(abs(mode - 0.0), 24.0 - abs(mode - 0.0))
+        assert circ_dist < 0.5
+
+    def test_two_opposite_modes(self):
+        rng = np.random.default_rng(1)
+        hours = np.concatenate(
+            [rng.normal(6.0, 0.3, 100), rng.normal(18.0, 0.3, 100)]
+        )
+        result = circular_mean_shift(hours, bandwidth=1.0)
+        assert result.n_modes == 2
+        modes = sorted(result.modes.ravel())
+        assert modes[0] == pytest.approx(6.0, abs=0.4)
+        assert modes[1] == pytest.approx(18.0, abs=0.4)
+
+    def test_modes_within_period(self):
+        rng = np.random.default_rng(2)
+        result = circular_mean_shift(
+            rng.uniform(0, 24, 200), bandwidth=2.0
+        )
+        assert ((result.modes >= 0) & (result.modes < 24)).all()
+
+    def test_custom_period(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(3.0, 0.1, 50) % 7.0
+        result = circular_mean_shift(values, bandwidth=0.5, period=7.0)
+        assert result.modes[0, 0] == pytest.approx(3.0, abs=0.3)
+
+    def test_rejects_bandwidth_over_half_period(self):
+        with pytest.raises(ValueError, match="period/2"):
+            circular_mean_shift(np.asarray([1.0, 2.0]), bandwidth=13.0)
+
+    def test_values_wrapped_into_period(self):
+        result_wrapped = circular_mean_shift(
+            np.asarray([25.0, 25.1, 25.2]), bandwidth=1.0
+        )
+        result_plain = circular_mean_shift(
+            np.asarray([1.0, 1.1, 1.2]), bandwidth=1.0
+        )
+        np.testing.assert_allclose(
+            result_wrapped.modes, result_plain.modes, atol=1e-6
+        )

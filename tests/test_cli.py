@@ -1,0 +1,199 @@
+"""Tests for the command-line interface (generate/stats/train/evaluate/query)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def corpus_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.jsonl"
+    code = main(
+        [
+            "generate",
+            "--preset", "utgeo2011",
+            "--n-records", "800",
+            "--seed", "3",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory, corpus_path):
+    path = tmp_path_factory.mktemp("cli-model") / "actor.pkl"
+    code = main(
+        [
+            "train",
+            "--corpus", str(corpus_path),
+            "--out", str(path),
+            "--dim", "16",
+            "--epochs", "3",
+            "--seed", "0",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--preset", "nope", "--out", "x"]
+            )
+
+    def test_query_modalities_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--model", "m", "--word", "w", "--time", "5"]
+            )
+
+
+class TestGenerate:
+    def test_writes_jsonl(self, corpus_path):
+        assert corpus_path.exists()
+        lines = corpus_path.read_text().strip().split("\n")
+        assert len(lines) == 800
+
+    def test_split_selection(self, tmp_path):
+        out = tmp_path / "test.jsonl"
+        code = main(
+            [
+                "generate",
+                "--preset", "4sq",
+                "--n-records", "300",
+                "--out", str(out),
+                "--split", "test",
+            ]
+        )
+        assert code == 0
+        lines = out.read_text().strip().split("\n")
+        assert 0 < len(lines) < 300
+
+
+class TestStats:
+    def test_prints_statistics(self, corpus_path, capsys):
+        assert main(["stats", "--corpus", str(corpus_path)]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out
+        assert "800" in out
+        assert "mention rate" in out
+
+
+class TestTrainEvaluateQuery:
+    def test_train_saves_model(self, model_path):
+        assert model_path.exists()
+
+    def test_evaluate_prints_mrr(self, model_path, corpus_path, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--model", str(model_path),
+                "--corpus", str(corpus_path),
+                "--max-queries", "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MRR" in out
+        for task in ("text", "location", "time"):
+            assert task in out
+
+    def test_query_time(self, model_path, capsys):
+        code = main(
+            ["query", "--model", str(model_path), "--time", "21.5", "--k", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nearest words" in out
+        assert "nearest locations" in out
+
+    def test_query_location(self, model_path, capsys):
+        code = main(
+            [
+                "query",
+                "--model", str(model_path),
+                "--location", "10.0,10.0",
+                "--k", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nearest words" in out
+        assert "nearest times" in out
+
+    def test_query_bad_location_format(self, model_path, capsys):
+        code = main(
+            ["query", "--model", str(model_path), "--location", "oops"]
+        )
+        assert code == 2
+
+    def test_query_word(self, model_path, capsys):
+        from repro.core import Actor
+
+        model = Actor.load(model_path)
+        word = model.built.vocab.words[0]
+        code = main(
+            ["query", "--model", str(model_path), "--word", word, "--k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nearest words" in out
+
+    def test_train_ablation_flags(self, corpus_path, tmp_path):
+        out = tmp_path / "ablated.pkl"
+        code = main(
+            [
+                "train",
+                "--corpus", str(corpus_path),
+                "--out", str(out),
+                "--dim", "8",
+                "--epochs", "1",
+                "--no-inter",
+                "--no-intra-bow",
+            ]
+        )
+        assert code == 0
+        from repro.core import Actor
+
+        model = Actor.load(out)
+        assert not model.config.use_inter
+        assert not model.config.use_intra_bow
+
+
+class TestExportBundle:
+    def test_export_and_query_bundle(self, model_path, tmp_path, capsys):
+        bundle_dir = tmp_path / "bundle"
+        assert main(
+            ["export", "--model", str(model_path), "--out", str(bundle_dir)]
+        ) == 0
+        assert (bundle_dir / "manifest.json").exists()
+        capsys.readouterr()
+        code = main(
+            ["query", "--model", str(bundle_dir), "--time", "21.0", "--k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nearest words" in out
+
+    def test_evaluate_with_bundle(self, model_path, corpus_path, tmp_path, capsys):
+        bundle_dir = tmp_path / "bundle2"
+        main(["export", "--model", str(model_path), "--out", str(bundle_dir)])
+        capsys.readouterr()
+        code = main(
+            [
+                "evaluate",
+                "--model", str(bundle_dir),
+                "--corpus", str(corpus_path),
+                "--max-queries", "20",
+            ]
+        )
+        assert code == 0
+        assert "MRR" in capsys.readouterr().out

@@ -1,0 +1,53 @@
+"""Sanity checks on the example scripts.
+
+Full runs train real models (minutes); CI-level checking here verifies
+each example compiles, has a main() entry point and documents itself.
+The examples are executed for real by `pytest benchmarks/` users and in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.name for p in EXAMPLE_FILES]
+)
+class TestExampleStructure:
+    def test_compiles(self, path):
+        ast.parse(path.read_text(), filename=str(path))
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+    def test_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+
+    def test_defines_main(self, path):
+        tree = ast.parse(path.read_text())
+        names = {
+            node.name
+            for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in names
+
+    def test_imports_only_public_api(self, path):
+        """Examples must demonstrate the public surface, not internals."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                assert not node.module.startswith("repro._"), node.module

@@ -1,0 +1,204 @@
+"""Integration tests: the full pipeline end-to-end, and the paper's
+qualitative claims on synthetic ground truth.
+
+These are the tests that justify calling this a reproduction: they verify
+that the *learned embeddings* recover the latent structure the city
+simulator planted — topic coherence, venue-location proximity, and the
+high-order mention-mediated signal that distinguishes ACTOR from the
+single-layer special case (CrossMap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Actor, ActorConfig, CrossMap, generate_dataset
+from repro.core import textual_query
+from repro.core.prediction import cosine_similarities
+from repro.eval import build_task_queries, evaluate_model
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_dataset("utgeo2011", n_records=3000, seed=13)
+
+
+@pytest.fixture(scope="module")
+def actor(data):
+    config = ActorConfig(dim=48, epochs=15, line_samples=30_000, seed=1)
+    return Actor(config).fit(data.train)
+
+
+@pytest.fixture(scope="module")
+def crossmap(data):
+    return CrossMap(dim=48, epochs=15, seed=1).fit(data.train)
+
+
+class TestEndToEnd:
+    def test_actor_beats_chance_on_all_tasks(self, actor, data):
+        queries = build_task_queries(
+            data.test, n_noise=10, max_queries=80, seed=0
+        )
+        result = evaluate_model(actor, queries)
+        chance = sum(1.0 / r for r in range(1, 12)) / 11  # ~0.274
+        for task, mrr in result.items():
+            assert mrr > chance + 0.1, f"{task} barely above chance: {mrr}"
+
+    def test_actor_beats_crossmap_on_mention_dataset(
+        self, actor, crossmap, data
+    ):
+        """The headline Table-2 shape: hierarchical embedding wins when the
+        corpus carries mention structure."""
+        queries = build_task_queries(
+            data.test, n_noise=10, max_queries=150, seed=0
+        )
+        actor_result = evaluate_model(actor, queries)
+        crossmap_result = evaluate_model(crossmap, queries)
+        wins = sum(
+            actor_result[t] > crossmap_result[t]
+            for t in ("text", "location", "time")
+        )
+        assert wins >= 2, (actor_result, crossmap_result)
+
+
+class TestEmbeddingRecoversGroundTruth:
+    def test_same_topic_words_closer_than_cross_topic(self, actor, data):
+        """Embedding coherence: intra-topic word similarity must exceed
+        inter-topic similarity."""
+        city = data.city
+        vocab = actor.built.vocab
+        per_topic_vecs = []
+        for topic in city.topics[:6]:
+            vecs = [
+                actor.unit_vector("word", w)
+                for w in topic.keywords[:8]
+                if w in vocab
+            ]
+            vecs = [v for v in vecs if v is not None]
+            if len(vecs) >= 3:
+                per_topic_vecs.append(np.stack(vecs))
+        assert len(per_topic_vecs) >= 3
+
+        def mean_cos(a, b):
+            a = a / np.linalg.norm(a, axis=1, keepdims=True)
+            b = b / np.linalg.norm(b, axis=1, keepdims=True)
+            sims = a @ b.T
+            if a is b:
+                mask = ~np.eye(len(a), dtype=bool)
+                return sims[mask].mean()
+            return sims.mean()
+
+        within = np.mean([mean_cos(v, v) for v in per_topic_vecs])
+        across = np.mean(
+            [
+                mean_cos(per_topic_vecs[i], per_topic_vecs[j])
+                for i in range(len(per_topic_vecs))
+                for j in range(i + 1, len(per_topic_vecs))
+            ]
+        )
+        assert within > across + 0.05
+
+    def test_venue_token_nearest_location_is_the_venue(self, actor, data):
+        """Fig.-11 behaviour: a venue keyword's nearest spatial hotspots
+        must lie near the actual venue."""
+        city = data.city
+        vocab = actor.built.vocab
+        hotspots = actor.built.detector.spatial_hotspots
+        checked = 0
+        hits = 0
+        for venue in city.venues:
+            token = venue.name_token
+            if token not in vocab:
+                continue
+            query = actor.unit_vector("word", token)
+            top = actor.neighbors(query, "location", k=3)
+            dists = [
+                np.linalg.norm(hotspots[int(idx)] - np.asarray(venue.location))
+                for idx, _score in top
+            ]
+            checked += 1
+            if min(dists) < 3.0:
+                hits += 1
+            if checked >= 25:
+                break
+        assert checked >= 10
+        assert hits / checked > 0.6
+
+    def test_topic_peak_hour_nearest_temporal_unit(self, actor, data):
+        """A topic keyword's nearest temporal hotspots should sit near the
+        topic's peak hour."""
+        city = data.city
+        vocab = actor.built.vocab
+        good = 0
+        total = 0
+        for topic in city.topics:
+            signature = topic.keywords[0]
+            if signature not in vocab:
+                continue
+            result = textual_query(actor, signature, k=3)
+            best_hours = [h for h, _s in result.times]
+            diffs = [
+                min(abs(h - topic.peak_hour), 24 - abs(h - topic.peak_hour))
+                for h in best_hours
+            ]
+            total += 1
+            if min(diffs) < 3.0:
+                good += 1
+        assert total >= 5
+        assert good / total > 0.6
+
+    def test_mentioning_users_are_close(self, actor, data):
+        """LINE pretraining: users who mention each other embed nearby."""
+        interaction = actor.built.interaction
+        emb = actor.user_embeddings
+        assert emb is not None
+        norm = emb / np.clip(
+            np.linalg.norm(emb, axis=1, keepdims=True), 1e-12, None
+        )
+        edge_set = interaction.edge_set
+        linked = np.mean(
+            [
+                float(norm[int(a)] @ norm[int(b)])
+                for a, b in zip(edge_set.src[:200], edge_set.dst[:200])
+            ]
+        )
+        rng = np.random.default_rng(0)
+        n = interaction.n_users
+        random_pairs = np.mean(
+            [
+                float(norm[rng.integers(n)] @ norm[rng.integers(n)])
+                for _ in range(200)
+            ]
+        )
+        assert linked > random_pairs
+
+    def test_cross_modal_coherence(self, actor, data):
+        """A topic's signature word must be closer to venues of its own
+        topic than to venues of other topics (cross-modal proximity)."""
+        city = data.city
+        vocab = actor.built.vocab
+        wins = 0
+        total = 0
+        for topic in city.topics[:8]:
+            signature = topic.keywords[0]
+            if signature not in vocab:
+                continue
+            query = actor.unit_vector("word", signature)
+            own = [
+                actor.unit_vector("location", v.location)
+                for v in city.venues
+                if v.topic_id == topic.topic_id
+            ][:5]
+            other = [
+                actor.unit_vector("location", v.location)
+                for v in city.venues
+                if v.topic_id != topic.topic_id
+            ][:15]
+            own_sim = cosine_similarities(query, np.stack(own)).mean()
+            other_sim = cosine_similarities(query, np.stack(other)).mean()
+            total += 1
+            if own_sim > other_sim:
+                wins += 1
+        assert total >= 5
+        assert wins / total > 0.7

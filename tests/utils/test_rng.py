@@ -1,0 +1,52 @@
+"""Tests for seeded RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_numpy_integer_seed_accepted(self):
+        seed = np.int64(7)
+        a = ensure_rng(seed).random(3)
+        b = ensure_rng(7).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRng:
+    def test_spawn_count(self):
+        children = spawn_rng(ensure_rng(0), 3)
+        assert len(children) == 3
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn_rng(ensure_rng(0), 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_spawn_is_reproducible(self):
+        a = spawn_rng(ensure_rng(9), 2)[1].random(4)
+        b = spawn_rng(ensure_rng(9), 2)[1].random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(0), 0)
