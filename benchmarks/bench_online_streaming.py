@@ -20,6 +20,7 @@ from repro.core import OnlineActor
 from repro.data import CityModel, preset_config
 from repro.data.splits import SplitSizes, train_valid_test_split
 from repro.eval import evaluate_model, format_table, make_queries, mean_reciprocal_rank
+from repro.utils.metrics import MetricsRegistry
 
 from common import SEED
 
@@ -37,6 +38,7 @@ def test_online_adaptation_to_new_district(benchmark, datasets, actor_models):
         seed=SEED,
     )
 
+    registry = MetricsRegistry()
     online = OnlineActor(
         base,
         half_life=8.0,
@@ -44,6 +46,7 @@ def test_online_adaptation_to_new_district(benchmark, datasets, actor_models):
         steps_per_batch=200,
         negatives=2,
         seed=SEED,
+        metrics=registry,
     )
     batch_size = 150
     for start in range(0, len(stream), batch_size):
@@ -75,6 +78,12 @@ def test_online_adaptation_to_new_district(benchmark, datasets, actor_models):
         f"ingested {online.n_ingested} records, "
         f"{online.center.shape[0] - base.center.shape[0]} new embedding rows"
     )
+    ingest_timer = registry.timer("stream.partial_fit")
+    throughput = (
+        online.n_ingested / ingest_timer.total if ingest_timer.total else 0.0
+    )
+    print(f"ingestion throughput: {throughput:,.0f} records/sec")
+    print(registry.render(title="streaming metrics"))
 
     # The frozen model cannot embed the new vocabulary: near-chance.
     # The online model must clearly exceed it.

@@ -10,6 +10,9 @@ Usage (also available as ``python -m repro``)::
     repro query    --model model.pkl --time 22.0
     repro query    --model model.pkl --location 3.5,7.2
     repro export   --model model.pkl --out bundle/   # pickle-free bundle
+    repro stream   --model model.pkl --corpus new.jsonl --metrics \
+                   --checkpoint ckpt/               # online adaptation
+    repro stream   --model model.pkl --corpus more.jsonl --resume ckpt/
 
 Every command prints plain text to stdout; exit code 0 on success, 2 on
 argument errors (argparse convention).
@@ -26,7 +29,9 @@ from pathlib import Path
 from repro.core import (
     Actor,
     ActorConfig,
+    OnlineActor,
     load_bundle,
+    load_online_checkpoint,
     save_bundle,
     spatial_query,
     temporal_query,
@@ -34,6 +39,7 @@ from repro.core import (
 )
 from repro.data import generate_dataset, load_corpus, save_corpus
 from repro.eval import build_task_queries, evaluate_model, format_table
+from repro.utils.metrics import MetricsRegistry
 
 __all__ = ["main", "build_parser"]
 
@@ -86,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-intra-bow", action="store_true",
         help="disable the bag-of-words structure (Table-4 ablation)",
     )
+    train.add_argument(
+        "--metrics", action="store_true",
+        help="print the training metrics table (per-epoch loss/time)",
+    )
 
     ev = sub.add_parser(
         "evaluate", help="MRR over the three cross-modal prediction tasks"
@@ -102,6 +112,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("--model", required=True, help="pickled model path")
     export.add_argument("--out", required=True, help="bundle directory")
+
+    stream = sub.add_parser(
+        "stream",
+        help="adapt a trained model to a new JSONL stream (OnlineActor)",
+    )
+    stream.add_argument("--model", required=True, help="trained base model")
+    stream.add_argument("--corpus", required=True, help="JSONL stream path")
+    stream.add_argument("--batch-size", type=int, default=256)
+    stream.add_argument("--half-life", type=float, default=10.0)
+    stream.add_argument("--lr", type=float, default=0.01)
+    stream.add_argument("--steps-per-batch", type=int, default=50)
+    stream.add_argument("--negatives", type=int, default=2)
+    stream.add_argument("--buffer-size", type=int, default=200_000)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--metrics", action="store_true",
+        help="print the streaming metrics table after ingestion",
+    )
+    stream.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="write a resumable checkpoint directory when done",
+    )
+    stream.add_argument(
+        "--resume", metavar="DIR",
+        help="resume from a checkpoint directory instead of starting fresh "
+        "(checkpoint hyper-parameters override the flags above)",
+    )
 
     q = sub.add_parser("query", help="neighbor search around one unit")
     q.add_argument("--model", required=True)
@@ -155,7 +192,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         use_intra_bow=not args.no_intra_bow,
         seed=args.seed,
     )
-    model = Actor(config).fit(corpus)
+    registry = MetricsRegistry() if args.metrics else None
+    model = Actor(config).fit(corpus, metrics=registry)
     model.save(args.out)
     summary = model.built.activity.summary()
     print(
@@ -163,6 +201,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"{len(corpus)} records: {summary['n_nodes']} nodes, "
         f"{summary['n_edges']} edges; saved to {args.out}"
     )
+    if registry is not None:
+        print(registry.render(title="training metrics"))
     return 0
 
 
@@ -232,6 +272,42 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    if args.batch_size <= 0:
+        print("--batch-size must be a positive integer", file=sys.stderr)
+        return 2
+    base = Actor.load(args.model)
+    corpus = load_corpus(args.corpus)
+    if args.resume:
+        model = load_online_checkpoint(base, args.resume)
+    else:
+        model = OnlineActor(
+            base,
+            half_life=args.half_life,
+            online_lr=args.lr,
+            steps_per_batch=args.steps_per_batch,
+            batch_size=args.batch_size,
+            negatives=args.negatives,
+            buffer_size=args.buffer_size,
+            seed=args.seed,
+        )
+    records = list(corpus)
+    for start in range(0, len(records), args.batch_size):
+        model.partial_fit(records[start : start + args.batch_size])
+    print(
+        f"streamed {len(records)} records into {args.model}: "
+        f"{model.n_ingested} ingested total, "
+        f"{model.center.shape[0]} rows, buffer {len(model.buffer)}/"
+        f"{model.buffer.max_size} (evictions={model.buffer.evictions})"
+    )
+    if args.metrics:
+        print(model.metrics.render(title="streaming metrics"))
+    if args.checkpoint:
+        model.save_checkpoint(args.checkpoint)
+        print(f"wrote checkpoint to {args.checkpoint}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -239,6 +315,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "query": _cmd_query,
     "export": _cmd_export,
+    "stream": _cmd_stream,
 }
 
 

@@ -22,7 +22,13 @@ from repro.core.prediction import (
     cosine_similarities,
     rank_descending,
 )
-from repro.core.serialize import QueryModel, load_bundle, save_bundle
+from repro.core.serialize import (
+    QueryModel,
+    load_bundle,
+    load_online_checkpoint,
+    save_bundle,
+    save_online_checkpoint,
+)
 from repro.core.streaming import OnlineActor, RecencyBuffer
 
 __all__ = [
@@ -42,6 +48,8 @@ __all__ = [
     "QueryModel",
     "save_bundle",
     "load_bundle",
+    "save_online_checkpoint",
+    "load_online_checkpoint",
     "RecencyBuffer",
     "NeighborResult",
     "spatial_query",

@@ -67,7 +67,7 @@ class Actor(GraphEmbeddingModel):
         """Whether :meth:`fit` has completed."""
         return self._fitted
 
-    def fit(self, corpus: Corpus, *, detector=None) -> "Actor":
+    def fit(self, corpus: Corpus, *, detector=None, metrics=None) -> "Actor":
         """Run hotspot detection, graph building, initialization, training.
 
         Parameters
@@ -80,6 +80,10 @@ class Actor(GraphEmbeddingModel):
             :class:`~repro.hotspots.grid.GridDetector` for the
             discretization ablation.  Must expose the detector interface
             (``fit`` / ``assign_*`` / ``*_hotspots``).
+        metrics:
+            Optional :class:`~repro.utils.metrics.MetricsRegistry`
+            forwarded to the trainer (per-epoch loss/time under
+            ``train.*``).
         """
         cfg = self.config
         rng = ensure_rng(cfg.seed)
@@ -139,7 +143,9 @@ class Actor(GraphEmbeddingModel):
                 self.built.activity.n_nodes, cfg.dim, init_rng
             )
 
-        self.trainer = ActorTrainer(self.built, cfg, center, context)
+        self.trainer = ActorTrainer(
+            self.built, cfg, center, context, metrics=metrics
+        )
         self.trainer.train(seed=train_rng)
         self.center = self.trainer.center
         self.context = self.trainer.context

@@ -39,9 +39,18 @@ from repro.graphs.interaction_graph import UserInteractionGraph
 from repro.graphs.types import NodeType
 from repro.hotspots.detector import HotspotDetector
 
-__all__ = ["save_bundle", "load_bundle", "QueryModel", "FORMAT_VERSION"]
+__all__ = [
+    "save_bundle",
+    "load_bundle",
+    "QueryModel",
+    "FORMAT_VERSION",
+    "save_online_checkpoint",
+    "load_online_checkpoint",
+    "ONLINE_FORMAT_VERSION",
+]
 
 FORMAT_VERSION = 1
+ONLINE_FORMAT_VERSION = 1
 
 
 class QueryModel(GraphEmbeddingModel):
@@ -151,3 +160,164 @@ def load_bundle(directory: str | Path) -> QueryModel:
         record_units=[],
     )
     return QueryModel(built=built, center=center, context=context)
+
+
+# --------------------------------------------------------------------------
+# Streaming checkpoints
+#
+# An OnlineActor's state beyond its base Actor is: the (grown) embedding
+# matrices, the registry of streamed-in extra nodes, the recency buffer
+# contents, and the online RNG stream.  A checkpoint directory holds
+#
+#   online_manifest.json   format version, hyper-params, extra node registry,
+#                          buffer clock, RNG state
+#   online_state.npz       center, context, buffer columns
+#
+# so a streaming deployment can crash and resume against the same base
+# model without replaying the stream.
+
+
+def save_online_checkpoint(model, directory: str | Path) -> Path:
+    """Write ``model``'s (an :class:`~repro.core.streaming.OnlineActor`)
+    resumable streaming state to ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    # Extra nodes in row order, so restore can rebuild the registry by
+    # enumeration.  Keys are hotspot ints or word/user strings — JSON-safe.
+    base_rows = model.center.shape[0] - len(model._extra_nodes)
+    ordered = sorted(model._extra_nodes.items(), key=lambda item: item[1])
+    extra_nodes = []
+    for offset, ((node_type, key), row) in enumerate(ordered):
+        if row != base_rows + offset:
+            raise ValueError(
+                "extra node rows are not contiguous; refusing to checkpoint"
+            )
+        extra_nodes.append(
+            [node_type.value, int(key) if isinstance(key, (int, np.integer)) else key]
+        )
+
+    buffer_state = model.buffer.state()
+    np.savez_compressed(
+        directory / "online_state.npz",
+        center=model.center,
+        context=model.context,
+        buf_src=buffer_state["src"],
+        buf_dst=buffer_state["dst"],
+        buf_weight=buffer_state["weight"],
+        buf_born=buffer_state["born"],
+    )
+    manifest = {
+        "format_version": ONLINE_FORMAT_VERSION,
+        "dim": int(model.center.shape[1]),
+        "base_rows": int(base_rows),
+        "n_rows": int(model.center.shape[0]),
+        "n_ingested": int(model.n_ingested),
+        "half_life": float(model.buffer.half_life),
+        "online_lr": float(model.online_lr),
+        "steps_per_batch": int(model.steps_per_batch),
+        "batch_size": int(model.batch_size),
+        "negatives": int(model.negatives),
+        "buffer_max_size": int(model.buffer.max_size),
+        "buffer_clock": int(buffer_state["clock"]),
+        "buffer_evictions": int(buffer_state["evictions"]),
+        "extra_nodes": extra_nodes,
+        "rng_state": model._rng.bit_generator.state,
+    }
+    (directory / "online_manifest.json").write_text(
+        json.dumps(manifest, indent=2)
+    )
+    return directory
+
+
+def load_online_checkpoint(base: Actor, directory: str | Path):
+    """Rebuild an :class:`~repro.core.streaming.OnlineActor` from a
+    :func:`save_online_checkpoint` directory, resuming against ``base``.
+
+    ``base`` must be the fitted Actor the checkpointed deployment was
+    warm-started from (same node count and dimension); the shared built
+    graphs supply the detector, base node registry and vocabulary.
+    """
+    from repro.core.streaming import OnlineActor, RecencyBuffer
+
+    directory = Path(directory)
+    manifest = json.loads((directory / "online_manifest.json").read_text())
+    if manifest.get("format_version") != ONLINE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {manifest.get('format_version')!r};"
+            f" this build reads version {ONLINE_FORMAT_VERSION}"
+        )
+    if not base.is_fitted:
+        raise ValueError("base Actor must be fitted to restore a checkpoint")
+    if (
+        base.center.shape[0] != manifest["base_rows"]
+        or base.center.shape[1] != manifest["dim"]
+    ):
+        raise ValueError(
+            f"checkpoint was taken against a base model with "
+            f"{manifest['base_rows']} nodes of dim {manifest['dim']}, got "
+            f"{base.center.shape[0]} nodes of dim {base.center.shape[1]}"
+        )
+
+    model = OnlineActor(
+        base,
+        half_life=manifest["half_life"],
+        online_lr=manifest["online_lr"],
+        steps_per_batch=manifest["steps_per_batch"],
+        batch_size=manifest["batch_size"],
+        negatives=manifest["negatives"],
+        buffer_size=manifest["buffer_max_size"],
+        seed=0,
+    )
+    with np.load(directory / "online_state.npz") as data:
+        center = np.array(data["center"])
+        context = np.array(data["context"])
+        buffer_state = {
+            "src": data["buf_src"],
+            "dst": data["buf_dst"],
+            "weight": data["buf_weight"],
+            "born": data["buf_born"],
+            "clock": manifest["buffer_clock"],
+            "evictions": manifest["buffer_evictions"],
+        }
+
+    extra_nodes = manifest["extra_nodes"]
+    if (
+        center.shape != (manifest["n_rows"], manifest["dim"])
+        or center.shape != context.shape
+        or manifest["n_rows"] != manifest["base_rows"] + len(extra_nodes)
+    ):
+        raise ValueError(
+            "checkpoint is inconsistent: row/extra-node count mismatch"
+        )
+
+    model.center = center
+    model.context = context
+    base_rows = manifest["base_rows"]
+    vocab = model.built.vocab
+    for offset, (type_value, key) in enumerate(extra_nodes):
+        node_type = NodeType(type_value)
+        if node_type in (NodeType.TIME, NodeType.LOCATION):
+            key = int(key)
+        model._extra_nodes[(node_type, key)] = base_rows + offset
+        # Words restored into a fresh base need their vocabulary entry
+        # back; a full vocabulary simply leaves the word resolvable
+        # through the extra-node registry.
+        if (
+            node_type is NodeType.WORD
+            and key not in vocab
+            and (vocab.max_size is None or len(vocab) < vocab.max_size)
+        ):
+            vocab.add_word(key)
+    model.buffer = RecencyBuffer.from_state(
+        buffer_state,
+        half_life=manifest["half_life"],
+        max_size=manifest["buffer_max_size"],
+    )
+    model.n_ingested = int(manifest["n_ingested"])
+    rng_state = manifest["rng_state"]
+    if rng_state.get("bit_generator") == model._rng.bit_generator.state.get(
+        "bit_generator"
+    ):
+        model._rng.bit_generator.state = rng_state
+    return model

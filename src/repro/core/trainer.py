@@ -22,6 +22,7 @@ reuse the same machinery:
 from __future__ import annotations
 
 import logging
+import time
 
 import numpy as np
 
@@ -211,6 +212,10 @@ class ActorTrainer:
     center, context:
         Pre-initialized embedding matrices (see
         :mod:`repro.core.hierarchical`); updated in place.
+    metrics:
+        Optional :class:`~repro.utils.metrics.MetricsRegistry`; when given,
+        the trainer records per-epoch loss and wall-clock plus total batch
+        counts under the ``train.*`` namespace.
     """
 
     def __init__(
@@ -219,6 +224,8 @@ class ActorTrainer:
         config: ActorConfig,
         center: np.ndarray,
         context: np.ndarray,
+        *,
+        metrics=None,
     ) -> None:
         if center.shape != context.shape:
             raise ValueError("center and context must have equal shapes")
@@ -231,8 +238,18 @@ class ActorTrainer:
         self.config = config
         self.center = center
         self.context = context
+        self.metrics = metrics
         self.tasks = self._build_tasks()
         self.loss_history: list[float] = []
+
+    def _record_epoch(self, loss: float, batches: int, seconds: float) -> None:
+        """Push one epoch's numbers into the metrics registry, if any."""
+        if self.metrics is None:
+            return
+        self.metrics.counter("train.epochs").inc()
+        self.metrics.counter("train.batches").inc(batches)
+        self.metrics.gauge("train.epoch_loss").set(loss)
+        self.metrics.timer("train.epoch").observe(seconds)
 
     # ------------------------------------------------------------------ tasks
 
@@ -385,6 +402,7 @@ class ActorTrainer:
         total_steps = cfg.epochs * len(self.tasks) * batches
         step_counter = 0
         for _epoch in range(cfg.epochs):
+            epoch_start = time.perf_counter()
             epoch_loss = 0.0
             for task in self.tasks:
                 lr = cfg.lr * max(0.1, 1.0 - step_counter / max(1, total_steps))
@@ -393,7 +411,13 @@ class ActorTrainer:
                         self.center, self.context, cfg.batch_size, lr, rng
                     )
                 step_counter += batches
-            self.loss_history.append(epoch_loss / (len(self.tasks) * batches))
+            mean_loss = epoch_loss / (len(self.tasks) * batches)
+            self.loss_history.append(mean_loss)
+            self._record_epoch(
+                mean_loss,
+                len(self.tasks) * batches,
+                time.perf_counter() - epoch_start,
+            )
 
     def _train_parallel(self, rng: np.random.Generator) -> None:
         cfg = self.config
@@ -413,6 +437,7 @@ class ActorTrainer:
                 seed=pool_seed,
             ) as pool:
                 for _epoch in range(cfg.epochs):
+                    epoch_start = time.perf_counter()
                     epoch_loss = 0.0
                     for task_idx in range(len(self.tasks)):
                         lr = cfg.lr * max(
@@ -420,6 +445,12 @@ class ActorTrainer:
                         )
                         epoch_loss += pool.run_task(task_idx, batches, lr)
                         step_counter += batches
-                    self.loss_history.append(epoch_loss / len(self.tasks))
+                    mean_loss = epoch_loss / len(self.tasks)
+                    self.loss_history.append(mean_loss)
+                    self._record_epoch(
+                        mean_loss,
+                        len(self.tasks) * batches,
+                        time.perf_counter() - epoch_start,
+                    )
             self.center[:] = shared_center.array
             self.context[:] = shared_context.array

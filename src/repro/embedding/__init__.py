@@ -6,6 +6,7 @@ from repro.embedding.edge_sampler import (
     EdgeBatch,
     NoiseSampler,
     TypedEdgeSampler,
+    UniformNegativeSampler,
 )
 from repro.embedding.line import LineEmbedding, merge_edge_sets
 from repro.embedding.parallel import HogwildPool, fork_available, hogwild_run
@@ -15,6 +16,7 @@ from repro.embedding.sgns import sgns_batch_loss, sgns_step, sgns_step_bow, sigm
 __all__ = [
     "AliasTable",
     "NoiseSampler",
+    "UniformNegativeSampler",
     "TypedEdgeSampler",
     "EdgeBatch",
     "NOISE_POWER",

@@ -45,20 +45,27 @@ class AliasTable:
         self.probabilities = weights / total
 
         # Vose's algorithm: split outcomes into under- and over-full bins.
-        scaled = self.probabilities * self.n
-        self._prob = np.ones(self.n, dtype=np.float64)
-        self._alias = np.arange(self.n, dtype=np.int64)
-        small = [i for i in range(self.n) if scaled[i] < 1.0]
-        large = [i for i in range(self.n) if scaled[i] >= 1.0]
-        scaled = scaled.copy()
+        # The pairing loop is sequential, but the initial partition is
+        # vectorized and the loop body works on plain Python lists/floats —
+        # per-element indexing into NumPy arrays is what made the original
+        # construction the dominant cost of frequent rebuilds.
+        scaled_arr = self.probabilities * self.n
+        prob = [1.0] * self.n
+        alias = list(range(self.n))
+        scaled = scaled_arr.tolist()
+        small = np.flatnonzero(scaled_arr < 1.0).tolist()
+        large = np.flatnonzero(scaled_arr >= 1.0).tolist()
         while small and large:
             s, l = small.pop(), large.pop()
-            self._prob[s] = scaled[s]
-            self._alias[s] = l
-            scaled[l] = (scaled[l] + scaled[s]) - 1.0
-            (small if scaled[l] < 1.0 else large).append(l)
-        for i in small + large:  # numerical leftovers sit at probability 1
-            self._prob[i] = 1.0
+            prob[s] = scaled[s]
+            alias[s] = l
+            residual = (scaled[l] + scaled[s]) - 1.0
+            scaled[l] = residual
+            (small if residual < 1.0 else large).append(l)
+        # Numerical leftovers sit at probability 1 — `prob` already holds
+        # 1.0 for every index the loop never demoted.
+        self._prob = np.asarray(prob, dtype=np.float64)
+        self._alias = np.asarray(alias, dtype=np.int64)
 
     def sample(
         self, size: int, *, seed: int | np.random.Generator | None = None

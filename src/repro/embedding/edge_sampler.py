@@ -23,9 +23,36 @@ from repro.embedding.alias import AliasTable
 from repro.graphs.types import EdgeSet
 from repro.utils.rng import ensure_rng
 
-__all__ = ["NoiseSampler", "TypedEdgeSampler", "EdgeBatch"]
+__all__ = [
+    "NoiseSampler",
+    "UniformNegativeSampler",
+    "TypedEdgeSampler",
+    "EdgeBatch",
+]
 
 NOISE_POWER = 0.75  # word2vec's 3/4 smoothing of the degree distribution
+
+
+class UniformNegativeSampler:
+    """Uniform negative-vertex sampler over a contiguous index range.
+
+    The degree-free counterpart to :class:`NoiseSampler`, used by the
+    streaming path where the buffer's node population is small and
+    shifting, so a degree-based noise distribution is not meaningful.
+    Shares the ``sample(shape, rng)`` interface so train code can hold
+    either sampler.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+
+    def sample(
+        self, shape: tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vertex indices of the requested shape, drawn uniformly."""
+        return ensure_rng(rng).integers(0, self.n_nodes, size=shape)
 
 
 class NoiseSampler:

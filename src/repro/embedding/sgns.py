@@ -7,8 +7,9 @@ Eq. (7)
 
 and its gradients (Eqs. 8-10), applied as mini-batch SGD (Eqs. 12-14).
 The paper's C++ implementation updates one edge at a time; here each call
-processes a whole mini-batch with NumPy scatter-adds (``np.add.at``) so
-repeated indices inside a batch accumulate correctly.
+processes a whole mini-batch with NumPy scatter-adds (sort + ``reduceat``,
+see :func:`_scatter_add`) so repeated indices inside a batch accumulate
+correctly.
 
 Two kernels are provided:
 
@@ -31,6 +32,25 @@ _CLIP = 30.0
 def sigmoid(x: np.ndarray) -> np.ndarray:
     """Numerically clipped logistic function."""
     return 1.0 / (1.0 + np.exp(-np.clip(x, -_CLIP, _CLIP)))
+
+
+def _scatter_add(matrix: np.ndarray, rows: np.ndarray, values: np.ndarray) -> None:
+    """``matrix[rows] += values`` with duplicate rows accumulated.
+
+    Semantically identical to ``np.add.at(matrix, rows, values)`` but far
+    faster for mini-batch-sized inputs: duplicates are merged by sorting
+    the row indices and summing each run with ``np.add.reduceat``, then a
+    single fancy-index add applies the per-row totals.
+    """
+    if rows.size == 0:
+        return
+    order = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_rows[1:] != sorted_rows[:-1]))
+    )
+    sums = np.add.reduceat(values[order], starts, axis=0)
+    matrix[sorted_rows[starts]] += sums
 
 
 def sgns_step(
@@ -84,9 +104,9 @@ def sgns_step(
         )
     )
 
-    np.add.at(center, src, -lr * grad_center)
-    np.add.at(context, dst, -lr * grad_context_pos)
-    np.add.at(
+    _scatter_add(center, src, -lr * grad_center)
+    _scatter_add(context, dst, -lr * grad_context_pos)
+    _scatter_add(
         context,
         neg.reshape(-1),
         -lr * grad_context_neg.reshape(-1, center.shape[1]),
@@ -158,9 +178,9 @@ def sgns_step_bow(
     # d(bag)/d(x_w) = identity for every word in the bag: scatter the bag
     # gradient to each constituent word.
     grad_per_word = np.repeat(grad_bag, lengths, axis=0)         # (sumL, d)
-    np.add.at(center, flat_words, -lr * grad_per_word)
-    np.add.at(context, dst, -lr * grad_context_pos)
-    np.add.at(context, neg.reshape(-1), -lr * grad_context_neg.reshape(-1, d))
+    _scatter_add(center, flat_words, -lr * grad_per_word)
+    _scatter_add(context, dst, -lr * grad_context_pos)
+    _scatter_add(context, neg.reshape(-1), -lr * grad_context_neg.reshape(-1, d))
     return loss
 
 

@@ -1,5 +1,6 @@
 """Shared utilities: seeded randomness, validation helpers, timing."""
 
+from repro.utils.metrics import Counter, Gauge, MetricsRegistry, TimerStat
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.timing import Timer
 from repro.utils.validation import (
@@ -13,6 +14,10 @@ __all__ = [
     "ensure_rng",
     "spawn_rng",
     "Timer",
+    "Counter",
+    "Gauge",
+    "TimerStat",
+    "MetricsRegistry",
     "check_finite",
     "check_positive",
     "check_probability",

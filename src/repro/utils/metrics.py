@@ -1,0 +1,186 @@
+"""Lightweight runtime metrics: counters, gauges and timers.
+
+The streaming subsystem (and, optionally, the offline trainer) records its
+operational state — records/sec ingested, buffer occupancy, evictions,
+alias-table rebuilds, per-burst SGNS loss — into a
+:class:`MetricsRegistry`.  The registry is deliberately dependency-free and
+cheap: a metric update is a dict lookup plus a float add, so it can sit on
+hot paths without being the thing the profiler finds.
+
+Three metric kinds cover the needs of the codebase:
+
+* :class:`Counter` — monotonically increasing totals (records ingested,
+  edges buffered, evictions);
+* :class:`Gauge` — last-written values (buffer occupancy, per-burst loss);
+* :class:`TimerStat` — accumulated durations with call counts, giving
+  mean latency and throughput (``count / total``) for free.
+
+Registries are plain objects, not process-global state: each
+:class:`~repro.core.streaming.OnlineActor` owns one, and callers that want
+a shared view pass one in.  ``snapshot()`` returns plain dicts (JSON-safe)
+and ``render()`` produces the aligned text table the CLI prints for
+``repro stream --metrics``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Counter", "Gauge", "TimerStat", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (occupancy, most recent loss, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class TimerStat:
+    """Accumulated wall-clock durations with a call count.
+
+    ``rate`` is calls per second of measured time — for a timer wrapping
+    ``partial_fit`` over fixed-size batches this is directly proportional
+    to ingestion throughput.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one measured duration."""
+        if seconds < 0:
+            raise ValueError(f"durations must be >= 0, got {seconds}")
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        """Mean duration per call (0 when never observed)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def rate(self) -> float:
+        """Calls per second of measured time (0 when no time measured)."""
+        return self.count / self.total if self.total > 0 else 0.0
+
+
+class MetricsRegistry:
+    """Named counters, gauges and timers, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, TimerStat] = {}
+
+    # ------------------------------------------------------------- accessors
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created if absent."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            self._counters[name] = metric = Counter()
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created if absent."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            self._gauges[name] = metric = Gauge()
+            return metric
+
+    def timer(self, name: str) -> TimerStat:
+        """The timer called ``name``, created if absent."""
+        try:
+            return self._timers[name]
+        except KeyError:
+            self._timers[name] = metric = TimerStat()
+            return metric
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[TimerStat]:
+        """Context manager recording the block's duration under ``name``."""
+        stat = self.timer(name)
+        start = time.perf_counter()
+        try:
+            yield stat
+        finally:
+            stat.observe(time.perf_counter() - start)
+
+    # -------------------------------------------------------------- reporting
+
+    def snapshot(self) -> dict:
+        """All metric values as plain (JSON-safe) dicts."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "timers": {
+                k: {
+                    "count": t.count,
+                    "total": t.total,
+                    "mean": t.mean,
+                    "min": t.min if t.count else 0.0,
+                    "max": t.max,
+                }
+                for k, t in sorted(self._timers.items())
+            },
+        }
+
+    def render(self, *, title: str = "metrics") -> str:
+        """Aligned text table of every metric (CLI / bench output)."""
+        rows: list[tuple[str, str]] = []
+        for name, counter in sorted(self._counters.items()):
+            rows.append((name, f"{counter.value:g}"))
+        for name, gauge in sorted(self._gauges.items()):
+            rows.append((name, f"{gauge.value:g}"))
+        for name, timer in sorted(self._timers.items()):
+            rows.append(
+                (
+                    name,
+                    f"{timer.total:.3f}s over {timer.count} calls "
+                    f"(mean {timer.mean * 1e3:.2f}ms)",
+                )
+            )
+        if not rows:
+            return f"{title}: (empty)"
+        width = max(len(name) for name, _ in rows)
+        lines = [title, "-" * len(title)]
+        lines += [f"{name.ljust(width)}  {value}" for name, value in rows]
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every metric (fresh registry state)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()

@@ -7,6 +7,19 @@ from hypothesis import strategies as st
 from repro.core.streaming import RecencyBuffer
 
 
+def buffer_with_ages(half_life, ages):
+    """A buffer whose edge i has age ``ages[i]`` (insertion order kept)."""
+    buffer = RecencyBuffer(half_life=half_life)
+    max_age = max(ages)
+    # Edges must enter oldest-first; the buffer keys decay off the public
+    # clock, so set it to the birth tick before each insert.
+    for insert_order, age in enumerate(sorted(ages, reverse=True)):
+        buffer.clock = max_age - age
+        buffer.add_edge(insert_order, insert_order + 1000)
+    buffer.clock = max_age
+    return buffer
+
+
 class TestRecencyProperties:
     @settings(max_examples=30, deadline=None)
     @given(
@@ -15,19 +28,11 @@ class TestRecencyProperties:
     )
     def test_property_decay_monotone_in_age(self, half_life, ages):
         """Older edges never have larger decayed weight (equal base weight)."""
-        buffer = RecencyBuffer(half_life=half_life)
-        max_age = max(ages)
-        # Insert edges so that edge i has age ages[i] at the end.
-        for age in ages:
-            buffer._src.append(0)
-            buffer._dst.append(1)
-            buffer._weight.append(1.0)
-            buffer._born.append(max_age - age)
-        buffer.clock = max_age
+        buffer = buffer_with_ages(half_life, ages)
         weights = buffer.decayed_weights()
-        order = np.argsort(ages)
-        sorted_weights = weights[order]
-        assert (np.diff(sorted_weights) <= 1e-12).all()
+        # buffer_with_ages inserts oldest-first, so weights ascend with
+        # position: age descends along the logical order.
+        assert (np.diff(weights) >= -1e-12).all()
 
     @settings(max_examples=20, deadline=None)
     @given(
@@ -72,3 +77,38 @@ class TestRecencyProperties:
         expected = 4.0 * 0.5 ** (buffer.clock / half_life)
         assert buffer.decayed_weights()[0] == np.float64(expected)
         assert start == 4.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        max_size=st.integers(1, 12),
+        n_batches=st.integers(1, 8),
+        batch=st.integers(1, 9),
+        half_life=st.floats(1.0, 10.0),
+    )
+    def test_property_eviction_keeps_newest(
+        self, max_size, n_batches, batch, half_life
+    ):
+        """Eviction is strictly oldest-by-insertion: after any overflow the
+        buffer holds exactly the newest max_size edges, and their decayed
+        weights stay positive, bounded, and monotone in age."""
+        buffer = RecencyBuffer(half_life=half_life, max_size=max_size)
+        total = 0
+        for _ in range(n_batches):
+            src = np.arange(total, total + batch)
+            buffer.add_edges(src, src + 10_000)
+            total += batch
+            buffer.tick()
+        kept = min(total, max_size)
+        assert len(buffer) == kept
+        assert buffer.evictions == total - kept
+        # The survivors are exactly the newest `kept` edge ids, in order.
+        src, _dst = buffer.sample(500, np.random.default_rng(0))
+        expected = set(range(total - kept, total)) | set(
+            range(total - kept + 10_000, total + 10_000)
+        )
+        assert set(int(s) for s in src) <= expected
+        weights = buffer.decayed_weights()
+        assert (weights > 0).all()
+        assert (weights <= 1.0 + 1e-12).all()
+        # Oldest-first logical order: weight never decreases along it.
+        assert (np.diff(weights) >= -1e-12).all()

@@ -168,6 +168,84 @@ class TestTrainEvaluateQuery:
         assert not model.config.use_intra_bow
 
 
+class TestStream:
+    @pytest.fixture(scope="class")
+    def stream_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-stream") / "stream.jsonl"
+        code = main(
+            [
+                "generate",
+                "--preset", "utgeo2011",
+                "--n-records", "120",
+                "--seed", "77",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_stream_rejects_nonpositive_batch_size(self, capsys):
+        # validated before the model is touched, so fake paths suffice
+        code = main(
+            ["stream", "--model", "m", "--corpus", "c", "--batch-size", "0"]
+        )
+        assert code == 2
+        assert "--batch-size" in capsys.readouterr().err
+
+    def test_stream_prints_summary_and_metrics(
+        self, model_path, stream_path, capsys
+    ):
+        code = main(
+            [
+                "stream",
+                "--model", str(model_path),
+                "--corpus", str(stream_path),
+                "--batch-size", "60",
+                "--steps-per-batch", "10",
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streamed 120 records" in out
+        assert "streaming metrics" in out
+        assert "stream.records" in out
+        assert "buffer.occupancy" in out
+
+    def test_stream_checkpoint_and_resume(
+        self, model_path, stream_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        code = main(
+            [
+                "stream",
+                "--model", str(model_path),
+                "--corpus", str(stream_path),
+                "--batch-size", "60",
+                "--steps-per-batch", "10",
+                "--checkpoint", str(ckpt),
+            ]
+        )
+        assert code == 0
+        assert (ckpt / "online_manifest.json").exists()
+        assert (ckpt / "online_state.npz").exists()
+        capsys.readouterr()
+        code = main(
+            [
+                "stream",
+                "--model", str(model_path),
+                "--corpus", str(stream_path),
+                "--batch-size", "60",
+                "--steps-per-batch", "10",
+                "--resume", str(ckpt),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # resumed deployment carries the earlier ingestion total forward
+        assert "240 ingested total" in out
+
+
 class TestExportBundle:
     def test_export_and_query_bundle(self, model_path, tmp_path, capsys):
         bundle_dir = tmp_path / "bundle"

@@ -1,0 +1,111 @@
+"""Tests for the runtime metrics registry (counters / gauges / timers)."""
+
+import json
+
+import pytest
+
+from repro.utils.metrics import Counter, Gauge, MetricsRegistry, TimerStat
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_keeps_last_value(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestTimerStat:
+    def test_observe_updates_aggregates(self):
+        timer = TimerStat()
+        timer.observe(0.2)
+        timer.observe(0.4)
+        assert timer.count == 2
+        assert timer.total == pytest.approx(0.6)
+        assert timer.min == pytest.approx(0.2)
+        assert timer.max == pytest.approx(0.4)
+        assert timer.mean == pytest.approx(0.3)
+        assert timer.rate == pytest.approx(2 / 0.6)
+
+    def test_empty_timer_has_safe_derived_values(self):
+        timer = TimerStat()
+        assert timer.mean == 0.0
+        assert timer.rate == 0.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            TimerStat().observe(-0.1)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.timer("c") is registry.timer("c")
+
+    def test_time_context_manager_records(self):
+        registry = MetricsRegistry()
+        with registry.time("block"):
+            pass
+        timer = registry.timer("block")
+        assert timer.count == 1
+        assert timer.total >= 0.0
+
+    def test_time_records_even_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.time("block"):
+                raise RuntimeError("boom")
+        assert registry.timer("block").count == 1
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("records").inc(10)
+        registry.gauge("occupancy").set(0.5)
+        with registry.time("step"):
+            pass
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["counters"]["records"] == 10
+        assert snapshot["gauges"]["occupancy"] == 0.5
+        assert snapshot["timers"]["step"]["count"] == 1
+
+    def test_render_lists_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("records").inc(3)
+        registry.gauge("loss").set(1.25)
+        with registry.time("fit"):
+            pass
+        table = registry.render(title="demo")
+        assert "demo" in table
+        assert "records" in table
+        assert "loss" in table
+        assert "fit" in table
+
+    def test_render_empty(self):
+        assert "(empty)" in MetricsRegistry().render()
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+        }
+        assert registry.counter("x").value == 0.0
