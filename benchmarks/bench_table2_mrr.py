@@ -3,7 +3,10 @@
 The paper's headline quantitative result: 8 methods x 3 datasets x 3 tasks.
 All methods rank identical 11-candidate lists (1 truth + 10 noise) and are
 scored by MRR.  The benchmarked operation is ACTOR's full evaluation pass
-over one task's query set.
+over one task's query set, served through the batched
+:class:`~repro.core.query_engine.QueryEngine` (embedding models) with the
+scalar per-query loop as the reference; a parity check below asserts the
+two paths report identical MRR.
 
 Reproduction targets (shape, not absolute values):
 * ACTOR is the best embedding method on text & location for every dataset;
@@ -87,6 +90,22 @@ def test_table2_mrr_cross_modal_retrieval(benchmark, table2, model_zoo, task_que
         table2["4sq"]["ACTOR"]["location"]
         > table2["utgeo2011"]["ACTOR"]["location"]
     )
+
+
+@pytest.mark.benchmark(group="table2-batch-parity")
+def test_table2_batched_scalar_parity(benchmark, model_zoo, task_queries):
+    """Batched serving must not move a single Table-2 number.
+
+    The benchmarked operation is the batched MRR pass; the assertion pins
+    it to the scalar per-query reference, exactly (rank parity implies MRR
+    parity, with no floating-point tolerance).
+    """
+    actor = model_zoo["utgeo2011"]["ACTOR"]
+    queries = task_queries["utgeo2011"]["location"]
+    batched = benchmark.pedantic(
+        mean_reciprocal_rank, args=(actor, queries), rounds=3, iterations=1
+    )
+    assert batched == mean_reciprocal_rank(actor, queries, batch=False)
 
 
 @pytest.mark.benchmark(group="table2-single-query")

@@ -19,9 +19,13 @@ from repro.core.neighbor import (
 )
 from repro.core.prediction import (
     GraphEmbeddingModel,
+    ModalityCache,
     cosine_similarities,
+    normalize_rows,
     rank_descending,
+    top_k,
 )
+from repro.core.query_engine import QueryEngine
 from repro.core.serialize import (
     QueryModel,
     load_bundle,
@@ -42,8 +46,12 @@ __all__ = [
     "INTRA_EDGE_TYPES",
     "count_inter_instances",
     "GraphEmbeddingModel",
+    "ModalityCache",
+    "QueryEngine",
     "cosine_similarities",
+    "normalize_rows",
     "rank_descending",
+    "top_k",
     "OnlineActor",
     "QueryModel",
     "save_bundle",

@@ -16,6 +16,7 @@ nearest-neighbor search.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -25,6 +26,9 @@ from repro.graphs.types import NodeType
 __all__ = [
     "cosine_similarities",
     "rank_descending",
+    "top_k",
+    "normalize_rows",
+    "ModalityCache",
     "GraphEmbeddingModel",
     "TARGETS",
 ]
@@ -44,13 +48,20 @@ def cosine_similarities(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
 
     Zero vectors (an out-of-vocabulary candidate, an empty query) get
     similarity 0 rather than NaN.
+
+    The row dots use ``einsum`` rather than BLAS ``matrix @ query``:
+    blocked gemv kernels can return *different* floats for bit-identical
+    rows depending on row position, which would make exact ties (duplicate
+    candidates) position-dependent.  ``einsum`` accumulates every row the
+    same way, so identical rows always score identically — the tie
+    contract that the batched engine's rank parity relies on.
     """
     query_norm = np.linalg.norm(query)
     row_norms = np.linalg.norm(matrix, axis=1)
     denom = query_norm * row_norms
     scores = np.zeros(matrix.shape[0])
     valid = denom > 0
-    scores[valid] = (matrix[valid] @ query) / denom[valid]
+    scores[valid] = np.einsum("ij,j->i", matrix[valid], query) / denom[valid]
     return scores
 
 
@@ -63,6 +74,70 @@ def rank_descending(scores: np.ndarray) -> np.ndarray:
     ranks = np.empty_like(order)
     ranks[order] = np.arange(1, scores.shape[0] + 1)
     return ranks
+
+
+def top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` best scores, descending, with stable ties.
+
+    Exactly equivalent to ``np.argsort(-scores, kind="stable")[:k]`` but
+    O(n + k log k) via ``argpartition``: only the selected prefix is
+    sorted.  Boundary ties (several candidates sharing the k-th score) are
+    resolved by ascending original position, matching the stable full sort.
+    """
+    scores = np.asarray(scores)
+    n = scores.shape[0]
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    if k >= n:
+        return np.argsort(-scores, kind="stable")
+    part = np.argpartition(-scores, k - 1)[:k]
+    threshold = scores[part].min()
+    chosen = np.flatnonzero(scores > threshold)
+    need = k - chosen.shape[0]
+    if need > 0:
+        tied = np.flatnonzero(scores == threshold)[:need]
+        chosen = np.concatenate([chosen, tied])
+    return chosen[np.argsort(-scores[chosen], kind="stable")]
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalize rows; zero rows stay zero (OOV / empty-query vectors).
+
+    With both operands row-normalized, a plain matrix product yields the
+    cosine-similarity block of :func:`cosine_similarities`, and zero rows
+    score 0 against everything — the same out-of-vocabulary convention.
+    """
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    out = np.zeros_like(matrix, dtype=float)
+    np.divide(matrix, norms, out=out, where=norms > 0)
+    return out
+
+
+@dataclass
+class ModalityCache:
+    """Precomputed per-modality matrices for the batched query path.
+
+    Attributes
+    ----------
+    keys:
+        External unit keys, aligned with the matrix rows.
+    matrix:
+        Center vectors of the modality's units (one row per key).
+    normalized:
+        Row-L2-normalized copy of ``matrix`` (zero rows stay zero).
+    position_of:
+        ``key -> row`` mapping.  For time/location modalities
+        :attr:`index_map` is the vectorized equivalent.
+    index_map:
+        Hotspot-index -> row array (``-1`` where the hotspot never became
+        a graph node); ``None`` for keyword/user modalities.
+    """
+
+    keys: list[Hashable]
+    matrix: np.ndarray
+    normalized: np.ndarray
+    position_of: dict[Hashable, int]
+    index_map: np.ndarray | None = None
 
 
 class GraphEmbeddingModel:
@@ -105,20 +180,31 @@ class GraphEmbeddingModel:
                 f"modality must be one of {sorted(_MODALITY_TO_TYPE)}, got {modality!r}"
             )
         activity = self.built.activity
-        if modality == "time":
-            idx = int(self.built.detector.assign_temporal(np.asarray([value]))[0])
-            return activity.index_of(NodeType.TIME, idx)
-        if modality == "location":
-            loc = np.asarray(value, dtype=float)[None, :]
-            idx = int(self.built.detector.assign_spatial(loc)[0])
-            return activity.index_of(NodeType.LOCATION, idx)
         node_type = _MODALITY_TO_TYPE[modality]
-        if activity.has_node(node_type, value):
-            return activity.index_of(node_type, value)
+        # Times/locations snap to their nearest hotspot first; a hotspot
+        # that never co-occurred in training has no graph node, and such
+        # queries fall back to None (-> zero vector) rather than raising,
+        # matching the batched engine and the streaming model.
+        if modality == "time":
+            key: Hashable = int(
+                self.built.detector.assign_temporal(np.asarray([value]))[0]
+            )
+        elif modality == "location":
+            loc = np.asarray(value, dtype=float)[None, :]
+            key = int(self.built.detector.assign_spatial(loc)[0])
+        else:
+            key = value
+        if activity.has_node(node_type, key):
+            return activity.index_of(node_type, key)
         return None
 
     def words_vector(self, words: Iterable[str]) -> np.ndarray:
-        """Mean of the in-vocabulary word vectors (zeros if none survive)."""
+        """Mean of the in-vocabulary word vectors (zeros if none survive).
+
+        The sum is accumulated sequentially (``reduceat``) rather than via
+        ``np.mean``'s pairwise summation so the result is bit-identical to
+        the batched engine's segment sums for any bag size.
+        """
         vectors = [
             v
             for v in (self.unit_vector("word", w) for w in words)
@@ -126,7 +212,8 @@ class GraphEmbeddingModel:
         ]
         if not vectors:
             return np.zeros(self.dim)
-        return np.mean(vectors, axis=0)
+        stacked = np.stack(vectors)
+        return np.add.reduceat(stacked, [0], axis=0)[0] / len(vectors)
 
     # ------------------------------------------------------------ query level
 
@@ -196,11 +283,90 @@ class GraphEmbeddingModel:
         keys = [self.built.activity.key_of(int(n)) for n in nodes]
         return keys, self.center[nodes]
 
+    # ----------------------------------------------------------- batch caches
+
+    @property
+    def query_version(self) -> int:
+        """Monotone counter invalidating the batched-query caches.
+
+        A :class:`ModalityCache` is valid only while this counter and the
+        identity of :attr:`center` both stand still.  Refits and streamed
+        row growth replace ``center`` (automatic invalidation); in-place
+        SGD updates must call :meth:`invalidate_query_cache` explicitly —
+        :meth:`~repro.core.streaming.OnlineActor.partial_fit` does.
+        """
+        return getattr(self, "_query_version", 0)
+
+    def invalidate_query_cache(self) -> None:
+        """Drop cached modality matrices (embeddings changed in place)."""
+        self._query_version = self.query_version + 1
+
+    def modality_cache(self, modality: str) -> ModalityCache:
+        """The (lazily built, version-checked) :class:`ModalityCache`.
+
+        Rebuilt whenever :attr:`query_version` was bumped or the
+        :attr:`center` matrix object was replaced; otherwise every call to
+        :meth:`neighbors` and the batched query engine reuses the same
+        normalized matrix instead of re-deriving it per query.
+        """
+        cache: dict = self.__dict__.setdefault("_modality_caches", {})
+        entry = cache.get(modality)
+        stamp = (self.query_version, id(self.center))
+        if entry is not None and entry[0] == stamp and entry[2] is self.center:
+            return entry[1]
+        keys, matrix = self.modality_vectors(modality)
+        position_of = {key: i for i, key in enumerate(keys)}
+        index_map = None
+        if modality in ("time", "location"):
+            n_hotspots = (
+                self.built.detector.n_temporal
+                if modality == "time"
+                else self.built.detector.n_spatial
+            )
+            index_map = np.full(n_hotspots, -1, dtype=np.int64)
+            for key, pos in position_of.items():
+                index_map[int(key)] = pos
+        built = ModalityCache(
+            keys=keys,
+            matrix=matrix,
+            normalized=normalize_rows(matrix),
+            position_of=position_of,
+            index_map=index_map,
+        )
+        # Hold a reference to the center matrix the cache was built from so
+        # identity comparison stays meaningful (the array cannot be garbage
+        # collected and its id reused).
+        cache[modality] = (stamp, built, self.center)
+        return built
+
+    def query_engine(self):
+        """The batched :class:`~repro.core.query_engine.QueryEngine`.
+
+        Created on first use and shared afterwards; its per-modality
+        caches follow :attr:`query_version`, so it stays valid across
+        streaming updates.
+        """
+        engine = self.__dict__.get("_query_engine")
+        if engine is None:
+            from repro.core.query_engine import QueryEngine
+
+            engine = self._query_engine = QueryEngine(self)
+        return engine
+
     def neighbors(
         self, query_vec: np.ndarray, modality: str, k: int = 10
     ) -> list[tuple[Hashable, float]]:
-        """Top-``k`` nearest units of ``modality`` to ``query_vec`` by cosine."""
-        keys, matrix = self.modality_vectors(modality)
-        scores = cosine_similarities(query_vec, matrix)
-        order = np.argsort(-scores, kind="stable")[:k]
-        return [(keys[i], float(scores[i])) for i in order]
+        """Top-``k`` nearest units of ``modality`` to ``query_vec`` by cosine.
+
+        Served from the cached normalized modality matrix with an
+        ``argpartition`` top-k — no full sort, no per-call re-norming.
+        """
+        cache = self.modality_cache(modality)
+        query = np.asarray(query_vec, dtype=float)
+        norm = np.linalg.norm(query)
+        if norm > 0:
+            scores = cache.normalized @ (query / norm)
+        else:
+            scores = np.zeros(cache.matrix.shape[0])
+        order = top_k(scores, k)
+        return [(cache.keys[i], float(scores[i])) for i in order]

@@ -485,6 +485,10 @@ class OnlineActor(GraphEmbeddingModel):
             self.buffer.tick()
             with metrics.time("stream.train_burst"):
                 self._train_burst()
+        # The burst updates center/context in place (same array objects),
+        # so the batched-query caches must be told explicitly; row growth
+        # already invalidates them by replacing the matrices.
+        self.invalidate_query_cache()
         metrics.counter("stream.records").inc(len(records))
         metrics.counter("stream.edges").inc(n_edges)
         total = metrics.timer("stream.partial_fit").total

@@ -18,6 +18,7 @@ from repro.eval.mrr import (
     make_queries,
     mean_reciprocal_rank,
     query_rank,
+    query_ranks,
 )
 from repro.eval.reporting import format_mrr_table, format_table
 from repro.eval.stats import (
@@ -42,6 +43,7 @@ __all__ = [
     "mean_reciprocal_rank",
     "hits_at_k",
     "query_rank",
+    "query_ranks",
     "build_task_queries",
     "evaluate_model",
     "evaluate_models",

@@ -25,6 +25,7 @@ __all__ = [
     "mean_reciprocal_rank",
     "hits_at_k",
     "query_rank",
+    "query_ranks",
 ]
 
 
@@ -78,9 +79,11 @@ def make_queries(
     ground truth).
     """
     rng = ensure_rng(seed)
-    records = [r for r in test_corpus if r.words or target != "text"]
-    if target != "text":
-        records = [r for r in records if r.words]  # observed text needed
+    # Every target needs word-bearing records: for the text task the bag
+    # is the ground truth (and noise) being ranked; for location/time it
+    # is one of the two observed modalities.  Empty-bag records are
+    # therefore ineligible everywhere — one filter, applied once.
+    records = [r for r in test_corpus if r.words]
     if len(records) < n_noise + 1:
         raise ValueError(
             f"test corpus too small: {len(records)} usable records for "
@@ -112,7 +115,12 @@ def make_queries(
 
 
 def query_rank(model, query: PredictionQuery) -> int:
-    """1-based rank of the ground truth under ``model``'s scores."""
+    """1-based rank of the ground truth under ``model``'s scores.
+
+    The scalar reference implementation: one ``score_candidates`` call per
+    query.  :func:`query_ranks` reproduces these ranks exactly through the
+    batched engine.
+    """
     scores = model.score_candidates(
         target=query.target,
         candidates=query.candidates,
@@ -123,16 +131,55 @@ def query_rank(model, query: PredictionQuery) -> int:
     return int(rank_descending(np.asarray(scores))[query.truth_index])
 
 
-def mean_reciprocal_rank(model, queries: Sequence[PredictionQuery]) -> float:
-    """MRR of ``model`` over ``queries`` (Eq. 15)."""
+def _batch_engine(model):
+    """The model's :class:`~repro.core.query_engine.QueryEngine`, if any.
+
+    Embedding models expose one via
+    :meth:`~repro.core.prediction.GraphEmbeddingModel.query_engine`; topic
+    models (LGTA, MGTM) and ad-hoc scorers do not and keep the scalar
+    per-query path.
+    """
+    accessor = getattr(model, "query_engine", None)
+    return accessor() if callable(accessor) else None
+
+
+def query_ranks(
+    model, queries: Sequence[PredictionQuery], *, batch: bool = True
+) -> np.ndarray:
+    """Ground-truth ranks for every query, batched when the model allows.
+
+    ``batch=True`` (the default) routes embedding models through the
+    vectorized :class:`~repro.core.query_engine.QueryEngine` — identical
+    ranks, one snap/gather/matmul pass instead of a Python loop.  Models
+    without an engine, and ``batch=False``, use the scalar reference.
+    """
+    engine = _batch_engine(model) if batch else None
+    if engine is not None:
+        return engine.rank_batch(queries)
+    return np.asarray([query_rank(model, q) for q in queries], dtype=np.int64)
+
+
+def mean_reciprocal_rank(
+    model, queries: Sequence[PredictionQuery], *, batch: bool = True
+) -> float:
+    """MRR of ``model`` over ``queries`` (Eq. 15).
+
+    Served by the batched engine for embedding models (pass
+    ``batch=False`` to force the scalar reference path; the ranks — and
+    hence the MRR — are identical by the engine's parity guarantee).
+    """
     if not queries:
         raise ValueError("queries must be non-empty")
-    return float(
-        np.mean([1.0 / query_rank(model, q) for q in queries])
-    )
+    return float(np.mean(1.0 / query_ranks(model, queries, batch=batch)))
 
 
-def hits_at_k(model, queries: Sequence[PredictionQuery], k: int = 1) -> float:
+def hits_at_k(
+    model,
+    queries: Sequence[PredictionQuery],
+    k: int = 1,
+    *,
+    batch: bool = True,
+) -> float:
     """Fraction of queries whose ground truth ranks within the top ``k``.
 
     A companion metric to MRR (not in the paper's tables, but standard for
@@ -142,6 +189,4 @@ def hits_at_k(model, queries: Sequence[PredictionQuery], k: int = 1) -> float:
         raise ValueError("queries must be non-empty")
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    return float(
-        np.mean([query_rank(model, q) <= k for q in queries])
-    )
+    return float(np.mean(query_ranks(model, queries, batch=batch) <= k))

@@ -39,14 +39,22 @@ def build_task_queries(
 def evaluate_model(
     model,
     queries: Mapping[str, list[PredictionQuery]],
+    *,
+    batch: bool = True,
 ) -> dict[str, float | None]:
-    """MRR per task; ``None`` where the model does not support the task."""
+    """MRR per task; ``None`` where the model does not support the task.
+
+    Embedding models are evaluated through the batched
+    :class:`~repro.core.query_engine.QueryEngine` (rank-parity with the
+    scalar path guarantees unchanged MRR values); ``batch=False`` forces
+    the scalar per-query reference loop.
+    """
     results: dict[str, float | None] = {}
     for target, task_queries in queries.items():
         if target == "time" and not getattr(model, "supports_time", True):
             results[target] = None
             continue
-        results[target] = mean_reciprocal_rank(model, task_queries)
+        results[target] = mean_reciprocal_rank(model, task_queries, batch=batch)
     return results
 
 
@@ -57,6 +65,7 @@ def evaluate_models(
     n_noise: int = 10,
     max_queries: int | None = 300,
     seed: int = 0,
+    batch: bool = True,
 ) -> dict[str, dict[str, float | None]]:
     """Evaluate several fitted models on identical query sets.
 
@@ -65,4 +74,7 @@ def evaluate_models(
     queries = build_task_queries(
         test_corpus, n_noise=n_noise, max_queries=max_queries, seed=seed
     )
-    return {name: evaluate_model(model, queries) for name, model in models.items()}
+    return {
+        name: evaluate_model(model, queries, batch=batch)
+        for name, model in models.items()
+    }

@@ -35,22 +35,43 @@ def _normalizer(d: int) -> float:
     return (d + 2) / (2.0 * _UNIT_BALL_VOLUME[d])
 
 
-def epanechnikov(u: np.ndarray) -> np.ndarray:
+def epanechnikov(u: np.ndarray, *, d: int | None = None) -> np.ndarray:
     """Evaluate the spherical Epanechnikov kernel at rows of ``u``.
 
     Parameters
     ----------
     u:
-        Array of shape ``(n, d)`` (or ``(n,)`` for 1-D) of scaled offsets.
+        ``(n, d)`` array of scaled offsets, or a flat ``(n,)`` vector.  A
+        flat vector ALWAYS means ``n`` scalar (1-D) offsets — it is never
+        reinterpreted as a single d-dimensional point.  Pass a ``(1, d)``
+        row (or ``d=``) to evaluate one multivariate offset.
+    d:
+        Optional explicit dimension.  A flat vector is reshaped to
+        ``(-1, d)`` (its length must be divisible by ``d``); a 2-D input
+        must already have ``d`` columns.
 
     Returns
     -------
     Kernel values of shape ``(n,)``; zero outside the unit ball.
     """
-    u = np.atleast_2d(np.asarray(u, dtype=float))
-    if u.shape[0] == 1 and u.ndim == 2 and u.size and u.shape[1] > 3:
-        # A flat 1-D vector was passed: treat each entry as a scalar offset.
-        u = u.reshape(-1, 1)
+    u = np.asarray(u, dtype=float)
+    if u.ndim == 0:
+        u = u.reshape(1, 1)
+    if u.ndim == 1:
+        if d is None:
+            d = 1
+        if d > 1 and u.size % d:
+            raise ValueError(
+                f"flat offset vector of length {u.size} is not divisible by d={d}"
+            )
+        u = u.reshape(-1, d)
+    elif u.ndim == 2:
+        if d is not None and u.shape[1] != d:
+            raise ValueError(
+                f"offsets have dimension {u.shape[1]}, but d={d} was requested"
+            )
+    else:
+        raise ValueError(f"offsets must be (n, d) or (n,), got shape {u.shape}")
     d = u.shape[1]
     sq_norm = np.einsum("ij,ij->i", u, u)
     values = _normalizer(d) * np.clip(1.0 - sq_norm, 0.0, None)

@@ -1,0 +1,313 @@
+"""Tests for the batched QueryEngine: exact rank parity with the scalar path.
+
+The engine's contract is not "approximately the same ranking" — it is
+bit-identical truth ranks against :func:`repro.eval.mrr.query_rank` for
+every query, including the degenerate ones (out-of-vocabulary word bags,
+queries snapping to hotspots that never became graph nodes, duplicate
+candidates producing exact score ties).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Actor, ActorConfig, OnlineActor, QueryEngine
+from repro.data import Record
+from repro.data.records import Corpus
+from repro.eval.mrr import make_queries, query_rank, query_ranks
+from repro.eval import hits_at_k, mean_reciprocal_rank
+from repro.hotspots import HotspotDetector
+from repro.utils.metrics import MetricsRegistry
+
+TARGETS = ("text", "location", "time")
+
+
+def scalar_ranks(model, queries):
+    return [query_rank(model, q) for q in queries]
+
+
+@pytest.fixture(scope="module")
+def query_sets(dataset):
+    return {
+        target: make_queries(
+            dataset.test, target, n_noise=10, max_queries=60, seed=i
+        )
+        for i, target in enumerate(TARGETS)
+    }
+
+
+class TestRankParity:
+    @pytest.mark.parametrize("target", TARGETS)
+    def test_exact_parity_per_target(self, tiny_actor, query_sets, target):
+        queries = query_sets[target]
+        batched = tiny_actor.query_engine().rank_batch(queries)
+        assert batched.tolist() == scalar_ranks(tiny_actor, queries)
+
+    def test_exact_parity_mixed_targets(self, tiny_actor, query_sets):
+        """rank_batch groups per-target internally but preserves order."""
+        mixed = [q for triple in zip(*query_sets.values()) for q in triple]
+        batched = tiny_actor.query_engine().rank_batch(mixed)
+        assert batched.tolist() == scalar_ranks(tiny_actor, mixed)
+
+    def test_exact_parity_with_oov_words(self, tiny_actor, query_sets):
+        """Fully- and partially-OOV bags (zero / partial vectors) agree."""
+        queries = []
+        for q in query_sets["location"][:20]:
+            words = ("never_in_vocab_1", "never_in_vocab_2", *q.words[:1])
+            queries.append(type(q)(**{**q.__dict__, "words": words}))
+        for q in query_sets["text"][:20]:
+            candidates = [("never_in_vocab_3",)] + list(q.candidates)
+            queries.append(
+                type(q)(
+                    **{
+                        **q.__dict__,
+                        "candidates": candidates,
+                        "truth_index": q.truth_index + 1,
+                    }
+                )
+            )
+        batched = tiny_actor.query_engine().rank_batch(queries)
+        assert batched.tolist() == scalar_ranks(tiny_actor, queries)
+
+    def test_exact_parity_with_duplicate_candidates(
+        self, tiny_actor, query_sets
+    ):
+        """Exact ties (bit-identical candidate vectors) resolve alike."""
+        queries = []
+        for q in query_sets["time"][:20]:
+            candidates = list(q.candidates) + [q.candidates[q.truth_index]]
+            queries.append(
+                type(q)(**{**q.__dict__, "candidates": candidates})
+            )
+        batched = tiny_actor.query_engine().rank_batch(queries)
+        assert batched.tolist() == scalar_ranks(tiny_actor, queries)
+
+    def test_exact_parity_unseen_hotspots(self):
+        """Queries snapping to node-less hotspots fall back to zero vectors
+        identically on both paths (the ``index_map == -1`` branch)."""
+        actor = _actor_with_phantom_hotspots()
+        records = [
+            Record(
+                record_id=1000 + i,
+                user="q",
+                # Half the queries snap to the phantom night hotspot.
+                timestamp=3.0 if i % 2 else 12.0,
+                location=(9.0, 9.0) if i % 2 else (1.0, 1.0),
+                words=("alpha", "beta"),
+            )
+            for i in range(12)
+        ]
+        corpus = Corpus.from_records(records)
+        for target in TARGETS:
+            queries = make_queries(corpus, target, n_noise=5, seed=0)
+            batched = actor.query_engine().rank_batch(queries)
+            assert batched.tolist() == scalar_ranks(actor, queries), target
+
+
+def _actor_with_phantom_hotspots():
+    """A fitted Actor whose detector knows hotspots the graph has no nodes
+    for (simulating a detector refresh after hotspot drift)."""
+    records = [
+        Record(
+            record_id=i,
+            user=f"u{i % 3}",
+            timestamp=12.0 + 24.0 * i + 0.1 * (i % 5),
+            location=(1.0 + 0.05 * (i % 4), 1.0),
+            words=("alpha", "beta", "gamma"),
+        )
+        for i in range(30)
+    ]
+    config = ActorConfig(
+        dim=8,
+        epochs=1,
+        batches_per_epoch=2,
+        line_samples=2_000,
+        vocab_min_count=1,
+        seed=3,
+    )
+    actor = Actor(config).fit(
+        Corpus.from_records(records),
+        detector=HotspotDetector.from_arrays(
+            np.array([[1.0, 1.0]]), np.array([12.0])
+        ),
+    )
+    actor.built.detector = HotspotDetector.from_arrays(
+        np.array([[1.0, 1.0], [9.0, 9.0]]), np.array([12.0, 3.0])
+    )
+    return actor
+
+
+class TestEvalIntegration:
+    def test_query_ranks_batch_matches_scalar(self, tiny_actor, query_sets):
+        queries = query_sets["text"]
+        batched = query_ranks(tiny_actor, queries, batch=True)
+        forced_scalar = query_ranks(tiny_actor, queries, batch=False)
+        np.testing.assert_array_equal(batched, forced_scalar)
+
+    def test_mrr_and_hits_identical_across_paths(
+        self, tiny_actor, query_sets
+    ):
+        for queries in query_sets.values():
+            assert mean_reciprocal_rank(
+                tiny_actor, queries
+            ) == mean_reciprocal_rank(tiny_actor, queries, batch=False)
+            assert hits_at_k(tiny_actor, queries, 3) == hits_at_k(
+                tiny_actor, queries, 3, batch=False
+            )
+
+    def test_engine_metric_helpers(self, tiny_actor, query_sets):
+        engine = tiny_actor.query_engine()
+        queries = query_sets["time"]
+        assert engine.mean_reciprocal_rank(
+            queries
+        ) == mean_reciprocal_rank(tiny_actor, queries)
+        assert engine.hits_at_k(queries, 1) == hits_at_k(
+            tiny_actor, queries, 1
+        )
+        with pytest.raises(ValueError, match="non-empty"):
+            engine.mean_reciprocal_rank([])
+        with pytest.raises(ValueError, match="k must be"):
+            engine.hits_at_k(queries, 0)
+
+    def test_scalar_fallback_for_engineless_models(self, query_sets):
+        """Models without a query_engine accessor take the scalar path."""
+
+        class FlatScorer:
+            def score_candidates(self, *, target, candidates, **_):
+                return np.zeros(len(candidates))
+
+        queries = query_sets["text"][:5]
+        ranks = query_ranks(FlatScorer(), queries, batch=True)
+        # All-zero scores: the truth's rank is its (1-based) position.
+        assert ranks.tolist() == [q.truth_index + 1 for q in queries]
+
+
+class TestBatchEmbedding:
+    def test_embed_word_bags_matches_words_vector(self, tiny_actor, dataset):
+        engine = tiny_actor.query_engine()
+        bags = [r.words for r in dataset.test.records[:30]]
+        bags += [(), ("never_in_vocab",)]
+        batch = engine.embed_word_bags(bags)
+        for row, bag in zip(batch, bags):
+            np.testing.assert_array_equal(row, tiny_actor.words_vector(bag))
+
+    def test_query_matrix_matches_query_vector(self, tiny_actor, query_sets):
+        engine = tiny_actor.query_engine()
+        for queries in query_sets.values():
+            batch = engine.query_matrix(
+                times=[q.time for q in queries],
+                locations=[q.location for q in queries],
+                words=[q.words for q in queries],
+            )
+            for row, q in zip(batch, queries):
+                np.testing.assert_array_equal(
+                    row,
+                    tiny_actor.query_vector(
+                        time=q.time, location=q.location, words=q.words
+                    ),
+                )
+
+    def test_query_matrix_rejects_ragged_batches(self, tiny_actor):
+        engine = tiny_actor.query_engine()
+        with pytest.raises(ValueError, match="agree on length"):
+            engine.query_matrix(times=[1.0, 2.0], words=[("a",)])
+        with pytest.raises(ValueError, match="agree on length"):
+            engine.query_matrix(times=[1.0], n_queries=3)
+
+    def test_score_candidates_batch_block(self, tiny_actor, dataset):
+        engine = tiny_actor.query_engine()
+        records = dataset.test.records[:8]
+        candidates = [r.location for r in records]
+        block = engine.score_candidates_batch(
+            target="location",
+            candidates=candidates,
+            times=[r.timestamp for r in records],
+            words=[r.words for r in records],
+        )
+        assert block.shape == (len(records), len(candidates))
+        for i, r in enumerate(records):
+            scalar = tiny_actor.score_candidates(
+                target="location",
+                candidates=candidates,
+                time=r.timestamp,
+                words=r.words,
+            )
+            np.testing.assert_allclose(block[i], scalar, atol=1e-12)
+
+    def test_candidate_matrix_rejects_bad_target(self, tiny_actor):
+        with pytest.raises(ValueError, match="target"):
+            tiny_actor.query_engine().candidate_matrix("user", ["bob"])
+
+
+class TestMetricsWiring:
+    def test_engine_records_timers_and_counter(self, tiny_actor, query_sets):
+        registry = MetricsRegistry()
+        engine = QueryEngine(tiny_actor, metrics=registry)
+        queries = query_sets["location"][:10]
+        engine.rank_batch(queries)
+        assert registry.counter("query.queries").value == len(queries)
+        assert registry.timer("query.embed").count == 1
+        assert registry.timer("query.score").count == 1
+
+    def test_engine_accessor_is_cached(self, tiny_actor):
+        assert tiny_actor.query_engine() is tiny_actor.query_engine()
+
+
+class TestCacheInvalidation:
+    def test_cache_reused_while_version_stands_still(self, tiny_actor):
+        assert tiny_actor.modality_cache("word") is tiny_actor.modality_cache(
+            "word"
+        )
+
+    def test_invalidate_bumps_version_and_rebuilds(self):
+        actor = _actor_with_phantom_hotspots()
+        before = actor.modality_cache("word")
+        version = actor.query_version
+        actor.invalidate_query_cache()
+        assert actor.query_version == version + 1
+        after = actor.modality_cache("word")
+        assert after is not before
+        np.testing.assert_array_equal(after.matrix, before.matrix)
+
+    def test_center_replacement_invalidates(self):
+        actor = _actor_with_phantom_hotspots()
+        before = actor.modality_cache("time")
+        actor.center = actor.center.copy()
+        assert actor.modality_cache("time") is not before
+
+    def test_partial_fit_invalidates_online_cache(self, tiny_actor, dataset):
+        online = OnlineActor(tiny_actor, seed=0)
+        engine = online.query_engine()
+        queries = make_queries(
+            dataset.test, "location", n_noise=10, max_queries=25, seed=4
+        )
+        engine.rank_batch(queries)
+        stale = online.modality_cache("word")
+        version = online.query_version
+        online.partial_fit(dataset.test.records[:40])
+        assert online.query_version > version
+        assert online.modality_cache("word") is not stale
+        # Post-update ranks still agree exactly with the scalar path.
+        batched = engine.rank_batch(queries)
+        assert batched.tolist() == scalar_ranks(online, queries)
+
+
+class TestNeighborsCachePath:
+    def test_neighbors_matches_full_sort(self, tiny_actor):
+        keys, matrix = tiny_actor.modality_vectors("word")
+        query = matrix[3]
+        got = tiny_actor.neighbors(query, "word", k=5)
+        norms = np.linalg.norm(matrix, axis=1)
+        scores = (matrix @ (query / np.linalg.norm(query)))
+        scores = np.divide(
+            scores, norms, out=np.zeros_like(scores), where=norms > 0
+        )
+        expected = np.argsort(-scores, kind="stable")[:5]
+        assert [k for k, _ in got] == [keys[i] for i in expected]
+        assert got[0][0] == keys[3]
+
+    def test_neighbors_zero_query_returns_zero_scores(self, tiny_actor):
+        got = tiny_actor.neighbors(np.zeros(tiny_actor.dim), "word", k=3)
+        assert len(got) == 3
+        assert all(score == 0.0 for _, score in got)

@@ -356,8 +356,10 @@ class TestWordAdmissionCap:
 class TestNodeResolution:
     def test_node_of_resolves_all_modalities_gracefully(self):
         """After hotspot drift the detector knows hotspots the base graph
-        has no nodes for.  The base model raises KeyError there; the online
-        model returns None, then resolves them once records stream in."""
+        has no nodes for.  Base and online models both degrade to None
+        (-> zero query vector) there — matching the batched engine's
+        ``index_map`` fallback — and the online model resolves the units
+        once records stream in."""
         actor = fit_tiny_actor(
             detector=HotspotDetector.from_arrays(
                 np.array([[1.0, 1.0]]), np.array([12.0])
@@ -368,10 +370,8 @@ class TestNodeResolution:
         actor.built.detector = HotspotDetector.from_arrays(
             np.array([[1.0, 1.0], [9.0, 9.0]]), np.array([12.0, 3.0])
         )
-        with pytest.raises(KeyError):
-            actor.unit_vector("time", 3.0)
-        with pytest.raises(KeyError):
-            actor.unit_vector("location", (9.0, 9.0))
+        assert actor.unit_vector("time", 3.0) is None
+        assert actor.unit_vector("location", (9.0, 9.0)) is None
 
         online = OnlineActor(actor, seed=0)
         assert online.unit_vector("time", 3.0) is None

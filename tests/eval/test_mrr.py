@@ -80,6 +80,36 @@ class TestMakeQueries:
         positions = {q.truth_index for q in queries}
         assert len(positions) > 3  # not always the same slot
 
+    @pytest.mark.parametrize("target", ["text", "location", "time"])
+    def test_wordless_records_ineligible_for_every_target(self, target):
+        """A record with an empty bag can neither be ranked (text is the
+        ground truth) nor observed (location/time use the bag as evidence),
+        so it must be excluded from queries AND noise pools everywhere."""
+        records = list(eval_corpus(30))
+        wordless_times = {100.0 + i for i in range(12)}
+        records += [
+            Record(
+                record_id=500 + i,
+                user="mute",
+                timestamp=100.0 + i,
+                location=(50.0 + i, 50.0),
+                words=(),
+            )
+            for i in range(12)
+        ]
+        corpus = Corpus.from_records(records)
+        queries = make_queries(corpus, target, n_noise=10, seed=0)
+        assert len(queries) == 30
+        for q in queries:
+            if target == "text":
+                assert all(len(bag) > 0 for bag in q.candidates)
+            elif target == "time":
+                assert not wordless_times.intersection(q.candidates)
+                assert q.words  # observed bag is never empty
+            else:
+                assert all(loc[0] < 50.0 for loc in q.candidates)
+                assert q.words
+
     def test_too_small_corpus_raises(self):
         with pytest.raises(ValueError, match="too small"):
             make_queries(eval_corpus(5), "text", n_noise=10, seed=0)

@@ -37,6 +37,46 @@ class TestKernel:
         integral = np.trapezoid(values, grid.ravel())
         assert integral == pytest.approx(1.0, abs=1e-3)
 
+    def test_flat_length2_vector_means_two_scalar_offsets(self):
+        """Regression: [a, b] is two 1-D offsets, not one 2-D point."""
+        values = epanechnikov(np.asarray([0.0, 0.5]))
+        assert values.shape == (2,)
+        np.testing.assert_allclose(values, 0.75 * (1.0 - np.asarray([0.0, 0.25])))
+
+    def test_flat_length3_vector_means_three_scalar_offsets(self):
+        values = epanechnikov(np.asarray([0.0, 0.5, 2.0]))
+        expected = epanechnikov(np.asarray([[0.0], [0.5], [2.0]]))
+        np.testing.assert_array_equal(values, expected)
+
+    def test_flat_vector_matches_column_for_every_length(self):
+        rng = np.random.default_rng(7)
+        for n in range(1, 6):
+            flat = rng.uniform(-2, 2, size=n)
+            np.testing.assert_array_equal(
+                epanechnikov(flat), epanechnikov(flat[:, None])
+            )
+
+    def test_d_hint_reshapes_flat_vector(self):
+        point = np.asarray([0.3, 0.4])
+        single = epanechnikov(point, d=2)
+        assert single.shape == (1,)
+        np.testing.assert_array_equal(single, epanechnikov(point[None, :]))
+
+    def test_d_hint_rejects_indivisible_flat_vector(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            epanechnikov(np.asarray([0.0, 0.5, 1.0]), d=2)
+
+    def test_d_hint_rejects_mismatched_2d_input(self):
+        with pytest.raises(ValueError, match="d=3"):
+            epanechnikov(np.zeros((4, 2)), d=3)
+
+    def test_scalar_input_is_single_1d_offset(self):
+        assert epanechnikov(0.0)[0] == pytest.approx(0.75)
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError, match="shape"):
+            epanechnikov(np.zeros((2, 2, 2)))
+
 
 class TestEpanechnikovKDE:
     def test_rejects_nonpositive_bandwidth(self):
