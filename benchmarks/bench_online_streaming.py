@@ -21,6 +21,8 @@ from repro.data import CityModel, preset_config
 from repro.data.splits import SplitSizes, train_valid_test_split
 from repro.eval import evaluate_model, format_table, make_queries, mean_reciprocal_rank
 from repro.utils.metrics import MetricsRegistry
+from repro.utils.telemetry import render_trace_summary
+from repro.utils.tracing import Tracer
 
 from common import SEED
 
@@ -39,6 +41,7 @@ def test_online_adaptation_to_new_district(benchmark, datasets, actor_models):
     )
 
     registry = MetricsRegistry()
+    tracer = Tracer()
     online = OnlineActor(
         base,
         half_life=8.0,
@@ -47,6 +50,7 @@ def test_online_adaptation_to_new_district(benchmark, datasets, actor_models):
         negatives=2,
         seed=SEED,
         metrics=registry,
+        tracer=tracer,
     )
     batch_size = 150
     for start in range(0, len(stream), batch_size):
@@ -84,6 +88,7 @@ def test_online_adaptation_to_new_district(benchmark, datasets, actor_models):
     )
     print(f"ingestion throughput: {throughput:,.0f} records/sec")
     print(registry.render(title="streaming metrics"))
+    print(render_trace_summary(tracer.roots, title="streaming spans"))
 
     # The frozen model cannot embed the new vocabulary: near-chance.
     # The online model must clearly exceed it.

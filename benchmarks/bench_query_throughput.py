@@ -27,9 +27,12 @@ import sys
 import time
 from pathlib import Path
 
-from repro import Actor, ActorConfig, generate_dataset
+from repro import Actor, ActorConfig, QueryEngine, generate_dataset
 from repro.eval import build_task_queries
 from repro.eval.mrr import query_rank
+from repro.utils.metrics import MetricsRegistry
+from repro.utils.telemetry import write_telemetry
+from repro.utils.tracing import Tracer
 
 
 def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
@@ -43,6 +46,23 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
         "--out", type=Path, default=Path("BENCH_query_throughput.json")
+    )
+    parser.add_argument(
+        "--telemetry-dir",
+        type=Path,
+        default=None,
+        help=(
+            "Serve the batched path with tracing + slow-query logging and "
+            "dump Prometheus metrics / trace.jsonl here.  The engine then "
+            "carries span overhead, so compare timings against an "
+            "uninstrumented run, not the acceptance target."
+        ),
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=100.0,
+        help="Slow-batch log threshold (only with --telemetry-dir).",
     )
     parser.add_argument(
         "--min-speedup",
@@ -71,7 +91,16 @@ def main(argv: list[str] | None = None) -> int:
         max_queries=args.max_queries,
         seed=args.seed,
     )
-    engine = model.query_engine()
+    tracer = Tracer() if args.telemetry_dir else None
+    if args.telemetry_dir:
+        engine = QueryEngine(
+            model,
+            metrics=MetricsRegistry(),
+            tracer=tracer,
+            slow_query_threshold=args.slow_query_ms / 1e3,
+        )
+    else:
+        engine = model.query_engine()
 
     report: dict = {
         "records": args.records,
@@ -119,6 +148,19 @@ def main(argv: list[str] | None = None) -> int:
         "rank_parity": all_parity,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    if args.telemetry_dir:
+        written = write_telemetry(
+            args.telemetry_dir,
+            engine.metrics,
+            tracer,
+            slow_queries=list(engine.slow_queries),
+        )
+        print(
+            f"telemetry: wrote {', '.join(sorted(written))} to "
+            f"{args.telemetry_dir} "
+            f"({len(engine.slow_queries)} slow batches logged)"
+        )
 
     for target, row in report["targets"].items():
         print(

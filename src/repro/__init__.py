@@ -19,7 +19,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro.baselines import LGTA, MGTM, CrossMap, LineModel, MetaPath2Vec
-from repro.core import Actor, ActorConfig
+from repro.core import Actor, ActorConfig, OnlineActor, QueryEngine
 from repro.core.neighbor import spatial_query, temporal_query, textual_query
 from repro.data import Corpus, Record, generate_dataset
 from repro.eval import evaluate_models, format_mrr_table
@@ -29,6 +29,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Actor",
     "ActorConfig",
+    "OnlineActor",
+    "QueryEngine",
     "Corpus",
     "Record",
     "generate_dataset",

@@ -13,9 +13,14 @@ Usage (also available as ``python -m repro``)::
     repro stream   --model model.pkl --corpus new.jsonl --metrics \
                    --checkpoint ckpt/               # online adaptation
     repro stream   --model model.pkl --corpus more.jsonl --resume ckpt/
+    repro train    --corpus corpus.jsonl --out model.pkl --telemetry-dir tel/
+    repro telemetry --dir tel/                       # inspect a telemetry dump
 
-Every command prints plain text to stdout; exit code 0 on success, 2 on
-argument errors (argparse convention).
+``--telemetry-dir DIR`` (on ``train``, ``evaluate`` and ``stream``) writes a
+Prometheus text-format ``metrics.prom`` plus a ``trace.jsonl`` span dump to
+``DIR`` (see ``docs/observability.md``); ``repro telemetry`` pretty-prints
+such a directory.  Every command prints plain text to stdout; exit code 0
+on success, 2 on argument errors (argparse convention).
 """
 
 from __future__ import annotations
@@ -40,6 +45,12 @@ from repro.core import (
 from repro.data import generate_dataset, load_corpus, save_corpus
 from repro.eval import build_task_queries, evaluate_model, format_table
 from repro.utils.metrics import MetricsRegistry
+from repro.utils.telemetry import (
+    read_telemetry,
+    render_trace_summary,
+    write_telemetry,
+)
+from repro.utils.tracing import NULL_TRACER, Tracer
 
 __all__ = ["main", "build_parser"]
 
@@ -96,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the training metrics table (per-epoch loss/time)",
     )
+    train.add_argument(
+        "--telemetry-dir", metavar="DIR",
+        help="write Prometheus metrics + a JSONL span trace to DIR",
+    )
 
     ev = sub.add_parser(
         "evaluate", help="MRR over the three cross-modal prediction tasks"
@@ -105,6 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--n-noise", type=int, default=10)
     ev.add_argument("--max-queries", type=int, default=300)
     ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument(
+        "--telemetry-dir", metavar="DIR",
+        help="write Prometheus metrics, a span trace and the slow-query "
+        "log to DIR",
+    )
+    ev.add_argument(
+        "--slow-query-ms", type=float, default=100.0, metavar="MS",
+        help="slow-query log threshold per batch, in milliseconds "
+        "(default: 100; effective only with --telemetry-dir)",
+    )
 
     export = sub.add_parser(
         "export",
@@ -138,6 +163,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", metavar="DIR",
         help="resume from a checkpoint directory instead of starting fresh "
         "(checkpoint hyper-parameters override the flags above)",
+    )
+    stream.add_argument(
+        "--telemetry-dir", metavar="DIR",
+        help="write Prometheus metrics + a JSONL span trace to DIR",
+    )
+
+    tel = sub.add_parser(
+        "telemetry",
+        help="pretty-print a telemetry directory written by --telemetry-dir",
+    )
+    tel.add_argument("--dir", required=True, help="telemetry directory")
+    tel.add_argument(
+        "--raw", action="store_true",
+        help="dump the raw Prometheus exposition text instead of summaries",
     )
 
     q = sub.add_parser("query", help="neighbor search around one unit")
@@ -192,8 +231,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         use_intra_bow=not args.no_intra_bow,
         seed=args.seed,
     )
-    registry = MetricsRegistry() if args.metrics else None
-    model = Actor(config).fit(corpus, metrics=registry)
+    telemetry_dir = getattr(args, "telemetry_dir", None)
+    registry = (
+        MetricsRegistry() if (args.metrics or telemetry_dir) else None
+    )
+    tracer = Tracer() if telemetry_dir else None
+    model = Actor(config).fit(corpus, metrics=registry, tracer=tracer)
     model.save(args.out)
     summary = model.built.activity.summary()
     print(
@@ -201,8 +244,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"{len(corpus)} records: {summary['n_nodes']} nodes, "
         f"{summary['n_edges']} edges; saved to {args.out}"
     )
-    if registry is not None:
+    if args.metrics and registry is not None:
         print(registry.render(title="training metrics"))
+    if telemetry_dir:
+        written = write_telemetry(telemetry_dir, registry, tracer)
+        print(f"wrote telemetry to {', '.join(sorted(written))}")
     return 0
 
 
@@ -229,9 +275,30 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         max_queries=args.max_queries,
         seed=args.seed,
     )
+    engine = None
+    if args.telemetry_dir:
+        from repro.core import QueryEngine
+
+        engine = QueryEngine(
+            model,
+            metrics=MetricsRegistry(),
+            tracer=Tracer(),
+            slow_query_threshold=args.slow_query_ms / 1e3,
+        )
+        # The eval path resolves model.query_engine(); pre-seed its cache
+        # so every batch flows through the instrumented engine.
+        model._query_engine = engine
     result = evaluate_model(model, queries)
     rows = [[task, mrr] for task, mrr in result.items()]
     print(format_table(["task", "MRR"], rows, title=f"MRR ({args.corpus})"))
+    if engine is not None:
+        written = write_telemetry(
+            args.telemetry_dir,
+            engine.metrics,
+            engine.tracer,
+            slow_queries=list(engine.slow_queries),
+        )
+        print(f"wrote telemetry to {', '.join(sorted(written))}")
     return 0
 
 
@@ -291,6 +358,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             buffer_size=args.buffer_size,
             seed=args.seed,
         )
+    tracer = None
+    if args.telemetry_dir:
+        tracer = Tracer()
+        model.tracer = tracer
     records = list(corpus)
     for start in range(0, len(records), args.batch_size):
         model.partial_fit(records[start : start + args.batch_size])
@@ -302,9 +373,57 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     )
     if args.metrics:
         print(model.metrics.render(title="streaming metrics"))
+    if args.telemetry_dir:
+        # Detach the tracer before checkpointing so the span forest never
+        # rides along into serialized state.
+        model.tracer = NULL_TRACER
+        written = write_telemetry(args.telemetry_dir, model.metrics, tracer)
+        print(f"wrote telemetry to {', '.join(sorted(written))}")
     if args.checkpoint:
         model.save_checkpoint(args.checkpoint)
         print(f"wrote checkpoint to {args.checkpoint}")
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    dump = read_telemetry(args.dir)
+    if (
+        dump["metrics_text"] is None
+        and not dump["spans"]
+        and not dump["slow_queries"]
+    ):
+        print(f"no telemetry found in {args.dir}", file=sys.stderr)
+        return 2
+    if args.raw:
+        if dump["metrics_text"] is not None:
+            print(dump["metrics_text"], end="")
+        return 0
+    if dump["metrics_text"] is not None:
+        samples = sum(
+            1
+            for line in dump["metrics_text"].splitlines()
+            if line and not line.startswith("#")
+        )
+        print(f"metrics.prom: {samples} samples")
+    if dump["spans"]:
+        print(render_trace_summary(dump["spans"]))
+    if dump["slow_queries"]:
+        rows = [
+            [
+                entry.get("op", "?"),
+                entry.get("target", "?"),
+                entry.get("n_queries", 0),
+                entry.get("per_query_ms", 0.0),
+            ]
+            for entry in dump["slow_queries"]
+        ]
+        print(
+            format_table(
+                ["op", "target", "queries", "ms/query"],
+                rows,
+                title="slow queries",
+            )
+        )
     return 0
 
 
@@ -316,6 +435,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "export": _cmd_export,
     "stream": _cmd_stream,
+    "telemetry": _cmd_telemetry,
 }
 
 

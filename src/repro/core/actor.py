@@ -25,6 +25,7 @@ intra*.
 from __future__ import annotations
 
 import pickle
+import time
 from pathlib import Path
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.embedding.line import LineEmbedding
 from repro.graphs.builder import GraphBuilder
 from repro.hotspots.detector import HotspotDetector
 from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.tracing import NULL_TRACER
 
 __all__ = ["Actor"]
 
@@ -67,7 +69,9 @@ class Actor(GraphEmbeddingModel):
         """Whether :meth:`fit` has completed."""
         return self._fitted
 
-    def fit(self, corpus: Corpus, *, detector=None, metrics=None) -> "Actor":
+    def fit(
+        self, corpus: Corpus, *, detector=None, metrics=None, tracer=None
+    ) -> "Actor":
         """Run hotspot detection, graph building, initialization, training.
 
         Parameters
@@ -81,14 +85,24 @@ class Actor(GraphEmbeddingModel):
             discretization ablation.  Must expose the detector interface
             (``fit`` / ``assign_*`` / ``*_hotspots``).
         metrics:
-            Optional :class:`~repro.utils.metrics.MetricsRegistry`
-            forwarded to the trainer (per-epoch loss/time under
-            ``train.*``).
+            Optional :class:`~repro.utils.metrics.MetricsRegistry`.
+            Forwarded to the trainer (per-epoch loss/time under
+            ``train.*``), the hotspot detector (``hotspot.*``) and used
+            for stage timers (``fit.build_graphs`` etc.) plus graph-size
+            gauges (``graph.*``).
+        tracer:
+            Optional :class:`~repro.utils.tracing.Tracer`.  Emits an
+            ``actor.fit`` span with ``actor.build_graphs`` /
+            ``actor.line_pretrain`` / ``actor.init`` / ``actor.train``
+            children (hotspot detection nests under the graph-build
+            span).  Detached again before :meth:`fit` returns so pickled
+            models never embed span forests.
         """
         cfg = self.config
         rng = ensure_rng(cfg.seed)
         build_rng, line_rng, init_rng, train_rng = spawn_rng(rng, 4)
         del build_rng  # graph construction is deterministic
+        tracer = tracer if tracer is not None else NULL_TRACER
 
         if detector is None:
             detector = HotspotDetector(
@@ -96,6 +110,12 @@ class Actor(GraphEmbeddingModel):
                 temporal_bandwidth=cfg.temporal_bandwidth,
                 min_support=cfg.min_hotspot_support,
             )
+        # Attach the observability sinks to the detector (duck-typed so a
+        # GridDetector ablation without the attributes still works).
+        if hasattr(detector, "metrics"):
+            detector.metrics = metrics
+        if hasattr(detector, "tracer"):
+            detector.tracer = tracer
         vocab = Vocabulary(
             min_count=cfg.vocab_min_count, max_size=cfg.vocab_max_size
         )
@@ -106,47 +126,85 @@ class Actor(GraphEmbeddingModel):
             mention_link_weight=cfg.mention_link_weight,
             include_users=True,
         )
-        self.built = builder.build(corpus)
+        with tracer.span("actor.fit", records=len(corpus)) as fit_span:
+            with tracer.span("actor.build_graphs") as build_span:
+                build_start = time.perf_counter()
+                self.built = builder.build(corpus)
+                build_s = time.perf_counter() - build_start
+                build_span.set(
+                    nodes=self.built.activity.n_nodes,
+                    edges=self.built.activity.n_edges,
+                )
+            if metrics is not None:
+                metrics.timer("fit.build_graphs").observe(build_s)
+                metrics.gauge("graph.activity_nodes").set(
+                    self.built.activity.n_nodes
+                )
+                metrics.gauge("graph.activity_edges").set(
+                    self.built.activity.n_edges
+                )
+                metrics.gauge("graph.interaction_edges").set(
+                    self.built.interaction.n_edges
+                )
 
-        # Stage 3: LINE pretraining of the user interaction graph.  Only
-        # meaningful when the corpus has interaction edges *and* the
-        # hierarchical machinery is enabled.
-        pretrain = (
-            cfg.use_inter
-            and cfg.init_from_users
-            and self.built.interaction.n_edges > 0
-        )
-        if pretrain:
-            line = LineEmbedding(
-                cfg.dim,
-                order=2,
-                negatives=cfg.line_negatives,
-                lr=cfg.lr,
-                batch_size=cfg.batch_size,
-            ).fit(
-                self.built.interaction.edge_set,
-                self.built.interaction.n_users,
-                n_samples=cfg.line_samples,
-                seed=line_rng,
+            # Stage 3: LINE pretraining of the user interaction graph.
+            # Only meaningful when the corpus has interaction edges *and*
+            # the hierarchical machinery is enabled.
+            pretrain = (
+                cfg.use_inter
+                and cfg.init_from_users
+                and self.built.interaction.n_edges > 0
             )
-            self.user_embeddings = line.embeddings
-            center, context = initialize_from_users(
-                self.built.activity,
-                self.built.interaction,
-                self.user_embeddings,
-                cfg.dim,
-                seed=init_rng,
-                noise=cfg.init_noise,
-            )
-        else:
-            center, context = random_init(
-                self.built.activity.n_nodes, cfg.dim, init_rng
-            )
+            init_start = time.perf_counter()
+            if pretrain:
+                with tracer.span("actor.line_pretrain"):
+                    line = LineEmbedding(
+                        cfg.dim,
+                        order=2,
+                        negatives=cfg.line_negatives,
+                        lr=cfg.lr,
+                        batch_size=cfg.batch_size,
+                    ).fit(
+                        self.built.interaction.edge_set,
+                        self.built.interaction.n_users,
+                        n_samples=cfg.line_samples,
+                        seed=line_rng,
+                    )
+                    self.user_embeddings = line.embeddings
+                with tracer.span("actor.init"):
+                    center, context = initialize_from_users(
+                        self.built.activity,
+                        self.built.interaction,
+                        self.user_embeddings,
+                        cfg.dim,
+                        seed=init_rng,
+                        noise=cfg.init_noise,
+                    )
+            else:
+                with tracer.span("actor.init"):
+                    center, context = random_init(
+                        self.built.activity.n_nodes, cfg.dim, init_rng
+                    )
+            init_s = time.perf_counter() - init_start
+            if metrics is not None:
+                metrics.timer("fit.initialize").observe(init_s)
 
-        self.trainer = ActorTrainer(
-            self.built, cfg, center, context, metrics=metrics
-        )
-        self.trainer.train(seed=train_rng)
+            self.trainer = ActorTrainer(
+                self.built, cfg, center, context, metrics=metrics,
+                tracer=tracer,
+            )
+            with tracer.span("actor.train"):
+                train_start = time.perf_counter()
+                self.trainer.train(seed=train_rng)
+                train_s = time.perf_counter() - train_start
+            if metrics is not None:
+                metrics.timer("fit.train").observe(train_s)
+            fit_span.set(pretrained=bool(pretrain))
+        # Detach the tracer before the model can be pickled: spans hold a
+        # growing forest, and save() serializes trainer + detector.
+        if hasattr(detector, "tracer"):
+            detector.tracer = NULL_TRACER
+        self.trainer.tracer = NULL_TRACER
         self.center = self.trainer.center
         self.context = self.trainer.context
         self._fitted = True

@@ -27,6 +27,8 @@ far more than the last-ulp noise between matrix-product shapes.
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from collections.abc import Sequence
 
 import numpy as np
@@ -37,6 +39,7 @@ from repro.core.prediction import (
     normalize_rows,
 )
 from repro.utils.metrics import MetricsRegistry
+from repro.utils.tracing import NULL_TRACER
 
 __all__ = ["QueryEngine"]
 
@@ -53,7 +56,21 @@ class QueryEngine:
         Optional :class:`~repro.utils.metrics.MetricsRegistry`; falls back
         to the model's own registry when it has one, else a private one.
         Timers ``query.embed``, ``query.score`` and counter
-        ``query.queries`` record the serving load.
+        ``query.queries`` record the serving load; latency histograms
+        ``query.snap_seconds`` / ``query.gather_seconds`` /
+        ``query.score_seconds`` / ``query.batch_seconds`` break each batch
+        into its hotspot-snap, word-gather and scoring phases.
+    tracer:
+        Optional :class:`~repro.utils.tracing.Tracer`.  Each batch emits a
+        ``query.rank_batch`` / ``query.score_batch`` span with
+        ``query.snap`` / ``query.gather`` / ``query.score`` children.
+        Defaults to the no-op tracer.
+    slow_query_threshold:
+        Batch wall-time threshold in **seconds**; batches slower than this
+        are appended to :attr:`slow_queries` (and counted under
+        ``query.slow_batches``).  ``None`` disables the slow-query log.
+    slow_query_log_size:
+        Maximum retained slow-query entries (oldest evicted first).
     """
 
     def __init__(
@@ -61,11 +78,21 @@ class QueryEngine:
         model: GraphEmbeddingModel,
         *,
         metrics: MetricsRegistry | None = None,
+        tracer=None,
+        slow_query_threshold: float | None = None,
+        slow_query_log_size: int = 32,
     ) -> None:
         if metrics is None:
             metrics = getattr(model, "metrics", None)
         self.model = model
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if slow_query_threshold is not None and slow_query_threshold < 0:
+            raise ValueError(
+                f"slow_query_threshold must be >= 0, got {slow_query_threshold}"
+            )
+        self.slow_query_threshold = slow_query_threshold
+        self.slow_queries: deque[dict] = deque(maxlen=int(slow_query_log_size))
 
     @property
     def dim(self) -> int:
@@ -83,26 +110,36 @@ class QueryEngine:
         rows where the snapped hotspot never became a graph node) and the
         boolean ``found`` mask.
         """
-        cache = self.model.modality_cache("time")
-        values = np.asarray(times, dtype=float).ravel()
-        idx = self.model.built.detector.assign_temporal(values)
-        positions = cache.index_map[idx]
-        found = positions >= 0
-        vectors = np.zeros((values.shape[0], self.dim))
-        vectors[found] = cache.matrix[positions[found]]
+        with self.tracer.span("query.snap", modality="time"):
+            start = time.perf_counter()
+            cache = self.model.modality_cache("time")
+            values = np.asarray(times, dtype=float).ravel()
+            idx = self.model.built.detector.assign_temporal(values)
+            positions = cache.index_map[idx]
+            found = positions >= 0
+            vectors = np.zeros((values.shape[0], self.dim))
+            vectors[found] = cache.matrix[positions[found]]
+            self.metrics.histogram("query.snap_seconds").observe(
+                time.perf_counter() - start
+            )
         return vectors, found
 
     def embed_locations(
         self, locations: Sequence | np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Embed many ``(x, y)`` pairs with one ``assign_spatial`` call."""
-        cache = self.model.modality_cache("location")
-        coords = np.asarray(locations, dtype=float).reshape(-1, 2)
-        idx = self.model.built.detector.assign_spatial(coords)
-        positions = cache.index_map[idx]
-        found = positions >= 0
-        vectors = np.zeros((coords.shape[0], self.dim))
-        vectors[found] = cache.matrix[positions[found]]
+        with self.tracer.span("query.snap", modality="location"):
+            start = time.perf_counter()
+            cache = self.model.modality_cache("location")
+            coords = np.asarray(locations, dtype=float).reshape(-1, 2)
+            idx = self.model.built.detector.assign_spatial(coords)
+            positions = cache.index_map[idx]
+            found = positions >= 0
+            vectors = np.zeros((coords.shape[0], self.dim))
+            vectors[found] = cache.matrix[positions[found]]
+            self.metrics.histogram("query.snap_seconds").observe(
+                time.perf_counter() - start
+            )
         return vectors, found
 
     def embed_word_bags(self, bags: Sequence[Sequence[str]]) -> np.ndarray:
@@ -113,6 +150,17 @@ class QueryEngine:
         ``np.add.reduceat`` segment sum, matching
         :meth:`GraphEmbeddingModel.words_vector` bag by bag.
         """
+        with self.tracer.span("query.gather", bags=len(bags)):
+            start = time.perf_counter()
+            try:
+                return self._embed_word_bags(bags)
+            finally:
+                self.metrics.histogram("query.gather_seconds").observe(
+                    time.perf_counter() - start
+                )
+
+    def _embed_word_bags(self, bags: Sequence[Sequence[str]]) -> np.ndarray:
+        """Uninstrumented body of :meth:`embed_word_bags`."""
         cache = self.model.modality_cache("word")
         get = cache.position_of.get
         bag_sizes = np.fromiter(
@@ -235,16 +283,46 @@ class QueryEngine:
         :meth:`GraphEmbeddingModel.score_candidates` for query ``i`` up to
         last-ulp rounding (exact ties are preserved bit-for-bit).
         """
-        with self.metrics.time("query.embed"):
-            queries = normalize_rows(
-                self.query_matrix(
-                    times=times, locations=locations, words=words
+        with self.tracer.span(
+            "query.score_batch", target=target, n_candidates=len(candidates)
+        ):
+            start = time.perf_counter()
+            with self.metrics.time("query.embed"):
+                queries = normalize_rows(
+                    self.query_matrix(
+                        times=times, locations=locations, words=words
+                    )
                 )
+                cands = normalize_rows(
+                    self.candidate_matrix(target, candidates)
+                )
+            with self.metrics.time("query.score"), self.tracer.span(
+                "query.score"
+            ):
+                score_start = time.perf_counter()
+                block = queries @ cands.T
+                self.metrics.histogram("query.score_seconds").observe(
+                    time.perf_counter() - score_start
+                )
+            self.metrics.counter("query.queries").inc(queries.shape[0])
+            n = int(queries.shape[0])
+            self._record_batch(
+                op="score_candidates_batch",
+                target=target,
+                n_queries=n,
+                seconds=time.perf_counter() - start,
+                modalities={
+                    "time": sum(1 for t in times if t is not None)
+                    if times is not None
+                    else 0,
+                    "location": sum(1 for l in locations if l is not None)
+                    if locations is not None
+                    else 0,
+                    "word": sum(1 for w in words if w is not None)
+                    if words is not None
+                    else 0,
+                },
             )
-            cands = normalize_rows(self.candidate_matrix(target, candidates))
-        with self.metrics.time("query.score"):
-            block = queries @ cands.T
-        self.metrics.counter("query.queries").inc(queries.shape[0])
         return block
 
     def rank_batch(self, queries: Sequence) -> np.ndarray:
@@ -257,14 +335,56 @@ class QueryEngine:
         :func:`~repro.core.prediction.rank_descending`'s stable sort
         produces.  Candidate lists may differ per query and per target.
         """
-        ranks = np.empty(len(queries), dtype=np.int64)
-        by_target: dict[str, list[int]] = {}
-        for i, query in enumerate(queries):
-            by_target.setdefault(query.target, []).append(i)
-        for target, indices in by_target.items():
-            group = [queries[i] for i in indices]
-            ranks[indices] = self._rank_group(target, group)
+        with self.tracer.span("query.rank_batch", n_queries=len(queries)):
+            start = time.perf_counter()
+            ranks = np.empty(len(queries), dtype=np.int64)
+            by_target: dict[str, list[int]] = {}
+            for i, query in enumerate(queries):
+                by_target.setdefault(query.target, []).append(i)
+            for target, indices in by_target.items():
+                group = [queries[i] for i in indices]
+                ranks[indices] = self._rank_group(target, group)
+            self._record_batch(
+                op="rank_batch",
+                target="+".join(sorted(by_target)),
+                n_queries=len(queries),
+                seconds=time.perf_counter() - start,
+                modalities={
+                    "time": sum(1 for q in queries if q.time is not None),
+                    "location": sum(
+                        1 for q in queries if q.location is not None
+                    ),
+                    "word": sum(1 for q in queries if q.words is not None),
+                },
+            )
         return ranks
+
+    def _record_batch(
+        self,
+        *,
+        op: str,
+        target: str,
+        n_queries: int,
+        seconds: float,
+        modalities: dict[str, int],
+    ) -> None:
+        """Record one batch's wall time; log it when slower than threshold."""
+        self.metrics.histogram("query.batch_seconds").observe(seconds)
+        threshold = self.slow_query_threshold
+        if threshold is not None and seconds > threshold:
+            self.metrics.counter("query.slow_batches").inc()
+            self.slow_queries.append(
+                {
+                    "op": op,
+                    "target": target,
+                    "n_queries": int(n_queries),
+                    "seconds": round(seconds, 6),
+                    "per_query_ms": round(
+                        seconds * 1e3 / max(1, n_queries), 4
+                    ),
+                    "modalities": modalities,
+                }
+            )
 
     def _rank_group(self, target: str, queries: Sequence) -> np.ndarray:
         """Truth ranks for queries sharing one target modality."""
@@ -283,7 +403,10 @@ class QueryEngine:
             cand_mat = normalize_rows(
                 self.candidate_matrix(target, flat_candidates)
             )
-        with self.metrics.time("query.score"):
+        with self.metrics.time("query.score"), self.tracer.span(
+            "query.score", target=target
+        ):
+            score_start = time.perf_counter()
             scores = np.einsum(
                 "nd,nd->n", cand_mat, np.repeat(query_mat, counts, axis=0)
             )
@@ -299,6 +422,9 @@ class QueryEngine:
                 & (position < np.repeat(truth_pos, counts))
             )
             ranks = 1 + np.add.reduceat(beats.astype(np.int64), starts)
+            self.metrics.histogram("query.score_seconds").observe(
+                time.perf_counter() - score_start
+            )
         self.metrics.counter("query.queries").inc(len(queries))
         return ranks
 

@@ -37,12 +37,20 @@ The ingestion path is built for throughput:
 
 Operational state (records/sec, buffer occupancy, evictions, alias
 rebuilds, per-burst loss) is recorded in the actor's
-:class:`~repro.utils.metrics.MetricsRegistry`; checkpoint/restore lives in
+:class:`~repro.utils.metrics.MetricsRegistry`, including latency
+*histograms* (``stream.ingest_seconds``, ``stream.burst_seconds``,
+``buffer.rebuild_seconds``, ``buffer.evict_seconds``) whose p50/p90/p99
+feed the Prometheus export.  When a
+:class:`~repro.utils.tracing.Tracer` is attached, every
+:meth:`OnlineActor.partial_fit` call records a ``stream.partial_fit``
+span tree with ``stream.ingest`` / ``stream.train_burst`` children —
+see ``docs/observability.md``.  Checkpoint/restore lives in
 :mod:`repro.core.serialize`.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Hashable, Iterable
 from pathlib import Path
 
@@ -57,6 +65,7 @@ from repro.embedding.sgns import sgns_step
 from repro.graphs.types import NodeType
 from repro.utils.metrics import MetricsRegistry
 from repro.utils.rng import ensure_rng
+from repro.utils.tracing import NULL_TRACER
 from repro.utils.validation import check_positive
 
 __all__ = ["RecencyBuffer", "OnlineActor"]
@@ -103,6 +112,11 @@ class RecencyBuffer:
         self._decay_cache: dict[int, float] = {}
         self._version = 0
         self._sampler_state: tuple[int, int] | None = None
+        # Optional observability sink (attached by OnlineActor): when set,
+        # alias rebuilds and evicting bulk inserts record latency
+        # histograms.  Plain attribute so checkpoint restore and direct
+        # construction stay signature-compatible.
+        self.metrics: MetricsRegistry | None = None
 
     def __len__(self) -> int:
         return self._size
@@ -198,6 +212,9 @@ class RecencyBuffer:
                 bad = float(weights[weights <= 0][0])
                 raise ValueError(f"weight must be positive, got {bad}")
 
+        metrics = self.metrics
+        start = time.perf_counter() if metrics is not None else 0.0
+        evictions_before = self.evictions
         if n >= self.max_size:
             # The batch alone fills the buffer: everything currently held
             # plus the batch's oldest entries are evicted.
@@ -226,6 +243,14 @@ class RecencyBuffer:
             self._born[idx] = self.clock
             self._size += n
         self._version += 1
+        if metrics is not None:
+            elapsed = time.perf_counter() - start
+            metrics.histogram("buffer.add_seconds").observe(elapsed)
+            if self.evictions > evictions_before:
+                # Latency of the evicting inserts specifically: a rising
+                # p99 here means the window is churning (see the
+                # operations runbook).
+                metrics.histogram("buffer.evict_seconds").observe(elapsed)
 
     # ---------------------------------------------------------------- decay
 
@@ -262,6 +287,7 @@ class RecencyBuffer:
         draw within the group samples each edge exactly proportionally to
         its weight at O(U) table-build cost instead of O(N).
         """
+        start = time.perf_counter() if self.metrics is not None else 0.0
         weights = np.maximum(self.decayed_weights(), 1e-12)
         unique, inverse, counts = np.unique(
             weights, return_inverse=True, return_counts=True
@@ -272,6 +298,10 @@ class RecencyBuffer:
         self._group_counts = counts
         self._sampler_state = (self.clock, self._version)
         self.rebuilds += 1
+        if self.metrics is not None:
+            self.metrics.histogram("buffer.rebuild_seconds").observe(
+                time.perf_counter() - start
+            )
 
     def sample(
         self, size: int, rng: np.random.Generator
@@ -356,6 +386,10 @@ class OnlineActor(GraphEmbeddingModel):
     metrics:
         Optional shared :class:`~repro.utils.metrics.MetricsRegistry`; a
         private one is created when omitted.  See :attr:`metrics`.
+    tracer:
+        Optional :class:`~repro.utils.tracing.Tracer`; each
+        :meth:`partial_fit` then records a ``stream.partial_fit`` span
+        tree.  Defaults to the no-op :data:`~repro.utils.tracing.NULL_TRACER`.
     """
 
     def __init__(
@@ -370,6 +404,7 @@ class OnlineActor(GraphEmbeddingModel):
         seed: int | np.random.Generator | None = 0,
         buffer_size: int = 200_000,
         metrics: MetricsRegistry | None = None,
+        tracer=None,
     ) -> None:
         if not base.is_fitted:
             raise ValueError("base Actor must be fitted before going online")
@@ -385,6 +420,8 @@ class OnlineActor(GraphEmbeddingModel):
         self.batch_size = int(batch_size)
         self.negatives = int(negatives)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.buffer.metrics = self.metrics
         self._rng = ensure_rng(seed)
         # Rows appended beyond the base graph's node count, keyed like
         # activity-graph handles.  The finalized base graph stays immutable.
@@ -478,13 +515,31 @@ class OnlineActor(GraphEmbeddingModel):
         if not records:
             return self
         metrics = self.metrics
-        with metrics.time("stream.partial_fit"):
-            with metrics.time("stream.ingest"):
+        if self.buffer.metrics is not metrics:
+            # Heal after checkpoint restore or a buffer swap so latency
+            # histograms always land in the deployment's registry.
+            self.buffer.metrics = metrics
+        tracer = self.tracer
+        with tracer.span("stream.partial_fit", records=len(records)) as span:
+            batch_start = time.perf_counter()
+            with tracer.span("stream.ingest"):
+                ingest_start = time.perf_counter()
                 n_edges = self._ingest(records)
+                ingest_s = time.perf_counter() - ingest_start
             self.n_ingested += len(records)
             self.buffer.tick()
-            with metrics.time("stream.train_burst"):
+            with tracer.span("stream.train_burst"):
+                burst_start = time.perf_counter()
                 self._train_burst()
+                burst_s = time.perf_counter() - burst_start
+            batch_s = time.perf_counter() - batch_start
+            span.set(edges=n_edges, buffer=len(self.buffer))
+        metrics.timer("stream.ingest").observe(ingest_s)
+        metrics.timer("stream.train_burst").observe(burst_s)
+        metrics.timer("stream.partial_fit").observe(batch_s)
+        metrics.histogram("stream.ingest_seconds").observe(ingest_s)
+        metrics.histogram("stream.burst_seconds").observe(burst_s)
+        metrics.histogram("stream.batch_seconds").observe(batch_s)
         # The burst updates center/context in place (same array objects),
         # so the batched-query caches must be told explicitly; row growth
         # already invalidates them by replacing the matrices.
@@ -498,6 +553,10 @@ class OnlineActor(GraphEmbeddingModel):
             )
         metrics.gauge("buffer.size").set(len(self.buffer))
         metrics.gauge("buffer.occupancy").set(self.buffer.occupancy)
+        metrics.histogram(
+            "buffer.occupancy_ratio",
+            bounds=tuple(i / 10 for i in range(1, 11)),
+        ).observe(self.buffer.occupancy)
         metrics.gauge("buffer.evictions").set(self.buffer.evictions)
         metrics.gauge("buffer.rebuilds").set(self.buffer.rebuilds)
         return self

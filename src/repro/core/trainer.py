@@ -37,6 +37,7 @@ from repro.graphs.activity_graph import ActivityGraph
 from repro.graphs.builder import BuiltGraphs, RecordUnits
 from repro.graphs.types import EdgeType, NodeType
 from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.tracing import NULL_TRACER
 
 __all__ = [
     "TrainTask",
@@ -104,7 +105,8 @@ class PlainEdgeTask(TrainTask):
         self.sampler = sampler
         self.context_side = context_side
 
-    def step(self, center, context, batch_size, lr, rng):  # noqa: D102
+    def step(self, center, context, batch_size, lr, rng):
+        """One SGNS mini-batch over (oriented) typed edges."""
         if self.context_side is None:
             batch = self.sampler.sample_batch(batch_size, rng)
         else:
@@ -148,7 +150,8 @@ class BagToUnitTask(TrainTask):
         self._negatives = negatives
         self._record_table = AliasTable(self._weights)
 
-    def step(self, center, context, batch_size, lr, rng):  # noqa: D102
+    def step(self, center, context, batch_size, lr, rng):
+        """One bag-of-words step: record bags predict their L/T unit."""
         idx = self._record_table.sample(batch_size, seed=rng)
         bags = [self._words[i] for i in idx]
         flat = np.concatenate(bags)
@@ -183,7 +186,8 @@ class BagToWordTask(TrainTask):
         self._negatives = negatives
         self._record_table = AliasTable(weights)
 
-    def step(self, center, context, batch_size, lr, rng):  # noqa: D102
+    def step(self, center, context, batch_size, lr, rng):
+        """One bag-of-words step: record bags predict a member word."""
         idx = self._record_table.sample(batch_size, seed=rng)
         bags: list[np.ndarray] = []
         targets = np.empty(batch_size, dtype=np.int64)
@@ -215,7 +219,14 @@ class ActorTrainer:
     metrics:
         Optional :class:`~repro.utils.metrics.MetricsRegistry`; when given,
         the trainer records per-epoch loss and wall-clock plus total batch
-        counts under the ``train.*`` namespace.
+        counts under the ``train.*`` namespace, and per-edge-type loss /
+        latency / edges-per-second under ``train.task.<name>.*``.  The
+        parallel path additionally reports Hogwild worker utilization
+        (``train.pool.utilization``).
+    tracer:
+        Optional :class:`~repro.utils.tracing.Tracer`; when given, each
+        epoch records a ``train.epoch`` span whose children are one
+        ``train.task`` span per edge-type objective.
     """
 
     def __init__(
@@ -226,6 +237,7 @@ class ActorTrainer:
         context: np.ndarray,
         *,
         metrics=None,
+        tracer=None,
     ) -> None:
         if center.shape != context.shape:
             raise ValueError("center and context must have equal shapes")
@@ -239,6 +251,7 @@ class ActorTrainer:
         self.center = center
         self.context = context
         self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tasks = self._build_tasks()
         self.loss_history: list[float] = []
 
@@ -250,6 +263,21 @@ class ActorTrainer:
         self.metrics.counter("train.batches").inc(batches)
         self.metrics.gauge("train.epoch_loss").set(loss)
         self.metrics.timer("train.epoch").observe(seconds)
+        self.metrics.histogram("train.epoch_seconds").observe(seconds)
+
+    def _record_task(
+        self, task: TrainTask, loss: float, batches: int, seconds: float
+    ) -> None:
+        """Per-edge-type epoch stats: loss, latency, edges/sec."""
+        if self.metrics is None:
+            return
+        prefix = f"train.task.{task.name}"
+        self.metrics.gauge(f"{prefix}.loss").set(loss / max(1, batches))
+        self.metrics.timer(prefix).observe(seconds)
+        if seconds > 0:
+            self.metrics.gauge(f"{prefix}.edges_per_sec").set(
+                batches * self.config.batch_size / seconds
+            )
 
     # ------------------------------------------------------------------ tasks
 
@@ -401,17 +429,30 @@ class ActorTrainer:
         batches = self.batches_per_epoch()
         total_steps = cfg.epochs * len(self.tasks) * batches
         step_counter = 0
-        for _epoch in range(cfg.epochs):
-            epoch_start = time.perf_counter()
-            epoch_loss = 0.0
-            for task in self.tasks:
-                lr = cfg.lr * max(0.1, 1.0 - step_counter / max(1, total_steps))
-                for _ in range(batches):
-                    epoch_loss += task.step(
-                        self.center, self.context, cfg.batch_size, lr, rng
+        for epoch in range(cfg.epochs):
+            with self.tracer.span("train.epoch", epoch=epoch) as span:
+                epoch_start = time.perf_counter()
+                epoch_loss = 0.0
+                for task in self.tasks:
+                    lr = cfg.lr * max(
+                        0.1, 1.0 - step_counter / max(1, total_steps)
                     )
-                step_counter += batches
-            mean_loss = epoch_loss / (len(self.tasks) * batches)
+                    with self.tracer.span("train.task", task=task.name):
+                        task_start = time.perf_counter()
+                        task_loss = 0.0
+                        for _ in range(batches):
+                            task_loss += task.step(
+                                self.center, self.context, cfg.batch_size,
+                                lr, rng,
+                            )
+                    self._record_task(
+                        task, task_loss, batches,
+                        time.perf_counter() - task_start,
+                    )
+                    epoch_loss += task_loss
+                    step_counter += batches
+                mean_loss = epoch_loss / (len(self.tasks) * batches)
+                span.set(loss=mean_loss)
             self.loss_history.append(mean_loss)
             self._record_epoch(
                 mean_loss,
@@ -436,16 +477,33 @@ class ActorTrainer:
                 cfg.n_threads,
                 seed=pool_seed,
             ) as pool:
-                for _epoch in range(cfg.epochs):
-                    epoch_start = time.perf_counter()
-                    epoch_loss = 0.0
-                    for task_idx in range(len(self.tasks)):
-                        lr = cfg.lr * max(
-                            0.1, 1.0 - step_counter / max(1, total_steps)
-                        )
-                        epoch_loss += pool.run_task(task_idx, batches, lr)
-                        step_counter += batches
-                    mean_loss = epoch_loss / len(self.tasks)
+                for epoch in range(cfg.epochs):
+                    with self.tracer.span("train.epoch", epoch=epoch) as span:
+                        epoch_start = time.perf_counter()
+                        epoch_loss = 0.0
+                        for task_idx, task in enumerate(self.tasks):
+                            lr = cfg.lr * max(
+                                0.1, 1.0 - step_counter / max(1, total_steps)
+                            )
+                            with self.tracer.span(
+                                "train.task", task=task.name
+                            ):
+                                task_start = time.perf_counter()
+                                task_loss = pool.run_task(
+                                    task_idx, batches, lr
+                                )
+                            self._record_task(
+                                task, task_loss * batches, batches,
+                                time.perf_counter() - task_start,
+                            )
+                            epoch_loss += task_loss
+                            step_counter += batches
+                        if self.metrics is not None:
+                            self.metrics.gauge("train.pool.utilization").set(
+                                pool.last_utilization
+                            )
+                        mean_loss = epoch_loss / len(self.tasks)
+                        span.set(loss=mean_loss)
                     self.loss_history.append(mean_loss)
                     self._record_epoch(
                         mean_loss,

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import threading
+import time
 from collections.abc import Callable, Sequence
 
 import numpy as np
@@ -114,6 +115,8 @@ def _worker_loop(tasks, center, context, batch_size, cmd_queue, done_queue, seed
 
     ``center`` / ``context`` are shared-memory-backed views, so the
     scatter-add updates performed here are visible to every process.
+    Replies are ``(loss_sum, busy_seconds)`` so the parent can derive
+    worker utilization (busy time / wall time across the pool).
     """
     rng = np.random.default_rng(seed)
     while True:
@@ -123,10 +126,11 @@ def _worker_loop(tasks, center, context, batch_size, cmd_queue, done_queue, seed
             return
         task_idx, steps, lr = message
         acc = 0.0
+        start = time.perf_counter()
         try:
             for _ in range(steps):
                 acc += tasks[task_idx].step(center, context, batch_size, lr, rng)
-            done_queue.put(acc)
+            done_queue.put((acc, time.perf_counter() - start))
         except Exception as exc:  # surface worker errors to the parent
             done_queue.put(exc)
 
@@ -195,17 +199,36 @@ class HogwildPool:
         for proc in self._procs:
             proc.start()
         self._closed = False
+        self.last_busy_seconds = 0.0
+        self.last_wall_seconds = 0.0
+
+    @property
+    def last_utilization(self) -> float:
+        """Worker utilization of the most recent :meth:`run_task` call.
+
+        ``busy / (wall * n_workers)``: 1.0 means every worker computed
+        for the whole dispatch; low values mean stragglers or queue
+        overhead dominated.  0.0 before the first call.
+        """
+        if self.last_wall_seconds <= 0:
+            return 0.0
+        return self.last_busy_seconds / (
+            self.last_wall_seconds * self.n_workers
+        )
 
     def run_task(self, task_idx: int, n_steps: int, lr: float) -> float:
         """Run ``n_steps`` of task ``task_idx`` split across all workers.
 
         Blocks until every worker finishes its share; returns the mean
-        per-step loss.  Worker exceptions are re-raised here.
+        per-step loss.  Worker exceptions are re-raised here.  Worker
+        busy time is accumulated into :attr:`last_busy_seconds` /
+        :attr:`last_wall_seconds` for :attr:`last_utilization`.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
         if n_steps <= 0:
             return 0.0
+        wall_start = time.perf_counter()
         shares = [n_steps // self.n_workers] * self.n_workers
         for i in range(n_steps % self.n_workers):
             shares[i] += 1
@@ -215,15 +238,20 @@ class HogwildPool:
                 queue.put((task_idx, share, lr))
                 active += 1
         total = 0.0
+        busy = 0.0
         error: BaseException | None = None
         for _ in range(active):
             result = self._done_queue.get()
             if isinstance(result, BaseException):
                 error = result
             else:
-                total += result
+                loss_sum, worker_busy = result
+                total += loss_sum
+                busy += worker_busy
         if error is not None:
             raise error
+        self.last_busy_seconds = busy
+        self.last_wall_seconds = time.perf_counter() - wall_start
         return total / n_steps
 
     def close(self) -> None:

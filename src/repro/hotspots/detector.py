@@ -15,11 +15,14 @@ distance, matching the daily periodicity of urban activity (Table 1 reports
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.data.records import Corpus
 from repro.hotspots.meanshift import circular_mean_shift, mean_shift
+from repro.utils.tracing import NULL_TRACER
 from repro.utils.validation import check_positive
 
 __all__ = ["HotspotDetector"]
@@ -57,6 +60,11 @@ class HotspotDetector:
         self._spatial_hotspots: np.ndarray | None = None
         self._temporal_hotspots: np.ndarray | None = None
         self._spatial_tree: cKDTree | None = None
+        # Optional observability sinks, attached by Actor.fit (or by hand):
+        # when set, fit_arrays records mean-shift latency and hotspot
+        # counts, and emits a hotspot.detect span tree.
+        self.metrics = None
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------ state
 
@@ -133,18 +141,38 @@ class HotspotDetector:
             )
         if locations.shape[0] != hours.shape[0]:
             raise ValueError("locations and hours must have equal length")
-        spatial = mean_shift(
-            locations, self.spatial_bandwidth, min_support=self.min_support
-        )
-        temporal = circular_mean_shift(
-            hours,
-            self.temporal_bandwidth,
-            period=self.period,
-            min_support=self.min_support,
-        )
+        with self.tracer.span(
+            "hotspot.detect", n_records=int(locations.shape[0])
+        ) as span:
+            with self.tracer.span("hotspot.spatial"):
+                spatial_start = time.perf_counter()
+                spatial = mean_shift(
+                    locations,
+                    self.spatial_bandwidth,
+                    min_support=self.min_support,
+                )
+                spatial_s = time.perf_counter() - spatial_start
+            with self.tracer.span("hotspot.temporal"):
+                temporal_start = time.perf_counter()
+                temporal = circular_mean_shift(
+                    hours,
+                    self.temporal_bandwidth,
+                    period=self.period,
+                    min_support=self.min_support,
+                )
+                temporal_s = time.perf_counter() - temporal_start
+            span.set(
+                n_spatial=int(spatial.modes.shape[0]),
+                n_temporal=int(temporal.modes.shape[0]),
+            )
         self._spatial_hotspots = spatial.modes
         self._temporal_hotspots = temporal.modes.ravel()
         self._spatial_tree = cKDTree(self._spatial_hotspots)
+        if self.metrics is not None:
+            self.metrics.timer("hotspot.spatial_fit").observe(spatial_s)
+            self.metrics.timer("hotspot.temporal_fit").observe(temporal_s)
+            self.metrics.gauge("hotspot.n_spatial").set(self.n_spatial)
+            self.metrics.gauge("hotspot.n_temporal").set(self.n_temporal)
         return self
 
     # ----------------------------------------------------------------- assign

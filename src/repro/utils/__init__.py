@@ -1,8 +1,30 @@
-"""Shared utilities: seeded randomness, validation helpers, timing."""
+"""Shared utilities: seeded randomness, validation, timing, observability."""
 
-from repro.utils.metrics import Counter, Gauge, MetricsRegistry, TimerStat
+from repro.utils.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimerStat,
+)
 from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.telemetry import (
+    read_telemetry,
+    render_prometheus,
+    render_span_tree,
+    render_trace_summary,
+    summarize_trace,
+    write_telemetry,
+)
 from repro.utils.timing import Timer
+from repro.utils.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    load_trace,
+    walk_spans,
+)
 from repro.utils.validation import (
     check_finite,
     check_positive,
@@ -17,7 +39,20 @@ __all__ = [
     "Counter",
     "Gauge",
     "TimerStat",
+    "Histogram",
     "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "load_trace",
+    "walk_spans",
+    "render_prometheus",
+    "write_telemetry",
+    "read_telemetry",
+    "summarize_trace",
+    "render_trace_summary",
+    "render_span_tree",
     "check_finite",
     "check_positive",
     "check_probability",

@@ -7,13 +7,16 @@ alias-table rebuilds, per-burst SGNS loss — into a
 cheap: a metric update is a dict lookup plus a float add, so it can sit on
 hot paths without being the thing the profiler finds.
 
-Three metric kinds cover the needs of the codebase:
+Four metric kinds cover the needs of the codebase:
 
 * :class:`Counter` — monotonically increasing totals (records ingested,
   edges buffered, evictions);
 * :class:`Gauge` — last-written values (buffer occupancy, per-burst loss);
 * :class:`TimerStat` — accumulated durations with call counts, giving
-  mean latency and throughput (``count / total``) for free.
+  mean latency and throughput (``count / total``) for free;
+* :class:`Histogram` — fixed log-spaced buckets with p50/p90/p99 quantile
+  estimates, for latency *distributions* (ingestion bursts, query batches,
+  alias-table rebuilds) where a mean hides the tail.
 
 Registries are plain objects, not process-global state: each
 :class:`~repro.core.streaming.OnlineActor` owns one, and callers that want
@@ -25,10 +28,11 @@ and ``render()`` produces the aligned text table the CLI prints for
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Sequence
 
-__all__ = ["Counter", "Gauge", "TimerStat", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "TimerStat", "Histogram", "MetricsRegistry"]
 
 
 class Counter:
@@ -55,6 +59,7 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
         self.value = float(value)
 
 
@@ -94,13 +99,126 @@ class TimerStat:
         return self.count / self.total if self.total > 0 else 0.0
 
 
+def default_latency_buckets() -> tuple[float, ...]:
+    """The default histogram bounds: 1µs to ~67s, doubling per bucket.
+
+    27 log-spaced upper bounds cover every latency this codebase measures
+    (sub-millisecond alias rebuilds up to multi-second training epochs)
+    with a worst-case quantile resolution of one octave.
+    """
+    return tuple(1e-6 * 2.0**i for i in range(27))
+
+
+class Histogram:
+    """Fixed-bucket distribution with quantile estimates.
+
+    Buckets are defined by sorted upper ``bounds`` (Prometheus ``le``
+    semantics: bucket ``i`` counts observations ``<= bounds[i]``, with one
+    implicit overflow bucket above the last bound).  The default bounds
+    are log-spaced latencies (:func:`default_latency_buckets`), so an
+    ``observe`` is one ``bisect`` on a 27-tuple plus two float adds —
+    cheap enough for per-batch hot paths.
+
+    Quantiles are estimated by linear interpolation inside the containing
+    bucket (clamped to the observed min/max), so the error is bounded by
+    the bucket width — one octave for the default bounds.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] | None = None) -> None:
+        if bounds is None:
+            bounds = default_latency_buckets()
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (must be >= 0)."""
+        if value < 0:
+            raise ValueError(f"histogram observations must be >= 0, got {value}")
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]); 0 when empty.
+
+        Finds the bucket containing the target rank and interpolates
+        linearly between the bucket's bounds, clamped to the observed
+        ``[min, max]`` range so estimates never leave the data.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = (
+                    self.bounds[i] if i < len(self.bounds) else self.max
+                )
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + fraction * (upper - lower)
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        """Estimated median."""
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        """Estimated 90th percentile."""
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        """Estimated 99th percentile."""
+        return self.quantile(0.99)
+
+    def cumulative_counts(self) -> list[int]:
+        """Cumulative count per bound (Prometheus ``le`` buckets),
+        excluding the overflow bucket — ``count`` is the ``+Inf`` value."""
+        out: list[int] = []
+        running = 0
+        for bucket_count in self.bucket_counts[:-1]:
+            running += bucket_count
+            out.append(running)
+        return out
+
+
 class MetricsRegistry:
-    """Named counters, gauges and timers, created on first use."""
+    """Named counters, gauges, timers and histograms, created on first use."""
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, TimerStat] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     # ------------------------------------------------------------- accessors
 
@@ -128,6 +246,20 @@ class MetricsRegistry:
             self._timers[name] = metric = TimerStat()
             return metric
 
+    def histogram(
+        self, name: str, *, bounds: Sequence[float] | None = None
+    ) -> Histogram:
+        """The histogram called ``name``, created if absent.
+
+        ``bounds`` only applies on creation; later calls return the
+        existing histogram unchanged.
+        """
+        try:
+            return self._histograms[name]
+        except KeyError:
+            self._histograms[name] = metric = Histogram(bounds)
+            return metric
+
     @contextmanager
     def time(self, name: str) -> Iterator[TimerStat]:
         """Context manager recording the block's duration under ``name``."""
@@ -139,6 +271,22 @@ class MetricsRegistry:
             stat.observe(time.perf_counter() - start)
 
     # -------------------------------------------------------------- reporting
+
+    def counters(self) -> dict[str, Counter]:
+        """Name -> :class:`Counter`, sorted by name (export surface)."""
+        return dict(sorted(self._counters.items()))
+
+    def gauges(self) -> dict[str, Gauge]:
+        """Name -> :class:`Gauge`, sorted by name (export surface)."""
+        return dict(sorted(self._gauges.items()))
+
+    def timers(self) -> dict[str, TimerStat]:
+        """Name -> :class:`TimerStat`, sorted by name (export surface)."""
+        return dict(sorted(self._timers.items()))
+
+    def histograms(self) -> dict[str, Histogram]:
+        """Name -> :class:`Histogram`, sorted by name (export surface)."""
+        return dict(sorted(self._histograms.items()))
 
     def snapshot(self) -> dict:
         """All metric values as plain (JSON-safe) dicts."""
@@ -154,6 +302,19 @@ class MetricsRegistry:
                     "max": t.max,
                 }
                 for k, t in sorted(self._timers.items())
+            },
+            "histograms": {
+                k: {
+                    "count": h.count,
+                    "total": h.total,
+                    "mean": h.mean,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max,
+                    "p50": h.p50,
+                    "p90": h.p90,
+                    "p99": h.p99,
+                }
+                for k, h in sorted(self._histograms.items())
             },
         }
 
@@ -172,6 +333,14 @@ class MetricsRegistry:
                     f"(mean {timer.mean * 1e3:.2f}ms)",
                 )
             )
+        for name, hist in sorted(self._histograms.items()):
+            rows.append(
+                (
+                    name,
+                    f"n={hist.count} p50={hist.p50 * 1e3:.2f}ms "
+                    f"p90={hist.p90 * 1e3:.2f}ms p99={hist.p99 * 1e3:.2f}ms",
+                )
+            )
         if not rows:
             return f"{title}: (empty)"
         width = max(len(name) for name, _ in rows)
@@ -184,3 +353,4 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._timers.clear()
+        self._histograms.clear()

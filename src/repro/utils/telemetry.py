@@ -1,0 +1,247 @@
+"""Telemetry export: Prometheus text format + JSONL traces on disk.
+
+This module turns the in-process observability state — a
+:class:`~repro.utils.metrics.MetricsRegistry` and optionally a
+:class:`~repro.utils.tracing.Tracer` and a slow-query log — into files a
+monitoring stack can consume:
+
+* :func:`render_prometheus` serializes a registry in the Prometheus text
+  exposition format (version 0.0.4): counters as ``*_total``, gauges
+  verbatim, timers as summaries (``_sum`` / ``_count``) and histograms as
+  classic cumulative ``_bucket{le=...}`` series;
+* :func:`write_telemetry` dumps a whole telemetry directory —
+  ``metrics.prom``, ``trace.jsonl``, ``slow_queries.jsonl`` — which is
+  what the CLI's ``--telemetry-dir`` flags produce and the
+  ``repro telemetry`` subcommand reads back;
+* :func:`summarize_trace` / :func:`render_trace_summary` aggregate a span
+  forest into a per-name latency table for operator eyeballs.
+
+The naming convention: registry names are dotted (``stream.ingest``),
+Prometheus names are the sanitized form under one namespace
+(``repro_stream_ingest``).  Metric names carry their own unit suffix
+(``*_seconds``) where the value is a duration.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.utils.metrics import MetricsRegistry
+from repro.utils.tracing import Span, Tracer, load_trace, walk_spans
+
+__all__ = [
+    "prometheus_name",
+    "render_prometheus",
+    "write_telemetry",
+    "read_telemetry",
+    "summarize_trace",
+    "render_trace_summary",
+    "render_span_tree",
+    "METRICS_FILENAME",
+    "TRACE_FILENAME",
+    "SLOW_QUERY_FILENAME",
+]
+
+METRICS_FILENAME = "metrics.prom"
+TRACE_FILENAME = "trace.jsonl"
+SLOW_QUERY_FILENAME = "slow_queries.jsonl"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str, *, namespace: str = "repro") -> str:
+    """Sanitized ``namespace_name`` metric identifier.
+
+    Dots and any other non-``[a-zA-Z0-9_]`` characters become
+    underscores; runs collapse, so ``query.rank_batch`` maps to
+    ``repro_query_rank_batch``.
+    """
+    flat = _INVALID_CHARS.sub("_", name)
+    flat = re.sub(r"_+", "_", flat).strip("_")
+    if not flat:
+        raise ValueError(f"metric name {name!r} sanitizes to nothing")
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _format_value(value: float) -> str:
+    """Prometheus float formatting: integers without the trailing ``.0``."""
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: MetricsRegistry, *, namespace: str = "repro"
+) -> str:
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    Counters gain the conventional ``_total`` suffix; timers export as
+    summaries with ``_seconds_sum`` / ``_seconds_count`` plus ``_min`` /
+    ``_max`` gauges; histograms export cumulative ``_bucket`` series with
+    ``le`` labels, ending in the mandatory ``le="+Inf"`` bucket.
+    """
+    lines: list[str] = []
+    for name, counter in registry.counters().items():
+        metric = prometheus_name(name, namespace=namespace) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counter.value)}")
+    for name, gauge in registry.gauges().items():
+        metric = prometheus_name(name, namespace=namespace)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauge.value)}")
+    for name, timer in registry.timers().items():
+        metric = prometheus_name(name, namespace=namespace) + "_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_sum {_format_value(timer.total)}")
+        lines.append(f"{metric}_count {_format_value(timer.count)}")
+        lines.append(f"# TYPE {metric}_min gauge")
+        lines.append(
+            f"{metric}_min {_format_value(timer.min if timer.count else 0.0)}"
+        )
+        lines.append(f"# TYPE {metric}_max gauge")
+        lines.append(f"{metric}_max {_format_value(timer.max)}")
+    for name, hist in registry.histograms().items():
+        metric = prometheus_name(name, namespace=namespace)
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in zip(hist.bounds, hist.cumulative_counts()):
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} '
+                f"{cumulative}"
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{metric}_sum {_format_value(hist.total)}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_telemetry(
+    directory: str | Path,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    slow_queries: list[dict] | None = None,
+    *,
+    namespace: str = "repro",
+) -> dict[str, Path]:
+    """Dump a telemetry directory; returns the paths actually written.
+
+    Writes ``metrics.prom`` when a registry is given, ``trace.jsonl``
+    when a (real, recording) tracer is given, and ``slow_queries.jsonl``
+    when a non-empty slow-query log is given.  The directory is created
+    as needed; existing files are overwritten, so one directory tracks
+    the latest run.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+    if registry is not None:
+        path = directory / METRICS_FILENAME
+        path.write_text(
+            render_prometheus(registry, namespace=namespace), encoding="utf-8"
+        )
+        written["metrics"] = path
+    if tracer is not None and getattr(tracer, "enabled", False):
+        written["trace"] = tracer.export_jsonl(directory / TRACE_FILENAME)
+    if slow_queries:
+        path = directory / SLOW_QUERY_FILENAME
+        with path.open("w", encoding="utf-8") as handle:
+            for entry in slow_queries:
+                handle.write(json.dumps(entry) + "\n")
+        written["slow_queries"] = path
+    return written
+
+
+def read_telemetry(directory: str | Path) -> dict:
+    """Load whatever a telemetry directory contains.
+
+    Returns a dict with ``metrics_text`` (raw Prometheus text or None),
+    ``spans`` (list of root :class:`Span` trees) and ``slow_queries``
+    (list of dicts); missing files yield empty values rather than errors,
+    so partially populated directories (e.g. train runs, which have no
+    slow-query log) read cleanly.
+    """
+    directory = Path(directory)
+    metrics_path = directory / METRICS_FILENAME
+    trace_path = directory / TRACE_FILENAME
+    slow_path = directory / SLOW_QUERY_FILENAME
+    metrics_text = (
+        metrics_path.read_text(encoding="utf-8")
+        if metrics_path.exists()
+        else None
+    )
+    spans = load_trace(trace_path) if trace_path.exists() else []
+    slow_queries: list[dict] = []
+    if slow_path.exists():
+        with slow_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    slow_queries.append(json.loads(line))
+    return {
+        "metrics_text": metrics_text,
+        "spans": spans,
+        "slow_queries": slow_queries,
+    }
+
+
+def summarize_trace(spans: list[Span]) -> dict[str, dict]:
+    """Aggregate a span forest into per-name latency statistics.
+
+    Returns ``name -> {count, total, mean, max}`` over *every* span in
+    every tree (roots and descendants alike), sorted by total descending
+    — the "where did the time go" table.
+    """
+    stats: dict[str, dict] = {}
+    for _depth, span in walk_spans(spans):
+        if span.duration is None:
+            continue
+        row = stats.setdefault(
+            span.name, {"count": 0, "total": 0.0, "max": 0.0}
+        )
+        row["count"] += 1
+        row["total"] += span.duration
+        row["max"] = max(row["max"], span.duration)
+    for row in stats.values():
+        row["mean"] = row["total"] / row["count"]
+    return dict(
+        sorted(stats.items(), key=lambda kv: kv[1]["total"], reverse=True)
+    )
+
+
+def render_trace_summary(spans: list[Span], *, title: str = "spans") -> str:
+    """Aligned text table of :func:`summarize_trace` output."""
+    stats = summarize_trace(spans)
+    if not stats:
+        return f"{title}: (empty)"
+    width = max(len(name) for name in stats)
+    lines = [title, "-" * len(title)]
+    for name, row in stats.items():
+        lines.append(
+            f"{name.ljust(width)}  n={row['count']:<6d} "
+            f"total={row['total']:8.3f}s  mean={row['mean'] * 1e3:8.2f}ms  "
+            f"max={row['max'] * 1e3:8.2f}ms"
+        )
+    return "\n".join(lines)
+
+
+def render_span_tree(span: Span, *, max_depth: int = 6) -> str:
+    """One span tree as an indented text outline (durations in ms)."""
+    lines: list[str] = []
+    for depth, node in walk_spans(span):
+        if depth > max_depth:
+            continue
+        ms = (
+            "open"
+            if node.duration is None
+            else f"{node.duration * 1e3:.2f}ms"
+        )
+        attrs = (
+            " " + json.dumps(node.attributes, sort_keys=True)
+            if node.attributes
+            else ""
+        )
+        lines.append(f"{'  ' * depth}{node.name}  {ms}{attrs}")
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Lightweight span tracing for the ACTOR pipeline.
+
+Where :mod:`repro.utils.metrics` answers "how often / how long in
+aggregate", a trace answers "where did *this* operation spend its time".
+A :class:`Tracer` records a forest of :class:`Span` trees: each span has a
+name, wall-clock start/duration, free-form attributes and nested children.
+Nesting is implicit — entering ``tracer.span(...)`` while another span is
+open parents the new span under it, so instrumented call stacks come out
+as trees without any plumbing.
+
+The instrumented modules accept an optional tracer and default to the
+shared :data:`NULL_TRACER`, whose ``span()`` returns a cached no-op
+context manager — a single attribute lookup and method call, cheap enough
+to leave on hot paths unconditionally.
+
+Traces export to JSONL (:meth:`Tracer.export_jsonl`; one root span tree
+per line) and load back with :func:`load_trace` for offline analysis —
+see ``repro telemetry`` and :mod:`repro.utils.telemetry`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager, nullcontext
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "load_trace",
+    "walk_spans",
+]
+
+
+class Span:
+    """One timed operation: name, start, duration, attributes, children.
+
+    ``start`` is in seconds relative to the owning tracer's creation (so
+    spans across a trace share one clock); ``duration`` is ``None`` while
+    the span is still open.
+    """
+
+    __slots__ = ("name", "start", "duration", "attributes", "children")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        duration: float | None = None,
+        attributes: dict | None = None,
+        children: list["Span"] | None = None,
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.attributes = attributes if attributes is not None else {}
+        self.children = children if children is not None else []
+
+    def set(self, **attributes) -> None:
+        """Attach (or overwrite) attributes on the span."""
+        self.attributes.update(attributes)
+
+    def child_seconds(self) -> float:
+        """Summed duration of the direct children (0 for leaves)."""
+        return sum(c.duration or 0.0 for c in self.children)
+
+    def self_seconds(self) -> float:
+        """Duration not attributed to any child span."""
+        return max(0.0, (self.duration or 0.0) - self.child_seconds())
+
+    def to_dict(self) -> dict:
+        """JSON-safe nested representation (the JSONL line format)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attributes": self.attributes,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            start=float(data["start"]),
+            duration=None if data["duration"] is None else float(data["duration"]),
+            attributes=dict(data.get("attributes", {})),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+    def __repr__(self) -> str:
+        ms = "open" if self.duration is None else f"{self.duration * 1e3:.2f}ms"
+        return f"Span({self.name!r}, {ms}, children={len(self.children)})"
+
+
+class Tracer:
+    """Collects span trees; spans nest via a context-manager stack.
+
+    Usage::
+
+        tracer = Tracer()
+        with tracer.span("stream.partial_fit", records=256) as root:
+            with tracer.span("stream.ingest"):
+                ...
+            root.set(edges=n_edges)
+        tracer.export_jsonl("out/trace.jsonl")
+    """
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._epoch = time.perf_counter()
+
+    @property
+    def enabled(self) -> bool:
+        """True — real tracers record; the :class:`NullTracer` does not."""
+        return True
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[Span]:
+        """Open a span; nested calls become children of the innermost open
+        span.  The span's duration is stamped on exit (also on exception)."""
+        span = Span(name, time.perf_counter() - self._epoch, None, attributes)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.duration = (
+                time.perf_counter() - self._epoch - span.start
+            )
+            self._stack.pop()
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every *root* span named ``name``."""
+        return sum(r.duration or 0.0 for r in self.roots if r.name == name)
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write one JSON object per root span tree; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for root in self.roots:
+                handle.write(json.dumps(root.to_dict()) + "\n")
+        return path
+
+    def clear(self) -> None:
+        """Drop every recorded root span (open spans keep nesting)."""
+        self.roots.clear()
+
+
+class NullTracer:
+    """No-op tracer: ``span()`` returns a cached no-op context manager.
+
+    Instrumented code holds one of these by default, so tracing costs one
+    method call per span site when disabled.
+    """
+
+    __slots__ = ()
+
+    @property
+    def enabled(self) -> bool:
+        """False: spans are discarded."""
+        return False
+
+    def span(self, name: str, **attributes):
+        """A shared no-op context manager yielding a no-op span."""
+        return _NULL_CONTEXT
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Refuse: a null tracer has nothing to export."""
+        raise RuntimeError("NullTracer records nothing; use Tracer() to export")
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def set(self, **attributes) -> None:
+        """Discard attributes."""
+
+
+_NULL_CONTEXT = nullcontext(_NullSpan())
+NULL_TRACER = NullTracer()
+
+
+def load_trace(path: str | Path) -> list[Span]:
+    """Read a :meth:`Tracer.export_jsonl` file back into span trees."""
+    spans: list[Span] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def walk_spans(spans: list[Span] | Span) -> Iterator[tuple[int, Span]]:
+    """Yield ``(depth, span)`` over one or many span trees, pre-order."""
+    stack: list[tuple[int, Span]] = [
+        (0, s) for s in reversed(spans if isinstance(spans, list) else [spans])
+    ]
+    while stack:
+        depth, span = stack.pop()
+        yield depth, span
+        for child in reversed(span.children):
+            stack.append((depth + 1, child))

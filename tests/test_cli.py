@@ -246,6 +246,142 @@ class TestStream:
         assert "240 ingested total" in out
 
 
+class TestTelemetry:
+    @pytest.fixture(scope="class")
+    def stream_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-telemetry") / "stream.jsonl"
+        code = main(
+            [
+                "generate",
+                "--preset", "utgeo2011",
+                "--n-records", "120",
+                "--seed", "78",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_train_writes_metrics_and_trace(
+        self, corpus_path, tmp_path, capsys
+    ):
+        tel = tmp_path / "tel"
+        code = main(
+            [
+                "train",
+                "--corpus", str(corpus_path),
+                "--out", str(tmp_path / "m.pkl"),
+                "--dim", "8",
+                "--epochs", "1",
+                "--telemetry-dir", str(tel),
+            ]
+        )
+        assert code == 0
+        assert "wrote telemetry" in capsys.readouterr().out
+        text = (tel / "metrics.prom").read_text()
+        assert "# TYPE repro_fit_train_seconds summary" in text
+        assert "repro_graph_activity_nodes" in text
+        from repro.utils.tracing import load_trace
+
+        (root,) = load_trace(tel / "trace.jsonl")
+        assert root.name == "actor.fit"
+        names = {c.name for c in root.children}
+        assert {"actor.build_graphs", "actor.init", "actor.train"} <= names
+
+    def test_stream_trace_consistent_with_timer(
+        self, model_path, stream_path, tmp_path
+    ):
+        """Root span durations must agree with the partial_fit timer."""
+        tel = tmp_path / "tel"
+        code = main(
+            [
+                "stream",
+                "--model", str(model_path),
+                "--corpus", str(stream_path),
+                "--batch-size", "40",
+                "--steps-per-batch", "10",
+                "--telemetry-dir", str(tel),
+            ]
+        )
+        assert code == 0
+        from repro.utils.tracing import load_trace
+
+        spans = load_trace(tel / "trace.jsonl")
+        assert len(spans) == 3  # 120 records / 40 per batch
+        assert all(s.name == "stream.partial_fit" for s in spans)
+        span_total = sum(s.duration for s in spans)
+        # Children never exceed their parent.
+        for span in spans:
+            assert span.child_seconds() <= span.duration
+
+        timer_sum = None
+        for line in (tel / "metrics.prom").read_text().splitlines():
+            if line.startswith("repro_stream_partial_fit_seconds_sum "):
+                timer_sum = float(line.split()[1])
+        assert timer_sum is not None
+        # The timer is read inside the span, so the span total is the
+        # slightly larger of the two; they agree within 20% + 50ms slack.
+        assert timer_sum <= span_total
+        assert span_total <= timer_sum * 1.2 + 0.05
+
+    def test_evaluate_writes_slow_query_log(
+        self, model_path, corpus_path, tmp_path, capsys
+    ):
+        tel = tmp_path / "tel"
+        code = main(
+            [
+                "evaluate",
+                "--model", str(model_path),
+                "--corpus", str(corpus_path),
+                "--max-queries", "20",
+                "--telemetry-dir", str(tel),
+                "--slow-query-ms", "0",  # every batch is "slow"
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        import json
+
+        entries = [
+            json.loads(line)
+            for line in (tel / "slow_queries.jsonl").read_text().splitlines()
+        ]
+        assert entries
+        assert {"op", "target", "n_queries", "per_query_ms", "modalities"} <= set(
+            entries[0]
+        )
+        assert "repro_query_batch_seconds_bucket" in (
+            tel / "metrics.prom"
+        ).read_text()
+
+        code = main(["telemetry", "--dir", str(tel)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slow queries" in out
+        assert "query.rank_batch" in out
+
+    def test_telemetry_raw_dump(self, corpus_path, tmp_path, capsys):
+        tel = tmp_path / "tel"
+        main(
+            [
+                "train",
+                "--corpus", str(corpus_path),
+                "--out", str(tmp_path / "m.pkl"),
+                "--dim", "8",
+                "--epochs", "1",
+                "--telemetry-dir", str(tel),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["telemetry", "--dir", str(tel), "--raw"]) == 0
+        assert "# TYPE" in capsys.readouterr().out
+
+    def test_telemetry_missing_directory(self, tmp_path, capsys):
+        code = main(["telemetry", "--dir", str(tmp_path / "nope")])
+        assert code == 2
+        assert "no telemetry" in capsys.readouterr().err
+
+
 class TestExportBundle:
     def test_export_and_query_bundle(self, model_path, tmp_path, capsys):
         bundle_dir = tmp_path / "bundle"

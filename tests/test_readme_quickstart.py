@@ -1,0 +1,49 @@
+"""Executes the README quickstart verbatim — the docs must never rot.
+
+The README marks its runnable example with ``<!-- quickstart:begin -->`` /
+``<!-- quickstart:end -->`` comments; this test extracts the fenced Python
+block between them and ``exec``s it.  If the public API drifts, this fails
+before a user's copy-paste does.
+"""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).parent.parent / "README.md"
+
+
+def _quickstart_source() -> str:
+    text = README.read_text(encoding="utf-8")
+    match = re.search(
+        r"<!-- quickstart:begin -->\s*```python\n(.*?)```\s*<!-- quickstart:end -->",
+        text,
+        flags=re.DOTALL,
+    )
+    assert match, "README quickstart markers missing"
+    return match.group(1)
+
+
+def test_quickstart_block_runs(capsys):
+    source = _quickstart_source()
+    exec(compile(source, str(README), "exec"), {"__name__": "__quickstart__"})
+    out = capsys.readouterr().out
+    assert "final epoch loss:" in out
+    assert "buffer holds" in out
+    assert "best candidate:" in out
+
+
+def test_cli_lifecycle_commands_parse():
+    """Every CLI line shown in the README must at least parse."""
+    from repro.cli import build_parser
+
+    text = README.read_text(encoding="utf-8")
+    commands = re.findall(
+        r"python -m repro ([^\n\\]*(?:\\\n[^\n\\]*)*)", text
+    )
+    assert commands, "README shows no CLI invocations"
+    parser = build_parser()
+    for command in commands:
+        argv = command.replace("\\\n", " ").split()
+        if not argv or "/" in argv[0]:
+            continue  # prose mention ("generate/stats/..."), not an invocation
+        parser.parse_args(argv)

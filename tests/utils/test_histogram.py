@@ -1,0 +1,118 @@
+"""Tests for the fixed-bucket latency histogram and its quantile math."""
+
+import numpy as np
+import pytest
+
+from repro.utils.metrics import (
+    Histogram,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+
+
+class TestBuckets:
+    def test_default_bounds_are_log_spaced(self):
+        bounds = default_latency_buckets()
+        assert len(bounds) == 27
+        assert bounds[0] == pytest.approx(1e-6)
+        ratios = [b2 / b1 for b1, b2 in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_le_semantics_and_overflow(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 4.0, 100.0):
+            hist.observe(value)
+        # 0.5 and 1.0 land in the first bucket (le=1.0), 100 overflows.
+        assert hist.bucket_counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.cumulative_counts() == [2, 3, 4]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Histogram(bounds=(1.0,)).observe(-0.1)
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(bounds=())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            Histogram(bounds=(1.0,)).quantile(1.5)
+
+
+class TestAggregates:
+    def test_mean_min_max(self):
+        hist = Histogram()
+        hist.observe(0.010)
+        hist.observe(0.030)
+        assert hist.mean == pytest.approx(0.020)
+        assert hist.min == pytest.approx(0.010)
+        assert hist.max == pytest.approx(0.030)
+
+    def test_empty_histogram_is_all_zero(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.p99 == 0.0
+
+
+class TestQuantiles:
+    def test_single_observation_quantiles_collapse(self):
+        hist = Histogram()
+        hist.observe(0.005)
+        assert hist.p50 == pytest.approx(0.005)
+        assert hist.p90 == pytest.approx(0.005)
+        assert hist.p99 == pytest.approx(0.005)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        hist = Histogram(bounds=(1.0, 100.0))
+        for value in (40.0, 50.0, 60.0):
+            hist.observe(value)
+        assert 40.0 <= hist.p50 <= 60.0
+        assert 40.0 <= hist.p99 <= 60.0
+
+    def test_matches_numpy_within_one_bucket_octave(self):
+        """Estimates must land within one doubling of numpy's percentile.
+
+        The default buckets double per step, so interpolation inside a
+        bucket can be off by at most the bucket width — a factor of two
+        on either side of the exact order statistic.
+        """
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-6.0, sigma=1.0, size=5000)
+        hist = Histogram()
+        for value in samples:
+            hist.observe(float(value))
+        for q, estimate in ((50, hist.p50), (90, hist.p90), (99, hist.p99)):
+            exact = float(np.percentile(samples, q))
+            assert exact / 2 <= estimate <= exact * 2, (q, estimate, exact)
+
+    def test_fine_buckets_match_numpy_closely(self):
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(0.0, 1.0, size=2000)
+        bounds = tuple(np.linspace(0.01, 1.0, 100))
+        hist = Histogram(bounds=bounds)
+        for value in samples:
+            hist.observe(float(value))
+        for q in (50, 90, 99):
+            exact = float(np.percentile(samples, q))
+            assert hist.quantile(q / 100) == pytest.approx(exact, abs=0.02)
+
+
+class TestRegistryIntegration:
+    def test_histogram_get_or_create(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(1.0, 2.0))
+        assert registry.histogram("lat") is hist
+
+    def test_snapshot_includes_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(0.004)
+        snap = registry.snapshot()["histograms"]["lat"]
+        assert snap["count"] == 1
+        assert snap["p50"] == pytest.approx(0.004)
+        assert snap["min"] == pytest.approx(0.004)
+
+    def test_render_mentions_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(0.004)
+        assert "lat" in registry.render(title="t")

@@ -102,10 +102,12 @@ class TestMetricsRegistry:
     def test_reset_drops_everything(self):
         registry = MetricsRegistry()
         registry.counter("x").inc()
+        registry.histogram("y").observe(0.5)
         registry.reset()
         assert registry.snapshot() == {
             "counters": {},
             "gauges": {},
             "timers": {},
+            "histograms": {},
         }
         assert registry.counter("x").value == 0.0

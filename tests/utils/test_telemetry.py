@@ -1,0 +1,140 @@
+"""Tests for the Prometheus/trace telemetry exporter."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.utils.metrics import MetricsRegistry
+from repro.utils.telemetry import (
+    METRICS_FILENAME,
+    SLOW_QUERY_FILENAME,
+    TRACE_FILENAME,
+    prometheus_name,
+    read_telemetry,
+    render_prometheus,
+    render_span_tree,
+    render_trace_summary,
+    summarize_trace,
+    write_telemetry,
+)
+from repro.utils.tracing import NULL_TRACER, Tracer
+
+GOLDEN = Path(__file__).parent / "data" / "golden_metrics.prom"
+
+
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("query.queries").inc(3)
+    registry.gauge("buffer.occupancy").set(0.25)
+    timer = registry.timer("stream.ingest")
+    timer.observe(0.25)
+    timer.observe(0.5)
+    hist = registry.histogram("query.batch_seconds", bounds=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 20.0):
+        hist.observe(value)
+    return registry
+
+
+class TestNaming:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("query.rank_batch") == "repro_query_rank_batch"
+
+    def test_invalid_chars_collapse(self):
+        assert prometheus_name("a..b--c") == "repro_a_b_c"
+
+    def test_custom_and_empty_namespace(self):
+        assert prometheus_name("x", namespace="app") == "app_x"
+        assert prometheus_name("x", namespace="") == "x"
+
+    def test_degenerate_name_rejected(self):
+        with pytest.raises(ValueError, match="sanitizes to nothing"):
+            prometheus_name("...")
+
+
+class TestPrometheusFormat:
+    def test_matches_golden_file_line_for_line(self):
+        rendered = render_prometheus(_golden_registry()).splitlines()
+        golden = GOLDEN.read_text(encoding="utf-8").splitlines()
+        assert rendered == golden
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_histogram_buckets_are_cumulative_and_end_in_inf(self):
+        text = render_prometheus(_golden_registry())
+        bucket_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_query_batch_seconds_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in bucket_lines[-1]
+        # The +Inf bucket equals the histogram count by construction.
+        assert counts[-1] == 4
+
+
+class TestWriteRead:
+    def test_round_trip_with_trace_and_slow_queries(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("op", n=2):
+            with tracer.span("child"):
+                pass
+        slow = [{"op": "rank_batch", "target": "time", "n_queries": 5}]
+        written = write_telemetry(
+            tmp_path, _golden_registry(), tracer, slow_queries=slow
+        )
+        assert set(written) == {"metrics", "trace", "slow_queries"}
+        assert written["metrics"].name == METRICS_FILENAME
+        assert written["trace"].name == TRACE_FILENAME
+        assert written["slow_queries"].name == SLOW_QUERY_FILENAME
+
+        dump = read_telemetry(tmp_path)
+        assert dump["metrics_text"] == GOLDEN.read_text(encoding="utf-8")
+        assert [s.name for s in dump["spans"]] == ["op"]
+        assert dump["spans"][0].children[0].name == "child"
+        assert dump["slow_queries"] == slow
+
+    def test_null_tracer_writes_no_trace(self, tmp_path):
+        written = write_telemetry(tmp_path, _golden_registry(), NULL_TRACER)
+        assert set(written) == {"metrics"}
+        assert not (tmp_path / TRACE_FILENAME).exists()
+
+    def test_reading_an_empty_directory_is_tolerant(self, tmp_path):
+        dump = read_telemetry(tmp_path)
+        assert dump == {
+            "metrics_text": None,
+            "spans": [],
+            "slow_queries": [],
+        }
+
+
+class TestTraceSummaries:
+    def _trace(self) -> Tracer:
+        tracer = Tracer()
+        for _ in range(2):
+            with tracer.span("batch"):
+                with tracer.span("score"):
+                    pass
+        return tracer
+
+    def test_summarize_counts_every_span(self):
+        stats = summarize_trace(self._trace().roots)
+        assert stats["batch"]["count"] == 2
+        assert stats["score"]["count"] == 2
+        assert stats["batch"]["mean"] == pytest.approx(
+            stats["batch"]["total"] / 2
+        )
+        # Sorted by total descending: parents dominate children.
+        assert list(stats)[0] == "batch"
+
+    def test_render_trace_summary_and_tree(self):
+        tracer = self._trace()
+        summary = render_trace_summary(tracer.roots)
+        assert "batch" in summary and "score" in summary
+        tree = render_span_tree(tracer.roots[0])
+        assert tree.splitlines()[0].startswith("batch")
+        assert tree.splitlines()[1].startswith("  score")
+
+    def test_render_empty_summary(self):
+        assert "empty" in render_trace_summary([])

@@ -1,0 +1,137 @@
+"""Tests for span tracing: nesting, attributes, JSONL round-trip."""
+
+import pytest
+
+from repro.utils.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    load_trace,
+    walk_spans,
+)
+
+
+class TestNesting:
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.roots] == ["a", "b"]
+
+    def test_nested_spans_become_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("inner2"):
+                pass
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["inner", "inner2"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+
+    def test_duration_stamped_even_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.roots[0].duration is not None
+        # The stack unwound: the next span is a fresh root, not a child.
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.roots] == ["boom", "after"]
+
+    def test_children_nest_inside_parent_duration(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        (root,) = tracer.roots
+        assert root.child_seconds() <= root.duration
+        assert root.self_seconds() == pytest.approx(
+            root.duration - root.child_seconds()
+        )
+
+
+class TestAttributes:
+    def test_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("op", records=10) as span:
+            span.set(edges=3, records=11)
+        assert tracer.roots[0].attributes == {"records": 11, "edges": 3}
+
+    def test_total_seconds_sums_matching_roots(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("op"):
+                pass
+        with tracer.span("other"):
+            pass
+        expected = sum(
+            s.duration for s in tracer.roots if s.name == "op"
+        )
+        assert tracer.total_seconds("op") == pytest.approx(expected)
+        assert tracer.total_seconds("missing") == 0.0
+
+
+class TestRoundTrip:
+    def test_jsonl_export_and_load(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", n=1):
+            with tracer.span("inner"):
+                pass
+        with tracer.span("second"):
+            pass
+        path = tracer.export_jsonl(tmp_path / "trace.jsonl")
+        loaded = load_trace(path)
+        assert [s.to_dict() for s in loaded] == [
+            s.to_dict() for s in tracer.roots
+        ]
+
+    def test_from_dict_tolerates_minimal_payload(self):
+        span = Span.from_dict({"name": "x", "start": 0.0, "duration": None})
+        assert span.name == "x"
+        assert span.duration is None
+        assert span.children == []
+
+    def test_clear_drops_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+
+
+class TestWalk:
+    def test_preorder_with_depths(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        walked = [(d, s.name) for d, s in walk_spans(tracer.roots)]
+        assert walked == [(0, "a"), (1, "b"), (2, "c"), (1, "d")]
+
+    def test_accepts_single_span(self):
+        span = Span("solo", 0.0, 0.1)
+        assert [(0, span)] == list(walk_spans(span))
+
+
+class TestNullTracer:
+    def test_is_disabled_and_silent(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        with NULL_TRACER.span("op", n=1) as span:
+            span.set(anything=True)  # discarded, no error
+
+    def test_export_refuses(self, tmp_path):
+        with pytest.raises(RuntimeError, match="records nothing"):
+            NULL_TRACER.export_jsonl(tmp_path / "x.jsonl")
+
+    def test_span_context_is_cached(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the CI docs job (stdlib-only).
+
+Walks the given packages and reports every public module, class, function
+and method without a docstring.  "Public" means not underscore-prefixed;
+``__init__`` methods, nested ``lambda``s and test files are out of scope.
+Overloads/properties count like any other function.
+
+Usage::
+
+    python tools/check_docstrings.py src/repro/utils src/repro/core
+    python tools/check_docstrings.py --min-coverage 95 src/repro
+
+Exit code 1 when coverage falls below ``--min-coverage`` (default 100).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _walk_definitions(tree: ast.Module):
+    """Yield (qualname, node) for the module plus every public def/class."""
+    yield "<module>", tree
+    stack: list[tuple[str, ast.AST]] = [("", tree)]
+    while stack:
+        prefix, node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if not _is_public(child.name):
+                    continue
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child
+                stack.append((f"{qualname}.", child))
+
+
+def check_file(path: Path) -> tuple[int, list[str]]:
+    """Return (total documented-or-not count, list of missing qualnames)."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    total = 0
+    missing: list[str] = []
+    for qualname, node in _walk_definitions(tree):
+        total += 1
+        if ast.get_docstring(node) is None:
+            missing.append(qualname)
+    return total, missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; prints a report and returns the exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", help="package dirs or .py files")
+    parser.add_argument(
+        "--min-coverage", type=float, default=100.0,
+        help="fail below this documented percentage (default: 100)",
+    )
+    args = parser.parse_args(argv)
+
+    files: list[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+
+    total = 0
+    documented = 0
+    failures: list[str] = []
+    for path in files:
+        file_total, missing = check_file(path)
+        total += file_total
+        documented += file_total - len(missing)
+        failures.extend(f"{path}: {name}" for name in missing)
+
+    coverage = 100.0 * documented / total if total else 100.0
+    for failure in failures:
+        print(f"missing docstring: {failure}")
+    print(
+        f"docstring coverage: {documented}/{total} ({coverage:.1f}%) "
+        f"across {len(files)} files"
+    )
+    if coverage < args.min_coverage:
+        print(f"FAIL: below required {args.min_coverage:.1f}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
