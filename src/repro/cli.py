@@ -14,13 +14,23 @@ Usage (also available as ``python -m repro``)::
                    --checkpoint ckpt/               # online adaptation
     repro stream   --model model.pkl --corpus more.jsonl --resume ckpt/
     repro train    --corpus corpus.jsonl --out model.pkl --telemetry-dir tel/
+    repro stream   --model model.pkl --corpus live.jsonl --drift \
+                   --serve-metrics 9100 --telemetry-dir tel/ \
+                   --telemetry-flush-every 20   # live ops: scrape + alerts
     repro telemetry --dir tel/                       # inspect a telemetry dump
 
 ``--telemetry-dir DIR`` (on ``train``, ``evaluate`` and ``stream``) writes a
-Prometheus text-format ``metrics.prom`` plus a ``trace.jsonl`` span dump to
-``DIR`` (see ``docs/observability.md``); ``repro telemetry`` pretty-prints
-such a directory.  Every command prints plain text to stdout; exit code 0
-on success, 2 on argument errors (argparse convention).
+Prometheus text-format ``metrics.prom`` plus a ``trace.jsonl`` span dump
+(and, for ``stream``, structured ``events.jsonl`` logs and drift
+``alerts.jsonl``) to ``DIR`` (see ``docs/observability.md``);
+``repro telemetry`` pretty-prints such a directory.
+``--serve-metrics PORT`` (on ``stream`` and ``evaluate``) additionally
+serves the *live* registry over HTTP — ``/metrics`` for Prometheus
+scrapes, ``/healthz`` for liveness probes, ``/varz`` for raw debug state —
+for the duration of the run.  ``--drift`` (on ``stream``) arms the
+model-quality drift watchdog (``repro.core.drift``).  Every command prints
+plain text to stdout; exit code 0 on success, 2 on argument errors
+(argparse convention).
 """
 
 from __future__ import annotations
@@ -44,12 +54,14 @@ from repro.core import (
 )
 from repro.data import generate_dataset, load_corpus, save_corpus
 from repro.eval import build_task_queries, evaluate_model, format_table
+from repro.utils.logging import StructuredLogger
 from repro.utils.metrics import MetricsRegistry
 from repro.utils.telemetry import (
     read_telemetry,
     render_trace_summary,
     write_telemetry,
 )
+from repro.utils.telemetry_server import TelemetryServer
 from repro.utils.tracing import NULL_TRACER, Tracer
 
 __all__ = ["main", "build_parser"]
@@ -130,6 +142,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="slow-query log threshold per batch, in milliseconds "
         "(default: 100; effective only with --telemetry-dir)",
     )
+    ev.add_argument(
+        "--serve-metrics", type=int, metavar="PORT",
+        help="serve live /metrics, /healthz and /varz on 127.0.0.1:PORT "
+        "for the duration of the evaluation (0 picks a free port)",
+    )
 
     export = sub.add_parser(
         "export",
@@ -167,6 +184,32 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--telemetry-dir", metavar="DIR",
         help="write Prometheus metrics + a JSONL span trace to DIR",
+    )
+    stream.add_argument(
+        "--telemetry-flush-every", type=int, metavar="N",
+        help="rewrite the --telemetry-dir files every N batches instead "
+        "of only at exit, so a crash keeps recent telemetry",
+    )
+    stream.add_argument(
+        "--serve-metrics", type=int, metavar="PORT",
+        help="serve live /metrics, /healthz and /varz on 127.0.0.1:PORT "
+        "while streaming (0 picks a free port)",
+    )
+    stream.add_argument(
+        "--drift", action="store_true",
+        help="enable the model-quality drift watchdog (probe MRR, "
+        "embedding-norm EWMA, hotspot PSI, eviction anomalies); alerts "
+        "land in --telemetry-dir/alerts.jsonl and /healthz",
+    )
+    stream.add_argument(
+        "--drift-probe-every", type=int, default=10, metavar="N",
+        help="score the held-out probe query set every N batches "
+        "(default: 10; effective only with --drift)",
+    )
+    stream.add_argument(
+        "--stale-after", type=float, default=60.0, metavar="SECONDS",
+        help="/healthz degrades to 'stale' when no batch completed for "
+        "this long (default: 60; effective only with --serve-metrics)",
     )
 
     tel = sub.add_parser(
@@ -276,7 +319,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     engine = None
-    if args.telemetry_dir:
+    if args.telemetry_dir or args.serve_metrics is not None:
         from repro.core import QueryEngine
 
         engine = QueryEngine(
@@ -288,10 +331,26 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         # The eval path resolves model.query_engine(); pre-seed its cache
         # so every batch flows through the instrumented engine.
         model._query_engine = engine
-    result = evaluate_model(model, queries)
+    server = None
+    if args.serve_metrics is not None:
+        server = TelemetryServer(
+            engine.metrics,
+            port=args.serve_metrics,
+            slow_queries=engine.slow_queries,
+        )
+        server.start()
+        print(
+            f"serving live telemetry on {server.url} "
+            "(/metrics /healthz /varz)"
+        )
+    try:
+        result = evaluate_model(model, queries)
+    finally:
+        if server is not None:
+            server.stop()
     rows = [[task, mrr] for task, mrr in result.items()]
     print(format_table(["task", "MRR"], rows, title=f"MRR ({args.corpus})"))
-    if engine is not None:
+    if engine is not None and args.telemetry_dir:
         written = write_telemetry(
             args.telemetry_dir,
             engine.metrics,
@@ -359,26 +418,90 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     tracer = None
+    logger = None
     if args.telemetry_dir:
         tracer = Tracer()
         model.tracer = tracer
+        logger = StructuredLogger(
+            path=Path(args.telemetry_dir) / "events.jsonl", tracer=tracer
+        )
+        model.logger = logger
+    watchdog = None
+    if args.drift:
+        # The stream corpus doubles as the probe source: a frozen sample
+        # of it measures whether the model keeps ranking *this*
+        # distribution well as training continues.
+        watchdog = model.enable_drift_watchdog(
+            corpus, probe_every=args.drift_probe_every
+        )
+    server = None
+    if args.serve_metrics is not None:
+        server = TelemetryServer(
+            model.metrics,
+            port=args.serve_metrics,
+            logger=logger,
+            stale_after=args.stale_after,
+        )
+        if watchdog is not None:
+            server.add_status_provider(watchdog.status)
+        server.add_status_provider(
+            lambda: {
+                "buffer": {
+                    "size": len(model.buffer),
+                    "occupancy": round(model.buffer.occupancy, 4),
+                }
+            }
+        )
+        server.start()
+        print(
+            f"serving live telemetry on {server.url} "
+            "(/metrics /healthz /varz)"
+        )
+
+    def _flush() -> dict:
+        return write_telemetry(
+            args.telemetry_dir,
+            model.metrics,
+            tracer,
+            alerts=list(watchdog.alerts) if watchdog is not None else None,
+        )
+
     records = list(corpus)
-    for start in range(0, len(records), args.batch_size):
-        model.partial_fit(records[start : start + args.batch_size])
+    try:
+        for n_batch, start in enumerate(
+            range(0, len(records), args.batch_size), start=1
+        ):
+            model.partial_fit(records[start : start + args.batch_size])
+            if server is not None:
+                server.heartbeat()
+            if (
+                args.telemetry_dir
+                and args.telemetry_flush_every
+                and n_batch % args.telemetry_flush_every == 0
+            ):
+                _flush()
+    finally:
+        if server is not None:
+            server.stop()
     print(
         f"streamed {len(records)} records into {args.model}: "
         f"{model.n_ingested} ingested total, "
         f"{model.center.shape[0]} rows, buffer {len(model.buffer)}/"
         f"{model.buffer.max_size} (evictions={model.buffer.evictions})"
     )
+    if watchdog is not None and watchdog.alerts:
+        print(f"drift watchdog raised {len(watchdog.alerts)} alert(s):")
+        for alert in watchdog.alerts:
+            print(f"  [batch {alert['batch']}] {alert['message']}")
     if args.metrics:
         print(model.metrics.render(title="streaming metrics"))
     if args.telemetry_dir:
         # Detach the tracer before checkpointing so the span forest never
         # rides along into serialized state.
         model.tracer = NULL_TRACER
-        written = write_telemetry(args.telemetry_dir, model.metrics, tracer)
+        written = _flush()
         print(f"wrote telemetry to {', '.join(sorted(written))}")
+        logger.close()
     if args.checkpoint:
         model.save_checkpoint(args.checkpoint)
         print(f"wrote checkpoint to {args.checkpoint}")
@@ -391,6 +514,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         dump["metrics_text"] is None
         and not dump["spans"]
         and not dump["slow_queries"]
+        and not dump["alerts"]
     ):
         print(f"no telemetry found in {args.dir}", file=sys.stderr)
         return 2
@@ -422,6 +546,23 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
                 ["op", "target", "queries", "ms/query"],
                 rows,
                 title="slow queries",
+            )
+        )
+    if dump["alerts"]:
+        rows = [
+            [
+                entry.get("batch", "?"),
+                entry.get("kind", "?"),
+                entry.get("value", 0.0),
+                entry.get("threshold", 0.0),
+            ]
+            for entry in dump["alerts"]
+        ]
+        print(
+            format_table(
+                ["batch", "kind", "value", "threshold"],
+                rows,
+                title="drift alerts",
             )
         )
     return 0

@@ -2,6 +2,12 @@
 
 from repro.core.actor import Actor
 from repro.core.config import ActorConfig
+from repro.core.drift import (
+    DriftWatchdog,
+    EwmaZScore,
+    make_probe_queries,
+    population_stability_index,
+)
 from repro.core.meta_graph import (
     ALL_META_GRAPHS,
     INTER_EDGE_TYPES,
@@ -48,6 +54,10 @@ __all__ = [
     "GraphEmbeddingModel",
     "ModalityCache",
     "QueryEngine",
+    "DriftWatchdog",
+    "EwmaZScore",
+    "population_stability_index",
+    "make_probe_queries",
     "cosine_similarities",
     "normalize_rows",
     "rank_descending",

@@ -38,6 +38,7 @@ from repro.core.prediction import (
     GraphEmbeddingModel,
     normalize_rows,
 )
+from repro.utils.logging import NULL_LOGGER
 from repro.utils.metrics import MetricsRegistry
 from repro.utils.tracing import NULL_TRACER
 
@@ -71,6 +72,11 @@ class QueryEngine:
         ``query.slow_batches``).  ``None`` disables the slow-query log.
     slow_query_log_size:
         Maximum retained slow-query entries (oldest evicted first).
+    logger:
+        Optional :class:`~repro.utils.logging.StructuredLogger`; slow
+        batches additionally emit a rate-limited ``query.slow_batch``
+        warning.  Defaults to the no-op
+        :data:`~repro.utils.logging.NULL_LOGGER`.
     """
 
     def __init__(
@@ -81,12 +87,14 @@ class QueryEngine:
         tracer=None,
         slow_query_threshold: float | None = None,
         slow_query_log_size: int = 32,
+        logger=None,
     ) -> None:
         if metrics is None:
             metrics = getattr(model, "metrics", None)
         self.model = model
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.logger = logger if logger is not None else NULL_LOGGER
         if slow_query_threshold is not None and slow_query_threshold < 0:
             raise ValueError(
                 f"slow_query_threshold must be >= 0, got {slow_query_threshold}"
@@ -373,18 +381,18 @@ class QueryEngine:
         threshold = self.slow_query_threshold
         if threshold is not None and seconds > threshold:
             self.metrics.counter("query.slow_batches").inc()
-            self.slow_queries.append(
-                {
-                    "op": op,
-                    "target": target,
-                    "n_queries": int(n_queries),
-                    "seconds": round(seconds, 6),
-                    "per_query_ms": round(
-                        seconds * 1e3 / max(1, n_queries), 4
-                    ),
-                    "modalities": modalities,
-                }
-            )
+            entry = {
+                "op": op,
+                "target": target,
+                "n_queries": int(n_queries),
+                "seconds": round(seconds, 6),
+                "per_query_ms": round(
+                    seconds * 1e3 / max(1, n_queries), 4
+                ),
+                "modalities": modalities,
+            }
+            self.slow_queries.append(entry)
+            self.logger.warning("query.slow_batch", **entry)
 
     def _rank_group(self, target: str, queries: Sequence) -> np.ndarray:
         """Truth ranks for queries sharing one target modality."""

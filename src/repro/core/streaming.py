@@ -63,6 +63,7 @@ from repro.embedding.alias import AliasTable
 from repro.embedding.edge_sampler import UniformNegativeSampler
 from repro.embedding.sgns import sgns_step
 from repro.graphs.types import NodeType
+from repro.utils.logging import NULL_LOGGER
 from repro.utils.metrics import MetricsRegistry
 from repro.utils.rng import ensure_rng
 from repro.utils.tracing import NULL_TRACER
@@ -390,6 +391,11 @@ class OnlineActor(GraphEmbeddingModel):
         Optional :class:`~repro.utils.tracing.Tracer`; each
         :meth:`partial_fit` then records a ``stream.partial_fit`` span
         tree.  Defaults to the no-op :data:`~repro.utils.tracing.NULL_TRACER`.
+    logger:
+        Optional :class:`~repro.utils.logging.StructuredLogger`;
+        operational events (buffer saturation, drift alerts) become
+        structured records.  Defaults to the no-op
+        :data:`~repro.utils.logging.NULL_LOGGER`.
     """
 
     def __init__(
@@ -405,6 +411,7 @@ class OnlineActor(GraphEmbeddingModel):
         buffer_size: int = 200_000,
         metrics: MetricsRegistry | None = None,
         tracer=None,
+        logger=None,
     ) -> None:
         if not base.is_fitted:
             raise ValueError("base Actor must be fitted before going online")
@@ -421,6 +428,8 @@ class OnlineActor(GraphEmbeddingModel):
         self.negatives = int(negatives)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.logger = logger if logger is not None else NULL_LOGGER
+        self.drift = None
         self.buffer.metrics = self.metrics
         self._rng = ensure_rng(seed)
         # Rows appended beyond the base graph's node count, keyed like
@@ -559,7 +568,50 @@ class OnlineActor(GraphEmbeddingModel):
         ).observe(self.buffer.occupancy)
         metrics.gauge("buffer.evictions").set(self.buffer.evictions)
         metrics.gauge("buffer.rebuilds").set(self.buffer.rebuilds)
+        if self.buffer.occupancy >= 1.0:
+            # Rate-limited by the logger's dedup window, so a saturated
+            # steady state logs once per window, not once per batch.
+            self.logger.warning(
+                "stream.buffer_full",
+                size=len(self.buffer),
+                evictions=self.buffer.evictions,
+            )
+        if self.drift is not None:
+            # Runs outside the stream.partial_fit timer on purpose: the
+            # benchmark overhead gate compares drift.observe against
+            # stream.partial_fit, so the denominators must not overlap.
+            self.drift.observe_batch(records)
         return self
+
+    def attach_drift_watchdog(self, watchdog) -> "OnlineActor":
+        """Attach a :class:`~repro.core.drift.DriftWatchdog` instance.
+
+        Every subsequent :meth:`partial_fit` ends with
+        ``watchdog.observe_batch(records)``.  Pass ``None`` to detach.
+        """
+        self.drift = watchdog
+        return self
+
+    def enable_drift_watchdog(self, probe_records=None, **kwargs):
+        """Construct, attach, and return a drift watchdog for this actor.
+
+        ``probe_records`` (held-out records or a corpus) becomes the
+        frozen probe query set via
+        :func:`~repro.core.drift.make_probe_queries`; ``None`` skips the
+        probe-MRR signal.  Remaining keyword arguments go to
+        :class:`~repro.core.drift.DriftWatchdog`.
+        """
+        from repro.core.drift import DriftWatchdog, make_probe_queries
+
+        probe_queries = kwargs.pop("probe_queries", None)
+        if probe_queries is None and probe_records is not None:
+            probe_queries = make_probe_queries(probe_records)
+        kwargs.setdefault("logger", self.logger)
+        watchdog = DriftWatchdog(
+            self, probe_queries=probe_queries, **kwargs
+        )
+        self.attach_drift_watchdog(watchdog)
+        return watchdog
 
     def _ingest(self, records: list[Record]) -> int:
         """Discretize, grow the node space, and buffer the batch's edges.

@@ -36,6 +36,7 @@ from repro.embedding.sgns import sgns_step, sgns_step_bow
 from repro.graphs.activity_graph import ActivityGraph
 from repro.graphs.builder import BuiltGraphs, RecordUnits
 from repro.graphs.types import EdgeType, NodeType
+from repro.utils.logging import NULL_LOGGER
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.tracing import NULL_TRACER
 
@@ -227,6 +228,11 @@ class ActorTrainer:
         Optional :class:`~repro.utils.tracing.Tracer`; when given, each
         epoch records a ``train.epoch`` span whose children are one
         ``train.task`` span per edge-type objective.
+    logger:
+        Optional :class:`~repro.utils.logging.StructuredLogger`; each
+        epoch emits a ``train.epoch`` info record (loss, batches,
+        seconds).  Defaults to the no-op
+        :data:`~repro.utils.logging.NULL_LOGGER`.
     """
 
     def __init__(
@@ -238,6 +244,7 @@ class ActorTrainer:
         *,
         metrics=None,
         tracer=None,
+        logger=None,
     ) -> None:
         if center.shape != context.shape:
             raise ValueError("center and context must have equal shapes")
@@ -252,11 +259,18 @@ class ActorTrainer:
         self.context = context
         self.metrics = metrics
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.logger = logger if logger is not None else NULL_LOGGER
         self.tasks = self._build_tasks()
         self.loss_history: list[float] = []
 
     def _record_epoch(self, loss: float, batches: int, seconds: float) -> None:
         """Push one epoch's numbers into the metrics registry, if any."""
+        self.logger.info(
+            "train.epoch",
+            loss=round(float(loss), 6),
+            batches=int(batches),
+            seconds=round(float(seconds), 4),
+        )
         if self.metrics is None:
             return
         self.metrics.counter("train.epochs").inc()

@@ -7,6 +7,7 @@ from repro.utils.metrics import (
     MetricsRegistry,
     TimerStat,
 )
+from repro.utils.logging import NULL_LOGGER, NullLogger, StructuredLogger, read_log
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.telemetry import (
     read_telemetry,
@@ -16,6 +17,7 @@ from repro.utils.telemetry import (
     summarize_trace,
     write_telemetry,
 )
+from repro.utils.telemetry_server import TelemetryServer
 from repro.utils.timing import Timer
 from repro.utils.tracing import (
     NULL_TRACER,
@@ -47,6 +49,11 @@ __all__ = [
     "NULL_TRACER",
     "load_trace",
     "walk_spans",
+    "StructuredLogger",
+    "NullLogger",
+    "NULL_LOGGER",
+    "read_log",
+    "TelemetryServer",
     "render_prometheus",
     "write_telemetry",
     "read_telemetry",

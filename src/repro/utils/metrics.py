@@ -23,10 +23,20 @@ Registries are plain objects, not process-global state: each
 a shared view pass one in.  ``snapshot()`` returns plain dicts (JSON-safe)
 and ``render()`` produces the aligned text table the CLI prints for
 ``repro stream --metrics``.
+
+Thread-safety: metric *creation* and the reporting accessors
+(``counters()`` .. ``histograms()``, ``snapshot()``) synchronize on an
+internal lock, so a live scrape thread (see
+:mod:`repro.utils.telemetry_server`) can iterate the registry while a
+worker thread registers new metrics.  Individual updates (``inc``/``set``/
+``observe``) stay lock-free — they are small enough to be effectively
+atomic under the GIL, and a scrape observing a histogram mid-``observe``
+merely reads a snapshot one sample old.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from bisect import bisect_left
 from contextlib import contextmanager
@@ -219,6 +229,18 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, TimerStat] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        """Pickle support: the lock is dropped (models carry registries)."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Pickle support: a fresh lock is created on load."""
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------- accessors
 
@@ -227,24 +249,24 @@ class MetricsRegistry:
         try:
             return self._counters[name]
         except KeyError:
-            self._counters[name] = metric = Counter()
-            return metric
+            with self._lock:
+                return self._counters.setdefault(name, Counter())
 
     def gauge(self, name: str) -> Gauge:
         """The gauge called ``name``, created if absent."""
         try:
             return self._gauges[name]
         except KeyError:
-            self._gauges[name] = metric = Gauge()
-            return metric
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge())
 
     def timer(self, name: str) -> TimerStat:
         """The timer called ``name``, created if absent."""
         try:
             return self._timers[name]
         except KeyError:
-            self._timers[name] = metric = TimerStat()
-            return metric
+            with self._lock:
+                return self._timers.setdefault(name, TimerStat())
 
     def histogram(
         self, name: str, *, bounds: Sequence[float] | None = None
@@ -257,8 +279,8 @@ class MetricsRegistry:
         try:
             return self._histograms[name]
         except KeyError:
-            self._histograms[name] = metric = Histogram(bounds)
-            return metric
+            with self._lock:
+                return self._histograms.setdefault(name, Histogram(bounds))
 
     @contextmanager
     def time(self, name: str) -> Iterator[TimerStat]:
@@ -274,25 +296,29 @@ class MetricsRegistry:
 
     def counters(self) -> dict[str, Counter]:
         """Name -> :class:`Counter`, sorted by name (export surface)."""
-        return dict(sorted(self._counters.items()))
+        with self._lock:
+            return dict(sorted(self._counters.items()))
 
     def gauges(self) -> dict[str, Gauge]:
         """Name -> :class:`Gauge`, sorted by name (export surface)."""
-        return dict(sorted(self._gauges.items()))
+        with self._lock:
+            return dict(sorted(self._gauges.items()))
 
     def timers(self) -> dict[str, TimerStat]:
         """Name -> :class:`TimerStat`, sorted by name (export surface)."""
-        return dict(sorted(self._timers.items()))
+        with self._lock:
+            return dict(sorted(self._timers.items()))
 
     def histograms(self) -> dict[str, Histogram]:
         """Name -> :class:`Histogram`, sorted by name (export surface)."""
-        return dict(sorted(self._histograms.items()))
+        with self._lock:
+            return dict(sorted(self._histograms.items()))
 
     def snapshot(self) -> dict:
         """All metric values as plain (JSON-safe) dicts."""
         return {
-            "counters": {k: c.value for k, c in sorted(self._counters.items())},
-            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "counters": {k: c.value for k, c in self.counters().items()},
+            "gauges": {k: g.value for k, g in self.gauges().items()},
             "timers": {
                 k: {
                     "count": t.count,
@@ -301,7 +327,7 @@ class MetricsRegistry:
                     "min": t.min if t.count else 0.0,
                     "max": t.max,
                 }
-                for k, t in sorted(self._timers.items())
+                for k, t in self.timers().items()
             },
             "histograms": {
                 k: {
@@ -314,18 +340,18 @@ class MetricsRegistry:
                     "p90": h.p90,
                     "p99": h.p99,
                 }
-                for k, h in sorted(self._histograms.items())
+                for k, h in self.histograms().items()
             },
         }
 
     def render(self, *, title: str = "metrics") -> str:
         """Aligned text table of every metric (CLI / bench output)."""
         rows: list[tuple[str, str]] = []
-        for name, counter in sorted(self._counters.items()):
+        for name, counter in self.counters().items():
             rows.append((name, f"{counter.value:g}"))
-        for name, gauge in sorted(self._gauges.items()):
+        for name, gauge in self.gauges().items():
             rows.append((name, f"{gauge.value:g}"))
-        for name, timer in sorted(self._timers.items()):
+        for name, timer in self.timers().items():
             rows.append(
                 (
                     name,
@@ -333,7 +359,7 @@ class MetricsRegistry:
                     f"(mean {timer.mean * 1e3:.2f}ms)",
                 )
             )
-        for name, hist in sorted(self._histograms.items()):
+        for name, hist in self.histograms().items():
             rows.append(
                 (
                     name,
@@ -350,7 +376,8 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every metric (fresh registry state)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._timers.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+            self._histograms.clear()

@@ -10,9 +10,9 @@ monitoring stack can consume:
   verbatim, timers as summaries (``_sum`` / ``_count``) and histograms as
   classic cumulative ``_bucket{le=...}`` series;
 * :func:`write_telemetry` dumps a whole telemetry directory —
-  ``metrics.prom``, ``trace.jsonl``, ``slow_queries.jsonl`` — which is
-  what the CLI's ``--telemetry-dir`` flags produce and the
-  ``repro telemetry`` subcommand reads back;
+  ``metrics.prom``, ``trace.jsonl``, ``slow_queries.jsonl``,
+  ``alerts.jsonl`` — which is what the CLI's ``--telemetry-dir`` flags
+  produce and the ``repro telemetry`` subcommand reads back;
 * :func:`summarize_trace` / :func:`render_trace_summary` aggregate a span
   forest into a per-name latency table for operator eyeballs.
 
@@ -42,11 +42,13 @@ __all__ = [
     "METRICS_FILENAME",
     "TRACE_FILENAME",
     "SLOW_QUERY_FILENAME",
+    "ALERTS_FILENAME",
 ]
 
 METRICS_FILENAME = "metrics.prom"
 TRACE_FILENAME = "trace.jsonl"
 SLOW_QUERY_FILENAME = "slow_queries.jsonl"
+ALERTS_FILENAME = "alerts.jsonl"
 
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -118,21 +120,33 @@ def render_prometheus(
     return "\n".join(lines) + "\n" if lines else ""
 
 
+def _write_jsonl(path: Path, entries: list[dict]) -> Path:
+    """Write ``entries`` as one JSON object per line; returns ``path``."""
+    with path.open("w", encoding="utf-8") as handle:
+        for entry in entries:
+            handle.write(json.dumps(entry) + "\n")
+    return path
+
+
 def write_telemetry(
     directory: str | Path,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
     slow_queries: list[dict] | None = None,
     *,
+    alerts: list[dict] | None = None,
     namespace: str = "repro",
 ) -> dict[str, Path]:
     """Dump a telemetry directory; returns the paths actually written.
 
     Writes ``metrics.prom`` when a registry is given, ``trace.jsonl``
-    when a (real, recording) tracer is given, and ``slow_queries.jsonl``
-    when a non-empty slow-query log is given.  The directory is created
-    as needed; existing files are overwritten, so one directory tracks
-    the latest run.
+    when a (real, recording) tracer is given, ``slow_queries.jsonl`` when
+    a non-empty slow-query log is given, and ``alerts.jsonl`` when a
+    non-empty drift-alert list is given.  The directory is created as
+    needed; existing files are overwritten — and files for sections
+    *absent from this call* are deleted, so one directory always tracks
+    exactly the latest run (a run with an empty slow-query log must not
+    leave a previous run's ``slow_queries.jsonl`` behind).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -143,47 +157,61 @@ def write_telemetry(
             render_prometheus(registry, namespace=namespace), encoding="utf-8"
         )
         written["metrics"] = path
+    else:
+        (directory / METRICS_FILENAME).unlink(missing_ok=True)
     if tracer is not None and getattr(tracer, "enabled", False):
         written["trace"] = tracer.export_jsonl(directory / TRACE_FILENAME)
+    else:
+        (directory / TRACE_FILENAME).unlink(missing_ok=True)
     if slow_queries:
-        path = directory / SLOW_QUERY_FILENAME
-        with path.open("w", encoding="utf-8") as handle:
-            for entry in slow_queries:
-                handle.write(json.dumps(entry) + "\n")
-        written["slow_queries"] = path
+        written["slow_queries"] = _write_jsonl(
+            directory / SLOW_QUERY_FILENAME, slow_queries
+        )
+    else:
+        (directory / SLOW_QUERY_FILENAME).unlink(missing_ok=True)
+    if alerts:
+        written["alerts"] = _write_jsonl(directory / ALERTS_FILENAME, alerts)
+    else:
+        (directory / ALERTS_FILENAME).unlink(missing_ok=True)
     return written
+
+
+def _read_jsonl(path: Path) -> list[dict]:
+    """Read a JSONL file into a list of dicts (empty when absent)."""
+    if not path.exists():
+        return []
+    entries: list[dict] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
 
 
 def read_telemetry(directory: str | Path) -> dict:
     """Load whatever a telemetry directory contains.
 
     Returns a dict with ``metrics_text`` (raw Prometheus text or None),
-    ``spans`` (list of root :class:`Span` trees) and ``slow_queries``
-    (list of dicts); missing files yield empty values rather than errors,
-    so partially populated directories (e.g. train runs, which have no
-    slow-query log) read cleanly.
+    ``spans`` (list of root :class:`Span` trees), ``slow_queries`` and
+    ``alerts`` (lists of dicts); missing files yield empty values rather
+    than errors, so partially populated directories (e.g. train runs,
+    which have no slow-query log) read cleanly.
     """
     directory = Path(directory)
     metrics_path = directory / METRICS_FILENAME
     trace_path = directory / TRACE_FILENAME
-    slow_path = directory / SLOW_QUERY_FILENAME
     metrics_text = (
         metrics_path.read_text(encoding="utf-8")
         if metrics_path.exists()
         else None
     )
     spans = load_trace(trace_path) if trace_path.exists() else []
-    slow_queries: list[dict] = []
-    if slow_path.exists():
-        with slow_path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    slow_queries.append(json.loads(line))
     return {
         "metrics_text": metrics_text,
         "spans": spans,
-        "slow_queries": slow_queries,
+        "slow_queries": _read_jsonl(directory / SLOW_QUERY_FILENAME),
+        "alerts": _read_jsonl(directory / ALERTS_FILENAME),
     }
 
 

@@ -41,10 +41,15 @@ class Span:
 
     ``start`` is in seconds relative to the owning tracer's creation (so
     spans across a trace share one clock); ``duration`` is ``None`` while
-    the span is still open.
+    the span is still open.  ``span_id`` is a tracer-unique identifier
+    (``s1``, ``s2``, ...) that structured log records reference to
+    correlate logs with traces (see :mod:`repro.utils.logging`); spans
+    built by hand may leave it ``None``.
     """
 
-    __slots__ = ("name", "start", "duration", "attributes", "children")
+    __slots__ = (
+        "name", "start", "duration", "attributes", "children", "span_id"
+    )
 
     def __init__(
         self,
@@ -53,12 +58,14 @@ class Span:
         duration: float | None = None,
         attributes: dict | None = None,
         children: list["Span"] | None = None,
+        span_id: str | None = None,
     ) -> None:
         self.name = name
         self.start = start
         self.duration = duration
         self.attributes = attributes if attributes is not None else {}
         self.children = children if children is not None else []
+        self.span_id = span_id
 
     def set(self, **attributes) -> None:
         """Attach (or overwrite) attributes on the span."""
@@ -74,13 +81,16 @@ class Span:
 
     def to_dict(self) -> dict:
         """JSON-safe nested representation (the JSONL line format)."""
-        return {
+        out = {
             "name": self.name,
             "start": self.start,
             "duration": self.duration,
             "attributes": self.attributes,
             "children": [c.to_dict() for c in self.children],
         }
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "Span":
@@ -91,6 +101,7 @@ class Span:
             duration=None if data["duration"] is None else float(data["duration"]),
             attributes=dict(data.get("attributes", {})),
             children=[cls.from_dict(c) for c in data.get("children", [])],
+            span_id=data.get("span_id"),
         )
 
     def __repr__(self) -> str:
@@ -115,17 +126,36 @@ class Tracer:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
         self._epoch = time.perf_counter()
+        self._next_id = 0
 
     @property
     def enabled(self) -> bool:
         """True — real tracers record; the :class:`NullTracer` does not."""
         return True
 
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost open span, or ``None`` outside any ``span()``."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def current_span_id(self) -> str | None:
+        """Id of the innermost open span — what log records attach."""
+        span = self.current_span
+        return span.span_id if span is not None else None
+
     @contextmanager
     def span(self, name: str, **attributes) -> Iterator[Span]:
         """Open a span; nested calls become children of the innermost open
         span.  The span's duration is stamped on exit (also on exception)."""
-        span = Span(name, time.perf_counter() - self._epoch, None, attributes)
+        self._next_id += 1
+        span = Span(
+            name,
+            time.perf_counter() - self._epoch,
+            None,
+            attributes,
+            span_id=f"s{self._next_id}",
+        )
         if self._stack:
             self._stack[-1].children.append(span)
         else:
@@ -170,6 +200,16 @@ class NullTracer:
     def enabled(self) -> bool:
         """False: spans are discarded."""
         return False
+
+    @property
+    def current_span(self) -> None:
+        """Always ``None``: a null tracer has no open spans."""
+        return None
+
+    @property
+    def current_span_id(self) -> None:
+        """Always ``None`` — log records stay uncorrelated."""
+        return None
 
     def span(self, name: str, **attributes):
         """A shared no-op context manager yielding a no-op span."""

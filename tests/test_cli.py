@@ -22,6 +22,23 @@ def corpus_path(tmp_path_factory):
 
 
 @pytest.fixture(scope="module")
+def stream_corpus(tmp_path_factory):
+    """A stationary 1600-record stream, big enough for drift windows."""
+    path = tmp_path_factory.mktemp("cli-stream") / "stream.jsonl"
+    code = main(
+        [
+            "generate",
+            "--preset", "utgeo2011",
+            "--n-records", "1600",
+            "--seed", "78",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
 def model_path(tmp_path_factory, corpus_path):
     path = tmp_path_factory.mktemp("cli-model") / "actor.pkl"
     code = main(
@@ -380,6 +397,155 @@ class TestTelemetry:
         code = main(["telemetry", "--dir", str(tmp_path / "nope")])
         assert code == 2
         assert "no telemetry" in capsys.readouterr().err
+
+
+class TestLiveObservability:
+    def test_stream_serve_metrics_live_scrape(
+        self, model_path, stream_corpus, capsys
+    ):
+        """/metrics and /healthz answer while `repro stream` is running."""
+        import json
+        import socket
+        import threading
+        import time
+        import urllib.request
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+
+        scrapes = []
+
+        def run():
+            main(
+                [
+                    "stream",
+                    "--model", str(model_path),
+                    "--corpus", str(stream_corpus),
+                    "--batch-size", "40",
+                    "--steps-per-batch", "300",
+                    "--serve-metrics", str(port),
+                    "--drift",
+                ]
+            )
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        url = f"http://127.0.0.1:{port}"
+        deadline = time.monotonic() + 30
+        while worker.is_alive() and time.monotonic() < deadline:
+            try:
+                with urllib.request.urlopen(
+                    url + "/metrics", timeout=1
+                ) as response:
+                    body = response.read().decode("utf-8")
+                with urllib.request.urlopen(
+                    url + "/healthz", timeout=1
+                ) as response:
+                    health = json.loads(response.read())
+                scrapes.append((body, health))
+            except OSError:
+                time.sleep(0.01)
+        worker.join(timeout=60)
+        assert not worker.is_alive()
+        capsys.readouterr()
+        assert scrapes, "server never answered while streaming"
+        body, health = scrapes[-1]
+        assert "# TYPE repro_stream_records_total counter" in body
+        assert health["status"] in {"ok", "stale", "alerting"}
+        assert "uptime_seconds" in health
+        assert "buffer" in health
+
+    def test_stream_drift_alerts_written_and_displayed(
+        self, model_path, tmp_path, capsys
+    ):
+        """An injected spatial shift lands in alerts.jsonl and the CLI."""
+        import json
+
+        from repro.data import load_corpus, save_corpus
+
+        main(
+            [
+                "generate",
+                "--preset", "utgeo2011",
+                "--n-records", "1600",
+                "--seed", "91",
+                "--out", str(tmp_path / "base.jsonl"),
+            ]
+        )
+        records = list(load_corpus(tmp_path / "base.jsonl"))
+        import dataclasses
+
+        shifted = records[:800] + [
+            dataclasses.replace(r, location=(0.25, 0.25))
+            for r in records[800:]
+        ]
+        save_corpus(shifted, tmp_path / "shifted.jsonl")
+        tel = tmp_path / "tel"
+        capsys.readouterr()
+        code = main(
+            [
+                "stream",
+                "--model", str(model_path),
+                "--corpus", str(tmp_path / "shifted.jsonl"),
+                "--batch-size", "100",
+                "--steps-per-batch", "10",
+                "--drift",
+                "--telemetry-dir", str(tel),
+                "--telemetry-flush-every", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drift watchdog raised" in out
+        alerts = [
+            json.loads(line)
+            for line in (tel / "alerts.jsonl").read_text().splitlines()
+        ]
+        assert any(a["kind"] == "spatial_psi" for a in alerts)
+        assert (tel / "events.jsonl").exists()
+
+        code = main(["telemetry", "--dir", str(tel)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drift alerts" in out
+        assert "spatial_psi" in out
+
+    def test_stationary_stream_writes_no_alerts(
+        self, model_path, stream_corpus, tmp_path, capsys
+    ):
+        tel = tmp_path / "tel"
+        code = main(
+            [
+                "stream",
+                "--model", str(model_path),
+                "--corpus", str(stream_corpus),
+                "--batch-size", "100",
+                "--steps-per-batch", "10",
+                "--drift",
+                "--telemetry-dir", str(tel),
+            ]
+        )
+        assert code == 0
+        assert "drift watchdog raised" not in capsys.readouterr().out
+        assert not (tel / "alerts.jsonl").exists()
+
+    def test_evaluate_serve_metrics_round_trip(
+        self, model_path, corpus_path, capsys
+    ):
+        code = main(
+            [
+                "evaluate",
+                "--model", str(model_path),
+                "--corpus", str(corpus_path),
+                "--max-queries", "20",
+                "--serve-metrics", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving live telemetry" in out
+        assert "MRR" in out
 
 
 class TestExportBundle:

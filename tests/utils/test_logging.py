@@ -1,0 +1,143 @@
+"""Tests for structured JSONL logging: records, span ids, dedup."""
+
+import io
+import json
+
+import pytest
+
+from repro.utils.logging import (
+    NULL_LOGGER,
+    NullLogger,
+    StructuredLogger,
+    read_log,
+)
+from repro.utils.tracing import Tracer
+
+
+class TestRecords:
+    def test_record_shape_and_fields(self):
+        logger = StructuredLogger(clock=lambda: 123.5)
+        record = logger.info("stream.batch", records=50, edges=900)
+        assert record == {
+            "ts": 123.5,
+            "level": "info",
+            "event": "stream.batch",
+            "records": 50,
+            "edges": 900,
+        }
+        assert list(logger.recent) == [record]
+        assert logger.emitted == 1
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            StructuredLogger().log("fatal", "boom")
+
+    def test_stream_output_is_jsonl(self):
+        sink = io.StringIO()
+        logger = StructuredLogger(stream=sink)
+        logger.info("a", x=1)
+        logger.warning("b")
+        lines = sink.getvalue().strip().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == ["a", "b"]
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "events.jsonl"
+        with StructuredLogger(path=path) as logger:
+            logger.info("first", n=1)
+            logger.error("second")
+        records = read_log(path)
+        assert [r["event"] for r in records] == ["first", "second"]
+        assert records[0]["n"] == 1
+
+    def test_recent_tail_is_bounded(self):
+        logger = StructuredLogger(recent_size=3)
+        for i in range(10):
+            logger.info("tick", i=i)
+        assert [r["i"] for r in logger.recent] == [7, 8, 9]
+
+
+class TestSpanCorrelation:
+    def test_record_carries_current_span_id(self):
+        tracer = Tracer()
+        logger = StructuredLogger(tracer=tracer)
+        with tracer.span("outer"):
+            outer = logger.info("in_outer")
+            with tracer.span("inner"):
+                inner = logger.info("in_inner")
+        assert outer["span"] == "s1"
+        assert inner["span"] == "s2"
+        # The ids resolve back to the recorded span tree.
+        root = tracer.roots[0]
+        assert root.span_id == "s1"
+        assert root.children[0].span_id == "s2"
+
+    def test_span_is_none_outside_any_span(self):
+        logger = StructuredLogger(tracer=Tracer())
+        assert logger.info("idle")["span"] is None
+
+    def test_no_tracer_means_no_span_key(self):
+        assert "span" not in StructuredLogger().info("event")
+
+
+class TestDedup:
+    def test_warning_repeats_are_suppressed_and_counted(self):
+        logger = StructuredLogger(rate_limit_seconds=3600.0)
+        assert logger.warning("hot", i=0) is not None
+        for i in range(5):
+            assert logger.warning("hot", i=i) is None
+        assert logger.emitted == 1
+        assert logger.suppressed == 5
+        assert len(logger.recent) == 1
+
+    def test_next_emission_reports_suppressed_count(self, monkeypatch):
+        fake = [0.0]
+        monkeypatch.setattr(
+            "repro.utils.logging.time.monotonic", lambda: fake[0]
+        )
+        logger = StructuredLogger(rate_limit_seconds=10.0)
+        logger.warning("hot")
+        logger.warning("hot")
+        logger.warning("hot")
+        fake[0] = 11.0
+        record = logger.warning("hot")
+        assert record["suppressed"] == 2
+
+    def test_distinct_events_do_not_collide(self):
+        logger = StructuredLogger(rate_limit_seconds=3600.0)
+        assert logger.warning("a") is not None
+        assert logger.warning("b") is not None
+
+    def test_info_flows_freely_by_default(self):
+        logger = StructuredLogger(rate_limit_seconds=3600.0)
+        assert logger.info("tick") is not None
+        assert logger.info("tick") is not None
+
+    def test_error_is_never_suppressed(self):
+        logger = StructuredLogger(rate_limit_seconds=3600.0)
+        assert logger.error("bad") is not None
+        assert logger.error("bad", dedup=True) is not None
+
+    def test_explicit_dedup_opt_in_for_info(self):
+        logger = StructuredLogger(rate_limit_seconds=3600.0)
+        assert logger.log("info", "tick", dedup=True) is not None
+        assert logger.log("info", "tick", dedup=True) is None
+
+    def test_zero_window_disables_dedup(self):
+        logger = StructuredLogger(rate_limit_seconds=0.0)
+        assert logger.warning("hot") is not None
+        assert logger.warning("hot") is not None
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError, match="rate_limit_seconds"):
+            StructuredLogger(rate_limit_seconds=-1.0)
+
+
+class TestNullLogger:
+    def test_all_methods_are_noops(self):
+        assert isinstance(NULL_LOGGER, NullLogger)
+        assert NULL_LOGGER.log("info", "x") is None
+        assert NULL_LOGGER.debug("x") is None
+        assert NULL_LOGGER.info("x") is None
+        assert NULL_LOGGER.warning("x") is None
+        assert NULL_LOGGER.error("x") is None
+        NULL_LOGGER.close()

@@ -111,3 +111,42 @@ class TestMetricsRegistry:
             "histograms": {},
         }
         assert registry.counter("x").value == 0.0
+
+    def test_pickle_round_trip_recreates_lock(self):
+        """Models carry registries; pickling must survive the lock."""
+        import pickle
+
+        registry = MetricsRegistry()
+        registry.counter("stream.records").inc(9)
+        registry.gauge("buffer.occupancy").set(0.5)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.counter("stream.records").value == 9
+        assert clone.gauge("buffer.occupancy").value == 0.5
+        # The restored registry is fully functional (lock recreated).
+        clone.counter("new").inc()
+        assert clone.render()
+
+    def test_concurrent_creation_is_safe(self):
+        import threading
+
+        registry = MetricsRegistry()
+        errors = []
+
+        def hammer(start):
+            try:
+                for i in range(200):
+                    registry.counter(f"c{(start + i) % 40}").inc()
+                    registry.histogram(f"h{(start + i) % 40}").observe(0.1)
+                    registry.snapshot()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i * 7,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert registry.counter("c0").value > 0

@@ -6,6 +6,7 @@ import pytest
 
 from repro.utils.metrics import MetricsRegistry
 from repro.utils.telemetry import (
+    ALERTS_FILENAME,
     METRICS_FILENAME,
     SLOW_QUERY_FILENAME,
     TRACE_FILENAME,
@@ -100,12 +101,50 @@ class TestWriteRead:
         assert set(written) == {"metrics"}
         assert not (tmp_path / TRACE_FILENAME).exists()
 
+    def test_alerts_round_trip(self, tmp_path):
+        alerts = [
+            {"batch": 7, "kind": "spatial_psi", "value": 0.4},
+            {"batch": 9, "kind": "probe_mrr", "value": 0.1},
+        ]
+        written = write_telemetry(
+            tmp_path, _golden_registry(), alerts=alerts
+        )
+        assert written["alerts"].name == ALERTS_FILENAME
+        assert read_telemetry(tmp_path)["alerts"] == alerts
+
+    def test_rewrite_deletes_stale_sections(self, tmp_path):
+        # Run 1: everything present.
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        write_telemetry(
+            tmp_path,
+            _golden_registry(),
+            tracer,
+            slow_queries=[{"op": "rank_batch"}],
+            alerts=[{"kind": "spatial_psi"}],
+        )
+        # Run 2 into the same directory: clean run, no slow queries, no
+        # alerts, no tracer.  The stale files must not survive — an
+        # operator reading the directory would attribute the previous
+        # run's slow queries to this one.
+        written = write_telemetry(tmp_path, _golden_registry())
+        assert set(written) == {"metrics"}
+        dump = read_telemetry(tmp_path)
+        assert dump["slow_queries"] == []
+        assert dump["alerts"] == []
+        assert dump["spans"] == []
+        assert not (tmp_path / SLOW_QUERY_FILENAME).exists()
+        assert not (tmp_path / ALERTS_FILENAME).exists()
+        assert not (tmp_path / TRACE_FILENAME).exists()
+
     def test_reading_an_empty_directory_is_tolerant(self, tmp_path):
         dump = read_telemetry(tmp_path)
         assert dump == {
             "metrics_text": None,
             "spans": [],
             "slow_queries": [],
+            "alerts": [],
         }
 
 

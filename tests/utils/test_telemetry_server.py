@@ -1,0 +1,181 @@
+"""Tests for the live telemetry HTTP server (/metrics /healthz /varz)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.utils.logging import StructuredLogger
+from repro.utils.metrics import MetricsRegistry
+from repro.utils.telemetry_server import TelemetryServer
+
+
+def _get(url: str):
+    """GET ``url``; returns (status, content_type, body_text)."""
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type"),
+                response.read().decode("utf-8"),
+            )
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers.get("Content-Type"), err.read().decode(
+            "utf-8"
+        )
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("stream.records").inc(5)
+    reg.gauge("buffer.occupancy").set(0.5)
+    return reg
+
+
+class TestLifecycle:
+    def test_ephemeral_port_and_url(self, registry):
+        with TelemetryServer(registry) as server:
+            assert server.running
+            assert server.port > 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+        assert not server.running
+
+    def test_double_start_rejected(self, registry):
+        with TelemetryServer(registry) as server:
+            with pytest.raises(RuntimeError, match="already started"):
+                server.start()
+
+    def test_stop_is_idempotent(self, registry):
+        server = TelemetryServer(registry).start()
+        server.stop()
+        server.stop()
+
+    def test_invalid_stale_after_rejected(self, registry):
+        with pytest.raises(ValueError, match="stale_after"):
+            TelemetryServer(registry, stale_after=0)
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_and_content_type(self, registry):
+        with TelemetryServer(registry) as server:
+            status, ctype, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+        assert "repro_stream_records_total 5" in body
+        assert "repro_buffer_occupancy 0.5" in body
+
+    def test_scrapes_see_live_updates(self, registry):
+        with TelemetryServer(registry) as server:
+            _status, _ctype, first = _get(server.url + "/metrics")
+            registry.counter("stream.records").inc(7)
+            _status, _ctype, second = _get(server.url + "/metrics")
+        assert "repro_stream_records_total 5" in first
+        assert "repro_stream_records_total 12" in second
+
+    def test_unknown_path_is_404(self, registry):
+        with TelemetryServer(registry) as server:
+            status, _ctype, body = _get(server.url + "/nope")
+        assert status == 404
+        assert "no such endpoint" in body
+
+
+class TestHealthz:
+    def test_healthy_by_default(self, registry):
+        with TelemetryServer(registry) as server:
+            server.heartbeat()
+            status, _ctype, body = _get(server.url + "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0
+        assert payload["heartbeat_age_seconds"] is not None
+
+    def test_stale_heartbeat_degrades_to_503(self, registry):
+        with TelemetryServer(registry, stale_after=1e-9) as server:
+            server.heartbeat()
+            status, _ctype, body = _get(server.url + "/healthz")
+        assert status == 503
+        assert json.loads(body)["status"] == "stale"
+
+    def test_provider_status_worst_wins(self, registry):
+        with TelemetryServer(registry) as server:
+            server.add_status_provider(lambda: {"status": "ok", "a": 1})
+            server.add_status_provider(
+                lambda: {"status": "alerting", "drift": {"alerts": 2}}
+            )
+            status, _ctype, body = _get(server.url + "/healthz")
+        payload = json.loads(body)
+        assert status == 503
+        assert payload["status"] == "alerting"
+        assert payload["a"] == 1
+        assert payload["drift"] == {"alerts": 2}
+
+    def test_alerting_outranks_stale(self, registry):
+        with TelemetryServer(registry, stale_after=1e-9) as server:
+            server.heartbeat()
+            server.add_status_provider(lambda: {"status": "alerting"})
+            _status, _ctype, body = _get(server.url + "/healthz")
+        assert json.loads(body)["status"] == "alerting"
+
+
+class TestVarz:
+    def test_varz_exposes_raw_state(self, registry):
+        logger = StructuredLogger()
+        logger.info("hello", n=1)
+        slow = [{"op": "rank_batch", "seconds": 0.5}]
+        with TelemetryServer(
+            registry, slow_queries=slow, logger=logger
+        ) as server:
+            server.add_status_provider(lambda: {"extra": "state"})
+            status, ctype, body = _get(server.url + "/varz")
+        payload = json.loads(body)
+        assert status == 200
+        assert ctype == "application/json; charset=utf-8"
+        assert payload["metrics"]["counters"]["stream.records"] == 5
+        assert payload["slow_queries"] == slow
+        assert payload["recent_logs"][0]["event"] == "hello"
+        assert payload["extra"] == "state"
+
+
+class TestConcurrency:
+    def test_parallel_scrapes_during_metric_churn(self, registry):
+        """Scrapes racing metric creation/updates must never error."""
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def churn():
+            i = 0
+            while not stop.is_set():
+                registry.counter(f"churn.c{i % 50}").inc()
+                registry.histogram(f"churn.h{i % 50}").observe(i * 0.001)
+                registry.gauge("churn.level").set(i)
+                i += 1
+
+        def scrape(server):
+            while not stop.is_set():
+                try:
+                    status, _ctype, body = _get(server.url + "/metrics")
+                    assert status == 200
+                    assert body.endswith("\n")
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+                stop.wait(0.01)
+
+        with TelemetryServer(registry) as server:
+            threads = [threading.Thread(target=churn)] + [
+                threading.Thread(target=scrape, args=(server,))
+                for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            import time
+
+            time.sleep(0.5)
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert errors == []
