@@ -5,7 +5,9 @@ Usage (also available as ``python -m repro``)::
     repro generate --preset utgeo2011 --n-records 5000 --out corpus.jsonl
     repro stats    --corpus corpus.jsonl
     repro train    --corpus corpus.jsonl --out model.pkl --dim 64 --epochs 20
+    repro train    --corpus corpus.jsonl --out model.pkl --store shared
     repro evaluate --model model.pkl --corpus test.jsonl
+    repro evaluate --model bundle/ --corpus test.jsonl --mmap  # zero-copy load
     repro query    --model model.pkl --word harbor_00
     repro query    --model model.pkl --time 22.0
     repro query    --model model.pkl --location 3.5,7.2
@@ -123,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-dir", metavar="DIR",
         help="write Prometheus metrics + a JSONL span trace to DIR",
     )
+    train.add_argument(
+        "--store",
+        choices=["dense", "shared", "mmap"],
+        default="dense",
+        help="embedding storage backend: dense (in-RAM, default), shared "
+        "(POSIX shared memory; Hogwild threads train in place) or mmap "
+        "(memory-mapped .npy files)",
+    )
 
     ev = sub.add_parser(
         "evaluate", help="MRR over the three cross-modal prediction tasks"
@@ -147,12 +157,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve live /metrics, /healthz and /varz on 127.0.0.1:PORT "
         "for the duration of the evaluation (0 picks a free port)",
     )
+    ev.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the model's embedding matrices instead of loading "
+        "them into RAM (requires a format-v2 bundle directory from "
+        "'repro export')",
+    )
 
     export = sub.add_parser(
         "export",
         help="convert a pickled model into a portable (pickle-free) bundle",
     )
-    export.add_argument("--model", required=True, help="pickled model path")
+    export.add_argument(
+        "--model", required=True,
+        help="pickled model path, or an existing bundle directory to "
+        "re-export in the current format",
+    )
     export.add_argument("--out", required=True, help="bundle directory")
 
     stream = sub.add_parser(
@@ -210,6 +230,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--stale-after", type=float, default=60.0, metavar="SECONDS",
         help="/healthz degrades to 'stale' when no batch completed for "
         "this long (default: 60; effective only with --serve-metrics)",
+    )
+    stream.add_argument(
+        "--store",
+        choices=["dense", "shared", "mmap"],
+        default="dense",
+        help="storage backend for the online embedding copies (shared "
+        "lets forked processes serve the live model while it streams)",
     )
 
     tel = sub.add_parser(
@@ -273,6 +300,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         use_inter=not args.no_inter,
         use_intra_bow=not args.no_intra_bow,
         seed=args.seed,
+        store_backend=args.store,
     )
     telemetry_dir = getattr(args, "telemetry_dir", None)
     registry = (
@@ -295,22 +323,33 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_model(path: str):
+def _load_model(path: str, *, mmap: bool = False):
     """Load either a pickled Actor or a portable bundle directory."""
     if Path(path).is_dir():
-        return load_bundle(path)
+        return load_bundle(path, mmap=mmap)
+    if mmap:
+        raise ValueError(
+            f"--mmap requires a bundle directory (got file {path}); "
+            "create one with 'repro export'"
+        )
     return Actor.load(path)
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    model = Actor.load(args.model)
+    # Accepts a bundle directory too, so v1 bundles migrate to the current
+    # format with one `repro export --model old/ --out new/` round trip.
+    model = _load_model(args.model)
     save_bundle(model, args.out)
     print(f"exported portable bundle to {args.out}")
     return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    model = _load_model(args.model)
+    try:
+        model = _load_model(args.model, mmap=args.mmap)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     corpus = load_corpus(args.corpus)
     queries = build_task_queries(
         corpus,
@@ -416,6 +455,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             negatives=args.negatives,
             buffer_size=args.buffer_size,
             seed=args.seed,
+            store_backend=args.store,
         )
     tracer = None
     logger = None

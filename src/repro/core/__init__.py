@@ -33,6 +33,7 @@ from repro.core.prediction import (
 )
 from repro.core.query_engine import QueryEngine
 from repro.core.serialize import (
+    BundleFormatError,
     QueryModel,
     load_bundle,
     load_online_checkpoint,
@@ -64,6 +65,7 @@ __all__ = [
     "top_k",
     "OnlineActor",
     "QueryModel",
+    "BundleFormatError",
     "save_bundle",
     "load_bundle",
     "save_online_checkpoint",

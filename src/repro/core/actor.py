@@ -39,6 +39,7 @@ from repro.data.text import Vocabulary
 from repro.embedding.line import LineEmbedding
 from repro.graphs.builder import GraphBuilder
 from repro.hotspots.detector import HotspotDetector
+from repro.storage import make_store
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.tracing import NULL_TRACER
 
@@ -189,8 +190,18 @@ class Actor(GraphEmbeddingModel):
             if metrics is not None:
                 metrics.timer("fit.initialize").observe(init_s)
 
+            # Install (or refresh) the embedding storage.  A refit reuses
+            # the existing store so its version counter keeps moving
+            # monotonically — downstream caches can never mistake the new
+            # matrices for the old ones.
+            store = self.__dict__.get("_store")
+            if store is None:
+                store = make_store(cfg.store_backend, directory=cfg.store_dir)
+                self.adopt_store(store)
+            store.set_matrix("center", center)
+            store.set_matrix("context", context)
             self.trainer = ActorTrainer(
-                self.built, cfg, center, context, metrics=metrics,
+                self.built, cfg, store=store, metrics=metrics,
                 tracer=tracer,
             )
             with tracer.span("actor.train"):
@@ -205,8 +216,6 @@ class Actor(GraphEmbeddingModel):
         if hasattr(detector, "tracer"):
             detector.tracer = NULL_TRACER
         self.trainer.tracer = NULL_TRACER
-        self.center = self.trainer.center
-        self.context = self.trainer.context
         self._fitted = True
         return self
 

@@ -72,6 +72,15 @@ class ActorConfig:
         Exponent of the negative-sampling noise distribution
         ``P(v) ∝ d_v^power`` (word2vec's 3/4; the noise-exponent ablation
         bench sweeps 0 / 0.75 / 1).
+    store_backend:
+        Embedding storage backend — ``"dense"`` (in-RAM, default),
+        ``"shared"`` (POSIX shared memory; Hogwild trains in place and
+        forked processes can serve the live model) or ``"mmap"``
+        (memory-mapped ``.npy`` files on disk).
+    store_dir:
+        Directory for the ``mmap`` backend's ``.npy`` files; ``None``
+        uses a private temp directory.  Only valid with
+        ``store_backend="mmap"``.
     seed:
         Master seed for every stochastic stage.
     """
@@ -98,6 +107,8 @@ class ActorConfig:
     mention_link_weight: float = 1.0
     init_noise: float = 0.02
     noise_power: float = 0.75
+    store_backend: str = "dense"
+    store_dir: str | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -116,6 +127,17 @@ class ActorConfig:
         if self.noise_power < 0:
             raise ValueError(
                 f"noise_power must be >= 0, got {self.noise_power}"
+            )
+        valid_backends = ("dense", "shared", "mmap")
+        if self.store_backend not in valid_backends:
+            raise ValueError(
+                f"store_backend must be one of {valid_backends}, "
+                f"got {self.store_backend!r}"
+            )
+        if self.store_dir is not None and self.store_backend != "mmap":
+            raise ValueError(
+                "store_dir only applies to store_backend='mmap', "
+                f"got backend {self.store_backend!r}"
             )
         if self.inter_edge_types is not None:
             valid = {"UT", "UW", "UL"}

@@ -388,11 +388,19 @@ class DriftWatchdog:
         return np.append(head, tail)
 
     def _observe_norms(self) -> None:
-        """Track per-modality mean embedding norms (histogram + EWMA z)."""
+        """Track per-modality mean embedding norms (histogram + EWMA z).
+
+        Rows are gathered straight from the model's embedding store
+        (``modality_rows`` + ``store.view``), so the detector reads the
+        live matrices whatever the backend — dense, shared-memory or
+        memory-mapped.
+        """
+        store = self.model.store
         for modality in _NORM_MODALITIES:
-            _keys, matrix = self.model.modality_vectors(modality)
-            if matrix.shape[0] == 0:
+            _keys, rows = self.model.modality_rows(modality)
+            if len(rows) == 0:
                 continue
+            matrix = store.view(rows)
             mean_norm = float(np.linalg.norm(matrix, axis=1).mean())
             self.metrics.gauge(f"drift.norm_mean.{modality}").set(mean_norm)
             self.metrics.histogram(f"drift.norm.{modality}").observe(mean_norm)

@@ -8,9 +8,12 @@ descending order".
 
 :class:`GraphEmbeddingModel` is the shared base for every embedding-based
 model in this repository (ACTOR, CrossMap, LINE, metapath2vec): it owns the
-built graphs plus center/context matrices and implements the full query
-surface — unit lookup, query composition, candidate scoring and
-nearest-neighbor search.
+built graphs plus an :class:`~repro.storage.base.EmbeddingStore` holding
+the center/context matrices, and implements the full query surface — unit
+lookup, query composition, candidate scoring and nearest-neighbor search.
+``model.center`` / ``model.context`` remain plain ndarray attributes to
+callers (they are properties delegating to the store), and the batched
+query caches key off the store's monotonic ``version`` counter.
 """
 
 from __future__ import annotations
@@ -22,6 +25,8 @@ import numpy as np
 
 from repro.graphs.builder import BuiltGraphs
 from repro.graphs.types import NodeType
+from repro.storage import DenseStore, EmbeddingStore
+from repro.storage.base import normalize_rows
 
 __all__ = [
     "cosine_similarities",
@@ -100,17 +105,8 @@ def top_k(scores: np.ndarray, k: int) -> np.ndarray:
     return chosen[np.argsort(-scores[chosen], kind="stable")]
 
 
-def normalize_rows(matrix: np.ndarray) -> np.ndarray:
-    """L2-normalize rows; zero rows stay zero (OOV / empty-query vectors).
-
-    With both operands row-normalized, a plain matrix product yields the
-    cosine-similarity block of :func:`cosine_similarities`, and zero rows
-    score 0 against everything — the same out-of-vocabulary convention.
-    """
-    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-    out = np.zeros_like(matrix, dtype=float)
-    np.divide(matrix, norms, out=out, where=norms > 0)
-    return out
+# normalize_rows moved to repro.storage.base (the store's normalized-view
+# cache is the canonical producer); re-exported here for compatibility.
 
 
 @dataclass
@@ -145,11 +141,69 @@ class GraphEmbeddingModel:
 
     Subclasses populate ``self.built`` (graphs + detector + vocab) and
     ``self.center`` / ``self.context`` embedding matrices in ``fit``.
+    The matrices live in an :class:`~repro.storage.base.EmbeddingStore`
+    (a :class:`~repro.storage.dense.DenseStore` unless another backend was
+    adopted); the ``center``/``context`` attributes stay assignable exactly
+    as before — assignment routes through ``store.set_matrix`` and bumps
+    the store version, which is what invalidates the batched query caches.
     """
 
     built: BuiltGraphs
-    center: np.ndarray
-    context: np.ndarray
+
+    # ----------------------------------------------------------------- storage
+
+    @property
+    def store(self) -> EmbeddingStore:
+        """The model's embedding store (lazily a ``DenseStore``)."""
+        store = self.__dict__.get("_store")
+        if store is None:
+            store = self.__dict__["_store"] = DenseStore()
+        return store
+
+    def adopt_store(self, store: EmbeddingStore) -> None:
+        """Swap in a different storage backend (matrices travel with it).
+
+        Any previously cached modality matrices are keyed off the old
+        store's version and center identity, so they can never be served
+        stale after adoption.
+        """
+        self.__dict__["_store"] = store
+
+    @property
+    def center(self) -> np.ndarray:
+        """Center embedding matrix (zero-copy view from the store)."""
+        return self.store.center
+
+    @center.setter
+    def center(self, value) -> None:
+        """Replace the center matrix via the store (bumps its version)."""
+        self.store.set_matrix("center", value)
+
+    @property
+    def context(self) -> np.ndarray:
+        """Context embedding matrix (zero-copy view from the store)."""
+        return self.store.context
+
+    @context.setter
+    def context(self, value) -> None:
+        """Replace the context matrix via the store (bumps its version)."""
+        self.store.set_matrix("context", value)
+
+    def __setstate__(self, state: dict) -> None:
+        """Unpickle, migrating pre-storage pickles transparently.
+
+        Older pickles carry raw ``center``/``context`` ndarrays in
+        ``__dict__`` (they were plain attributes then); fold them into a
+        fresh :class:`DenseStore` so the loaded model speaks the store
+        protocol like any other.
+        """
+        center = state.pop("center", None)
+        context = state.pop("context", None)
+        self.__dict__.update(state)
+        if "_store" not in self.__dict__ and (
+            center is not None or context is not None
+        ):
+            self.__dict__["_store"] = DenseStore(center, context)
 
     # ------------------------------------------------------------- unit level
 
@@ -274,14 +328,27 @@ class GraphEmbeddingModel:
 
     # --------------------------------------------------------------- neighbors
 
+    def modality_rows(
+        self, modality: str
+    ) -> tuple[list[Hashable], np.ndarray]:
+        """All unit keys of ``modality`` with their store row indices.
+
+        The row indices address both the center matrix and the store's
+        normalized view, so callers gather whichever representation they
+        need without materializing the other.  Streaming subclasses
+        override this to append rows that grew past the base graph.
+        """
+        node_type = _MODALITY_TO_TYPE[modality]
+        nodes = self.built.activity.nodes_of_type(node_type)
+        keys = [self.built.activity.key_of(int(n)) for n in nodes]
+        return keys, np.asarray(nodes, dtype=np.int64)
+
     def modality_vectors(
         self, modality: str
     ) -> tuple[list[Hashable], np.ndarray]:
         """All unit keys of ``modality`` with their center-vector matrix."""
-        node_type = _MODALITY_TO_TYPE[modality]
-        nodes = self.built.activity.nodes_of_type(node_type)
-        keys = [self.built.activity.key_of(int(n)) for n in nodes]
-        return keys, self.center[nodes]
+        keys, rows = self.modality_rows(modality)
+        return keys, self.store.view(rows)
 
     # ----------------------------------------------------------- batch caches
 
@@ -289,32 +356,43 @@ class GraphEmbeddingModel:
     def query_version(self) -> int:
         """Monotone counter invalidating the batched-query caches.
 
-        A :class:`ModalityCache` is valid only while this counter and the
-        identity of :attr:`center` both stand still.  Refits and streamed
-        row growth replace ``center`` (automatic invalidation); in-place
-        SGD updates must call :meth:`invalidate_query_cache` explicitly —
-        :meth:`~repro.core.streaming.OnlineActor.partial_fit` does.
+        This is the store's :attr:`~repro.storage.base.EmbeddingStore
+        .version`: every mutation path — refit (``set_matrix``), streamed
+        row growth (``grow``), and in-place SGD bursts (reported via
+        :meth:`invalidate_query_cache`) — advances it, so a
+        :class:`ModalityCache` is valid only while it stands still.
         """
-        return getattr(self, "_query_version", 0)
+        return self.store.version
 
     def invalidate_query_cache(self) -> None:
-        """Drop cached modality matrices (embeddings changed in place)."""
-        self._query_version = self.query_version + 1
+        """Bump the store version (embeddings changed in place).
+
+        In-place SGD kernels write through store views without calling
+        store methods; :meth:`~repro.core.streaming.OnlineActor
+        .partial_fit` calls this once per burst so readers notice.
+        """
+        self.store.bump()
 
     def modality_cache(self, modality: str) -> ModalityCache:
         """The (lazily built, version-checked) :class:`ModalityCache`.
 
-        Rebuilt whenever :attr:`query_version` was bumped or the
-        :attr:`center` matrix object was replaced; otherwise every call to
+        Rebuilt whenever the store version moved or the store/center
+        matrix object was replaced (a refit swaps both and may reset the
+        version, hence the identity check); otherwise every call to
         :meth:`neighbors` and the batched query engine reuses the same
-        normalized matrix instead of re-deriving it per query.
+        normalized matrix instead of re-deriving it per query.  The
+        normalized rows are gathered from the store's cached full
+        normalized view — row-wise normalization makes the gather
+        bit-identical to normalizing the gathered block directly.
         """
         cache: dict = self.__dict__.setdefault("_modality_caches", {})
         entry = cache.get(modality)
         stamp = (self.query_version, id(self.center))
         if entry is not None and entry[0] == stamp and entry[2] is self.center:
             return entry[1]
-        keys, matrix = self.modality_vectors(modality)
+        keys, rows = self.modality_rows(modality)
+        matrix = self.store.view(rows)
+        normalized = self.store.normalized("center")[rows]
         position_of = {key: i for i, key in enumerate(keys)}
         index_map = None
         if modality in ("time", "location"):
@@ -329,7 +407,7 @@ class GraphEmbeddingModel:
         built = ModalityCache(
             keys=keys,
             matrix=matrix,
-            normalized=normalize_rows(matrix),
+            normalized=normalized,
             position_of=position_of,
             index_map=index_map,
         )

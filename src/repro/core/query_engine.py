@@ -14,9 +14,12 @@ bulk:
   :mod:`repro.embedding.sgns`, applied CSR-style: ``offsets`` play the role
   of the indptr array) — no per-word NumPy calls, no ``np.add.at``;
 * an ``(n_queries, n_candidates)`` score block is one matrix product over
-  pre-L2-normalized modality matrices (cached on the model, invalidated on
-  refit or stream growth — see
-  :attr:`~repro.core.prediction.GraphEmbeddingModel.query_version`).
+  pre-L2-normalized modality matrices.  These are gathered from the
+  embedding store's cached normalized view and invalidated by the store's
+  monotonic ``version`` counter, which every mutation path (refit, stream
+  growth, in-place SGD bursts, eviction) advances — see
+  :attr:`~repro.core.prediction.GraphEmbeddingModel.query_version` and
+  :meth:`repro.storage.base.EmbeddingStore.normalized`.
 
 The scalar path remains the reference implementation; :meth:`rank_batch` is
 guaranteed rank-parity with :func:`repro.eval.mrr.query_rank` (enforced by

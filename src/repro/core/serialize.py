@@ -3,17 +3,26 @@
 :meth:`Actor.save`/:meth:`Actor.load` use pickle, which is convenient but
 carries the usual trust caveats and ties the file to this codebase's
 internals.  This module writes a *portable inference bundle* instead — a
-directory of plain ``.npz``/``.json`` files containing exactly what the
-query surface needs:
+directory of plain ``.npy``/``.npz``/``.json`` files containing exactly
+what the query surface needs:
 
 ```
 bundle/
   manifest.json     format version, dims, detector period, config snapshot
-  embeddings.npz    center, context (float64)
+  center.npy        center embeddings (float64, raw — mmap-able)
+  context.npy       context embeddings (float64, raw — mmap-able)
   hotspots.npz      spatial (S, 2), temporal (T,)
   nodes.json        node registry: ordered [type, key] pairs
   vocab.json        retained keywords in id order
 ```
+
+Format **v2** (current) stores the embeddings as raw ``.npy`` sidecars so
+:func:`load_bundle` can memory-map them (``mmap=True``): startup becomes
+an ``mmap(2)`` call, pages fault in as queries touch rows, and models
+larger than RAM serve fine.  Format **v1** bundles (compressed
+``embeddings.npz``) still load — only eagerly, since zip members can't be
+mapped.  Malformed bundles of either version raise
+:class:`BundleFormatError` naming the offending field and format version.
 
 :func:`load_bundle` reconstructs a :class:`QueryModel` — the full
 :class:`~repro.core.prediction.GraphEmbeddingModel` query surface
@@ -38,19 +47,92 @@ from repro.graphs.builder import BuiltGraphs
 from repro.graphs.interaction_graph import UserInteractionGraph
 from repro.graphs.types import NodeType
 from repro.hotspots.detector import HotspotDetector
+from repro.storage import EmbeddingStore, MmapStore
 
 __all__ = [
     "save_bundle",
     "load_bundle",
     "QueryModel",
+    "BundleFormatError",
     "FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
     "save_online_checkpoint",
     "load_online_checkpoint",
     "ONLINE_FORMAT_VERSION",
 ]
 
-FORMAT_VERSION = 1
-ONLINE_FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
+ONLINE_FORMAT_VERSION = 2
+SUPPORTED_ONLINE_FORMAT_VERSIONS = (1, 2)
+
+
+class BundleFormatError(ValueError):
+    """A bundle/checkpoint directory is missing, truncated or incompatible.
+
+    Raised instead of bare ``KeyError``/``ValueError`` so callers (and
+    operators reading logs) see *which* manifest field or file is at
+    fault and which format version the bundle declared.
+    """
+
+
+def _read_manifest(path: Path, *, kind: str) -> dict:
+    """Load and sanity-check a manifest file, or raise BundleFormatError."""
+    if not path.exists():
+        raise BundleFormatError(
+            f"{kind} at {path.parent} has no {path.name}; "
+            "not a bundle directory?"
+        )
+    try:
+        manifest = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise BundleFormatError(
+            f"{kind} manifest {path} is corrupt or truncated: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise BundleFormatError(
+            f"{kind} manifest {path} must hold a JSON object, "
+            f"got {type(manifest).__name__}"
+        )
+    return manifest
+
+
+def _require(manifest: dict, field: str, *, version, directory: Path):
+    """Fetch a manifest field or raise a BundleFormatError naming it."""
+    try:
+        return manifest[field]
+    except KeyError:
+        raise BundleFormatError(
+            f"bundle at {directory} (format v{version}) is missing "
+            f"manifest field {field!r}"
+        ) from None
+
+
+def _check_version(manifest: dict, supported, *, kind: str, directory: Path):
+    """Validate the declared format version against ``supported``."""
+    version = manifest.get("format_version")
+    if version not in supported:
+        raise BundleFormatError(
+            f"unsupported {kind} format {version!r} at {directory}; "
+            f"this build reads versions {supported}"
+        )
+    return version
+
+
+def _load_array(path: Path, *, mmap: bool, version, directory: Path):
+    """Read one ``.npy`` sidecar, mapped or eager, with clear errors."""
+    if not path.exists():
+        raise BundleFormatError(
+            f"bundle at {directory} (format v{version}) is missing {path.name}"
+        )
+    try:
+        if mmap:
+            return np.load(path, mmap_mode="r", allow_pickle=False)
+        return np.load(path, allow_pickle=False)
+    except ValueError as exc:
+        raise BundleFormatError(
+            f"bundle file {path} is corrupt or truncated: {exc}"
+        ) from exc
 
 
 class QueryModel(GraphEmbeddingModel):
@@ -58,22 +140,41 @@ class QueryModel(GraphEmbeddingModel):
 
     Exposes the complete query surface (``score_candidates``,
     ``neighbors``, ``unit_vector`` ...) but has no trainer and no edges —
-    only the node registry, hotspots, vocabulary and embeddings.
+    only the node registry, hotspots, vocabulary and embeddings.  When
+    constructed with a ``store`` (e.g. a read-only
+    :class:`~repro.storage.mmap.MmapStore` over the bundle directory)
+    the matrices are served straight from it, zero-copy.
     """
 
     name = "ACTOR(bundle)"
     supports_time = True
 
     def __init__(
-        self, built: BuiltGraphs, center: np.ndarray, context: np.ndarray
+        self,
+        built: BuiltGraphs,
+        center: np.ndarray | None = None,
+        context: np.ndarray | None = None,
+        *,
+        store: EmbeddingStore | None = None,
     ) -> None:
         self.built = built
-        self.center = center
-        self.context = context
+        if store is not None:
+            if center is not None or context is not None:
+                raise ValueError(
+                    "pass either a store or raw matrices, not both"
+                )
+            self.adopt_store(store)
+        else:
+            self.center = center
+            self.context = context
 
 
 def save_bundle(model: Actor | QueryModel, directory: str | Path) -> Path:
-    """Write ``model``'s inference state to ``directory`` (created if needed)."""
+    """Write ``model``'s inference state to ``directory`` (created if needed).
+
+    Embeddings go out as raw ``.npy`` sidecars (format v2) so the bundle
+    can later be served zero-copy via ``load_bundle(..., mmap=True)``.
+    """
     if not isinstance(model, QueryModel) and not model.is_fitted:
         raise ValueError("cannot serialize an unfitted model")
     directory = Path(directory)
@@ -86,11 +187,8 @@ def save_bundle(model: Actor | QueryModel, directory: str | Path) -> Path:
     ]
     detector = model.built.detector
 
-    np.savez_compressed(
-        directory / "embeddings.npz",
-        center=model.center,
-        context=model.context,
-    )
+    np.save(directory / "center.npy", np.asarray(model.center, dtype=np.float64))
+    np.save(directory / "context.npy", np.asarray(model.context, dtype=np.float64))
     np.savez_compressed(
         directory / "hotspots.npz",
         spatial=detector.spatial_hotspots,
@@ -112,34 +210,105 @@ def save_bundle(model: Actor | QueryModel, directory: str | Path) -> Path:
     return directory
 
 
-def load_bundle(directory: str | Path) -> QueryModel:
-    """Reconstruct a :class:`QueryModel` from a bundle directory."""
+def load_bundle(directory: str | Path, *, mmap: bool = False) -> QueryModel:
+    """Reconstruct a :class:`QueryModel` from a bundle directory.
+
+    With ``mmap=True`` (format v2 bundles only) the embedding matrices
+    are memory-mapped read-only straight from the bundle's ``.npy``
+    sidecars — no copy, near-instant startup, identical query results.
+    Format v1 bundles store compressed ``embeddings.npz`` archives, whose
+    members cannot be mapped; re-export with :func:`save_bundle` to get
+    a mappable v2 bundle.
+    """
     directory = Path(directory)
-    manifest = json.loads((directory / "manifest.json").read_text())
-    if manifest.get("format_version") != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported bundle format {manifest.get('format_version')!r}; "
-            f"this build reads version {FORMAT_VERSION}"
+    manifest = _read_manifest(directory / "manifest.json", kind="bundle")
+    version = _check_version(
+        manifest, SUPPORTED_FORMAT_VERSIONS, kind="bundle", directory=directory
+    )
+
+    store: MmapStore | None = None
+    if version == 1:
+        if mmap:
+            raise BundleFormatError(
+                f"bundle at {directory} is format v1 (compressed "
+                "embeddings.npz), which cannot be memory-mapped; re-export "
+                "it with save_bundle to get a mmap-able v2 bundle"
+            )
+        npz_path = directory / "embeddings.npz"
+        if not npz_path.exists():
+            raise BundleFormatError(
+                f"bundle at {directory} (format v1) is missing embeddings.npz"
+            )
+        try:
+            with np.load(npz_path) as data:
+                center = np.array(data["center"])
+                context = np.array(data["context"])
+        except (ValueError, KeyError, OSError) as exc:
+            raise BundleFormatError(
+                f"bundle file {npz_path} is corrupt or truncated: {exc}"
+            ) from exc
+    elif mmap:
+        store = MmapStore.open(directory, mode="r")
+        center = _load_array(
+            directory / "center.npy", mmap=True, version=version,
+            directory=directory,
+        )
+        context = _load_array(
+            directory / "context.npy", mmap=True, version=version,
+            directory=directory,
+        )
+    else:
+        center = _load_array(
+            directory / "center.npy", mmap=False, version=version,
+            directory=directory,
+        )
+        context = _load_array(
+            directory / "context.npy", mmap=False, version=version,
+            directory=directory,
+        )
+    if center.shape != context.shape:
+        raise BundleFormatError(
+            f"bundle at {directory} (format v{version}) has mismatched "
+            f"center {center.shape} vs context {context.shape} shapes"
         )
 
-    with np.load(directory / "embeddings.npz") as data:
-        center = np.array(data["center"])
-        context = np.array(data["context"])
-    with np.load(directory / "hotspots.npz") as data:
-        detector = HotspotDetector.from_arrays(
-            data["spatial"], data["temporal"], period=manifest["period"]
+    period = _require(manifest, "period", version=version, directory=directory)
+    n_nodes = _require(manifest, "n_nodes", version=version, directory=directory)
+    hotspots_path = directory / "hotspots.npz"
+    if not hotspots_path.exists():
+        raise BundleFormatError(
+            f"bundle at {directory} (format v{version}) is missing hotspots.npz"
         )
+    try:
+        with np.load(hotspots_path) as data:
+            detector = HotspotDetector.from_arrays(
+                data["spatial"], data["temporal"], period=period
+            )
+    except (ValueError, KeyError, OSError) as exc:
+        raise BundleFormatError(
+            f"bundle file {hotspots_path} is corrupt or truncated: {exc}"
+        ) from exc
 
     nodes = json.loads((directory / "nodes.json").read_text())
-    if len(nodes) != manifest["n_nodes"] or center.shape[0] != len(nodes):
-        raise ValueError("bundle is inconsistent: node/embedding count mismatch")
+    if len(nodes) != n_nodes or center.shape[0] != len(nodes):
+        raise BundleFormatError(
+            f"bundle at {directory} (format v{version}) is inconsistent: "
+            f"manifest n_nodes={n_nodes}, nodes.json holds {len(nodes)}, "
+            f"embeddings hold {center.shape[0]} rows"
+        )
 
     activity = ActivityGraph()
+    # One enum lookup per distinct type value, not per node — bundles hold
+    # tens of thousands of nodes and this loop dominates non-mmap load.
+    type_cache: dict = {}
+    index_types = (NodeType.TIME, NodeType.LOCATION)
     for type_value, key in nodes:
-        node_type = NodeType(type_value)
+        node_type = type_cache.get(type_value)
+        if node_type is None:
+            node_type = type_cache[type_value] = NodeType(type_value)
         # JSON round-trips hotspot indices as ints and words/users as str;
         # T/L keys are indices.
-        if node_type in (NodeType.TIME, NodeType.LOCATION):
+        if node_type in index_types:
             key = int(key)
         activity.add_node(node_type, key)
     activity.finalize()
@@ -159,6 +328,8 @@ def load_bundle(directory: str | Path) -> QueryModel:
         vocab=vocab,
         record_units=[],
     )
+    if store is not None:
+        return QueryModel(built=built, store=store)
     return QueryModel(built=built, center=center, context=context)
 
 
@@ -171,10 +342,12 @@ def load_bundle(directory: str | Path) -> QueryModel:
 #
 #   online_manifest.json   format version, hyper-params, extra node registry,
 #                          buffer clock, RNG state
-#   online_state.npz       center, context, buffer columns
+#   center.npy/context.npy (grown) embedding matrices, raw — mmap-able
+#   online_state.npz       recency-buffer columns
 #
 # so a streaming deployment can crash and resume against the same base
-# model without replaying the stream.
+# model without replaying the stream.  Checkpoint format v1 kept the
+# matrices inside online_state.npz; those still load.
 
 
 def save_online_checkpoint(model, directory: str | Path) -> Path:
@@ -198,10 +371,10 @@ def save_online_checkpoint(model, directory: str | Path) -> Path:
         )
 
     buffer_state = model.buffer.state()
+    np.save(directory / "center.npy", np.asarray(model.center, dtype=np.float64))
+    np.save(directory / "context.npy", np.asarray(model.context, dtype=np.float64))
     np.savez_compressed(
         directory / "online_state.npz",
-        center=model.center,
-        context=model.context,
         buf_src=buffer_state["src"],
         buf_dst=buffer_state["dst"],
         buf_weight=buffer_state["weight"],
@@ -237,25 +410,29 @@ def load_online_checkpoint(base: Actor, directory: str | Path):
     ``base`` must be the fitted Actor the checkpointed deployment was
     warm-started from (same node count and dimension); the shared built
     graphs supply the detector, base node registry and vocabulary.
+    Reads checkpoint formats v1 (matrices inside ``online_state.npz``)
+    and v2 (raw ``.npy`` sidecars).
     """
     from repro.core.streaming import OnlineActor, RecencyBuffer
 
     directory = Path(directory)
-    manifest = json.loads((directory / "online_manifest.json").read_text())
-    if manifest.get("format_version") != ONLINE_FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported checkpoint format {manifest.get('format_version')!r};"
-            f" this build reads version {ONLINE_FORMAT_VERSION}"
-        )
+    manifest = _read_manifest(
+        directory / "online_manifest.json", kind="checkpoint"
+    )
+    version = _check_version(
+        manifest, SUPPORTED_ONLINE_FORMAT_VERSIONS,
+        kind="checkpoint", directory=directory,
+    )
     if not base.is_fitted:
         raise ValueError("base Actor must be fitted to restore a checkpoint")
-    if (
-        base.center.shape[0] != manifest["base_rows"]
-        or base.center.shape[1] != manifest["dim"]
-    ):
+    base_rows = _require(
+        manifest, "base_rows", version=version, directory=directory
+    )
+    dim = _require(manifest, "dim", version=version, directory=directory)
+    if base.center.shape[0] != base_rows or base.center.shape[1] != dim:
         raise ValueError(
             f"checkpoint was taken against a base model with "
-            f"{manifest['base_rows']} nodes of dim {manifest['dim']}, got "
+            f"{base_rows} nodes of dim {dim}, got "
             f"{base.center.shape[0]} nodes of dim {base.center.shape[1]}"
         )
 
@@ -269,31 +446,54 @@ def load_online_checkpoint(base: Actor, directory: str | Path):
         buffer_size=manifest["buffer_max_size"],
         seed=0,
     )
-    with np.load(directory / "online_state.npz") as data:
-        center = np.array(data["center"])
-        context = np.array(data["context"])
-        buffer_state = {
-            "src": data["buf_src"],
-            "dst": data["buf_dst"],
-            "weight": data["buf_weight"],
-            "born": data["buf_born"],
-            "clock": manifest["buffer_clock"],
-            "evictions": manifest["buffer_evictions"],
-        }
+    state_path = directory / "online_state.npz"
+    if not state_path.exists():
+        raise BundleFormatError(
+            f"checkpoint at {directory} (format v{version}) is missing "
+            "online_state.npz"
+        )
+    try:
+        with np.load(state_path) as data:
+            if version == 1:
+                center = np.array(data["center"])
+                context = np.array(data["context"])
+            buffer_state = {
+                "src": data["buf_src"],
+                "dst": data["buf_dst"],
+                "weight": data["buf_weight"],
+                "born": data["buf_born"],
+                "clock": manifest["buffer_clock"],
+                "evictions": manifest["buffer_evictions"],
+            }
+    except (ValueError, KeyError, OSError) as exc:
+        raise BundleFormatError(
+            f"checkpoint file {state_path} is corrupt or truncated: {exc}"
+        ) from exc
+    if version >= 2:
+        center = _load_array(
+            directory / "center.npy", mmap=False, version=version,
+            directory=directory,
+        )
+        context = _load_array(
+            directory / "context.npy", mmap=False, version=version,
+            directory=directory,
+        )
 
-    extra_nodes = manifest["extra_nodes"]
+    extra_nodes = _require(
+        manifest, "extra_nodes", version=version, directory=directory
+    )
     if (
-        center.shape != (manifest["n_rows"], manifest["dim"])
+        center.shape != (manifest["n_rows"], dim)
         or center.shape != context.shape
-        or manifest["n_rows"] != manifest["base_rows"] + len(extra_nodes)
+        or manifest["n_rows"] != base_rows + len(extra_nodes)
     ):
-        raise ValueError(
-            "checkpoint is inconsistent: row/extra-node count mismatch"
+        raise BundleFormatError(
+            f"checkpoint at {directory} (format v{version}) is inconsistent: "
+            "row/extra-node count mismatch"
         )
 
     model.center = center
     model.context = context
-    base_rows = manifest["base_rows"]
     vocab = model.built.vocab
     for offset, (type_value, key) in enumerate(extra_nodes):
         node_type = NodeType(type_value)

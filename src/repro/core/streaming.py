@@ -63,6 +63,7 @@ from repro.embedding.alias import AliasTable
 from repro.embedding.edge_sampler import UniformNegativeSampler
 from repro.embedding.sgns import sgns_step
 from repro.graphs.types import NodeType
+from repro.storage import make_store
 from repro.utils.logging import NULL_LOGGER
 from repro.utils.metrics import MetricsRegistry
 from repro.utils.rng import ensure_rng
@@ -384,6 +385,10 @@ class OnlineActor(GraphEmbeddingModel):
         SGNS mini-batches run per :meth:`partial_fit` call.
     buffer_size:
         Recency-buffer capacity; oldest edges are evicted beyond it.
+    store_backend:
+        Embedding storage backend for the online copies — ``"dense"``
+        (default), ``"shared"`` (forked processes can serve the live
+        model while this one streams) or ``"mmap"``.
     metrics:
         Optional shared :class:`~repro.utils.metrics.MetricsRegistry`; a
         private one is created when omitted.  See :attr:`metrics`.
@@ -409,6 +414,7 @@ class OnlineActor(GraphEmbeddingModel):
         negatives: int = 2,
         seed: int | np.random.Generator | None = 0,
         buffer_size: int = 200_000,
+        store_backend: str = "dense",
         metrics: MetricsRegistry | None = None,
         tracer=None,
         logger=None,
@@ -419,6 +425,7 @@ class OnlineActor(GraphEmbeddingModel):
         check_positive("steps_per_batch", steps_per_batch)
         self.built = base.built
         self.config = base.config
+        self.adopt_store(make_store(store_backend))
         self.center = np.array(base.center)      # private copies
         self.context = np.array(base.context)
         self.buffer = RecencyBuffer(half_life=half_life, max_size=buffer_size)
@@ -473,19 +480,20 @@ class OnlineActor(GraphEmbeddingModel):
         """Append fresh random rows for ``handles``; returns the first row.
 
         One vectorized ``uniform`` draw per matrix covers the whole batch
-        of new units.  New words are registered with the vocabulary so
-        later batches see them as in-vocabulary.
+        of new units (center block first, then context — the draw order
+        is part of the reproducibility contract).  Growth goes through
+        ``store.grow``, which appends to both matrices and bumps the
+        store version, invalidating the batched-query caches.  New words
+        are registered with the vocabulary so later batches see them as
+        in-vocabulary.
         """
-        first = self.center.shape[0]
         k = len(handles)
         if k == 0:
-            return first
+            return self.center.shape[0]
         scale = 0.5 / self.dim
-        self.center = np.vstack(
-            [self.center, self._rng.uniform(-scale, scale, size=(k, self.dim))]
-        )
-        self.context = np.vstack(
-            [self.context, self._rng.uniform(-scale, scale, size=(k, self.dim))]
+        first = self.store.grow(
+            self._rng.uniform(-scale, scale, size=(k, self.dim)),
+            self._rng.uniform(-scale, scale, size=(k, self.dim)),
         )
         for offset, (node_type, key) in enumerate(handles):
             self._extra_nodes[(node_type, key)] = first + offset
@@ -500,9 +508,9 @@ class OnlineActor(GraphEmbeddingModel):
             row = self._create_rows([(node_type, key)])
         return row
 
-    def modality_vectors(self, modality: str):
+    def modality_rows(self, modality: str):
         """Like the base method, but includes streamed-in extra units."""
-        keys, matrix = super().modality_vectors(modality)
+        keys, rows = super().modality_rows(modality)
         node_type = _MODALITY_TO_TYPE[modality]
         extra = [
             (key, row)
@@ -511,10 +519,10 @@ class OnlineActor(GraphEmbeddingModel):
         ]
         if extra:
             keys = keys + [key for key, _row in extra]
-            matrix = np.vstack(
-                [matrix, self.center[[row for _key, row in extra]]]
+            rows = np.concatenate(
+                [rows, np.asarray([row for _key, row in extra], dtype=np.int64)]
             )
-        return keys, matrix
+        return keys, rows
 
     # ------------------------------------------------------------- streaming
 
@@ -550,8 +558,8 @@ class OnlineActor(GraphEmbeddingModel):
         metrics.histogram("stream.burst_seconds").observe(burst_s)
         metrics.histogram("stream.batch_seconds").observe(batch_s)
         # The burst updates center/context in place (same array objects),
-        # so the batched-query caches must be told explicitly; row growth
-        # already invalidates them by replacing the matrices.
+        # so the store version must be bumped explicitly; row growth
+        # already invalidates the caches via store.grow.
         self.invalidate_query_cache()
         metrics.counter("stream.records").inc(len(records))
         metrics.counter("stream.edges").inc(n_edges)

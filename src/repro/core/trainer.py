@@ -31,11 +31,11 @@ from repro.core.meta_graph import INTER_EDGE_TYPES, INTRA_EDGE_TYPES
 from repro.embedding.alias import AliasTable
 from repro.embedding.edge_sampler import NoiseSampler, TypedEdgeSampler
 from repro.embedding.parallel import HogwildPool, fork_available
-from repro.embedding.shared import SharedMatrix
 from repro.embedding.sgns import sgns_step, sgns_step_bow
 from repro.graphs.activity_graph import ActivityGraph
 from repro.graphs.builder import BuiltGraphs, RecordUnits
 from repro.graphs.types import EdgeType, NodeType
+from repro.storage import DenseStore, EmbeddingStore, SharedMemStore
 from repro.utils.logging import NULL_LOGGER
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.tracing import NULL_TRACER
@@ -216,7 +216,17 @@ class ActorTrainer:
         ``use_intra_bow`` select which tasks exist.
     center, context:
         Pre-initialized embedding matrices (see
-        :mod:`repro.core.hierarchical`); updated in place.
+        :mod:`repro.core.hierarchical`); updated in place.  Mutually
+        exclusive with ``store``: when given, they are wrapped in a
+        :class:`~repro.storage.dense.DenseStore` (zero-copy for float64
+        arrays, so callers holding the originals see the updates exactly
+        as before).
+    store:
+        An :class:`~repro.storage.base.EmbeddingStore` already holding
+        both matrices — the trainer updates it in place and bumps its
+        version when training finishes.  A ``shared`` store lets the
+        Hogwild pool scatter-add straight into the store's own segments
+        (no copy-in/copy-out).
     metrics:
         Optional :class:`~repro.utils.metrics.MetricsRegistry`; when given,
         the trainer records per-epoch loss and wall-clock plus total batch
@@ -239,13 +249,26 @@ class ActorTrainer:
         self,
         built: BuiltGraphs,
         config: ActorConfig,
-        center: np.ndarray,
-        context: np.ndarray,
+        center: np.ndarray | None = None,
+        context: np.ndarray | None = None,
         *,
+        store: EmbeddingStore | None = None,
         metrics=None,
         tracer=None,
         logger=None,
     ) -> None:
+        if store is None:
+            if center is None or context is None:
+                raise ValueError(
+                    "pass either a store or both center and context matrices"
+                )
+            store = DenseStore(center, context)
+        elif center is not None or context is not None:
+            raise ValueError(
+                "pass either a store or raw matrices, not both"
+            )
+        center = store.center
+        context = store.context
         if center.shape != context.shape:
             raise ValueError("center and context must have equal shapes")
         if center.shape[0] != built.activity.n_nodes:
@@ -255,6 +278,7 @@ class ActorTrainer:
             )
         self.built = built
         self.config = config
+        self.store = store
         self.center = center
         self.context = context
         self.metrics = metrics
@@ -436,6 +460,10 @@ class ActorTrainer:
             self._train_parallel(rng)
         else:
             self._train_serial(rng)
+        # The SGD kernels wrote through raw views; one version bump tells
+        # every store-keyed cache (query engine modality matrices, the
+        # normalized view) that the embeddings moved.
+        self.store.bump()
         return self
 
     def _train_serial(self, rng: np.random.Generator) -> None:
@@ -475,54 +503,71 @@ class ActorTrainer:
             )
 
     def _train_parallel(self, rng: np.random.Generator) -> None:
+        if self.store.backend == "shared":
+            # The model's storage already lives in POSIX shared memory:
+            # the forked pool scatter-adds straight into the store's own
+            # segments — no staging copies, and other processes mapping
+            # the store see every update live.
+            self._pool_epochs(rng, self.center, self.context)
+            return
+        # Dense/mmap storage: stage the matrices in a temporary shared
+        # store for the pool's lifetime, then copy the result back.
+        with SharedMemStore(self.center, self.context) as staging:
+            self._pool_epochs(rng, staging.center, staging.context)
+            self.center[:] = staging.center
+            self.context[:] = staging.context
+
+    def _pool_epochs(
+        self, rng: np.random.Generator, center: np.ndarray, context: np.ndarray
+    ) -> None:
+        """Run every epoch's dispatches against one persistent Hogwild pool.
+
+        ``center``/``context`` must be shared-memory-backed views: the
+        forked workers inherit them and update the same pages in place.
+        """
         cfg = self.config
         batches = self.batches_per_epoch()
         total_steps = cfg.epochs * len(self.tasks) * batches
         step_counter = 0
         pool_seed = spawn_rng(rng, 1)[0]
-        with SharedMatrix(self.center) as shared_center, SharedMatrix(
-            self.context
-        ) as shared_context:
-            with HogwildPool(
-                self.tasks,
-                shared_center.array,
-                shared_context.array,
-                cfg.batch_size,
-                cfg.n_threads,
-                seed=pool_seed,
-            ) as pool:
-                for epoch in range(cfg.epochs):
-                    with self.tracer.span("train.epoch", epoch=epoch) as span:
-                        epoch_start = time.perf_counter()
-                        epoch_loss = 0.0
-                        for task_idx, task in enumerate(self.tasks):
-                            lr = cfg.lr * max(
-                                0.1, 1.0 - step_counter / max(1, total_steps)
+        with HogwildPool(
+            self.tasks,
+            center,
+            context,
+            cfg.batch_size,
+            cfg.n_threads,
+            seed=pool_seed,
+        ) as pool:
+            for epoch in range(cfg.epochs):
+                with self.tracer.span("train.epoch", epoch=epoch) as span:
+                    epoch_start = time.perf_counter()
+                    epoch_loss = 0.0
+                    for task_idx, task in enumerate(self.tasks):
+                        lr = cfg.lr * max(
+                            0.1, 1.0 - step_counter / max(1, total_steps)
+                        )
+                        with self.tracer.span(
+                            "train.task", task=task.name
+                        ):
+                            task_start = time.perf_counter()
+                            task_loss = pool.run_task(
+                                task_idx, batches, lr
                             )
-                            with self.tracer.span(
-                                "train.task", task=task.name
-                            ):
-                                task_start = time.perf_counter()
-                                task_loss = pool.run_task(
-                                    task_idx, batches, lr
-                                )
-                            self._record_task(
-                                task, task_loss * batches, batches,
-                                time.perf_counter() - task_start,
-                            )
-                            epoch_loss += task_loss
-                            step_counter += batches
-                        if self.metrics is not None:
-                            self.metrics.gauge("train.pool.utilization").set(
-                                pool.last_utilization
-                            )
-                        mean_loss = epoch_loss / len(self.tasks)
-                        span.set(loss=mean_loss)
-                    self.loss_history.append(mean_loss)
-                    self._record_epoch(
-                        mean_loss,
-                        len(self.tasks) * batches,
-                        time.perf_counter() - epoch_start,
-                    )
-            self.center[:] = shared_center.array
-            self.context[:] = shared_context.array
+                        self._record_task(
+                            task, task_loss * batches, batches,
+                            time.perf_counter() - task_start,
+                        )
+                        epoch_loss += task_loss
+                        step_counter += batches
+                    if self.metrics is not None:
+                        self.metrics.gauge("train.pool.utilization").set(
+                            pool.last_utilization
+                        )
+                    mean_loss = epoch_loss / len(self.tasks)
+                    span.set(loss=mean_loss)
+                self.loss_history.append(mean_loss)
+                self._record_epoch(
+                    mean_loss,
+                    len(self.tasks) * batches,
+                    time.perf_counter() - epoch_start,
+                )

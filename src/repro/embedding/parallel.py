@@ -11,7 +11,8 @@ Two equivalents are provided here:
   correctness-oriented concurrent execution.
 * :class:`HogwildPool` — worker *processes* forked after setup, updating
   embedding matrices that live in POSIX shared memory
-  (:class:`~repro.embedding.shared.SharedMatrix`).  This is the honest
+  (:class:`~repro.storage.shared.SharedMemStore` segments).  This is the
+  honest
   reproduction of the paper's lock-free parallelism: each process
   scatter-adds into the same pages without locks, and the occasional lost
   update is the documented Hogwild trade-off.
@@ -196,8 +197,20 @@ class HogwildPool:
             )
             for i in range(n_workers)
         ]
-        for proc in self._procs:
-            proc.start()
+        started: list[mp.Process] = []
+        try:
+            for proc in self._procs:
+                proc.start()
+                started.append(proc)
+        except BaseException:
+            # A start failure mid-loop (fd exhaustion, OOM) must not strand
+            # live workers holding the inherited shared-memory segments
+            # mapped: kill whatever came up before re-raising.
+            for proc in started:
+                proc.terminate()
+            for proc in started:
+                proc.join(timeout=5)
+            raise
         self._closed = False
         self.last_busy_seconds = 0.0
         self.last_wall_seconds = 0.0

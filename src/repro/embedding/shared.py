@@ -1,76 +1,14 @@
-"""Shared-memory embedding buffers for multi-process Hogwild training.
+"""Compatibility re-export — shared-memory storage moved to ``repro.storage``.
 
-Python threads cannot parallelize the NumPy SGNS kernels (the scatter-add
-updates hold the GIL), so the paper's lock-free multi-threaded SGD (Recht
-et al.; Fig. 12b/c) is reproduced with *processes* instead: the center and
-context matrices live in POSIX shared memory, worker processes are forked
-after the trainer is fully constructed (inheriting samplers and task
-objects for free), and every worker scatter-adds into the same buffers
-without locks — the Hogwild recipe, with processes supplying the real
-parallelism that threads cannot.
+:class:`SharedMatrix` now lives in :mod:`repro.storage.shared` alongside
+the :class:`~repro.storage.shared.SharedMemStore` backend that absorbed
+it (one segment per matrix, crash-proof ``weakref.finalize`` unlink
+guard).  This module keeps the historical import path working for
+existing callers and tests.
 """
 
 from __future__ import annotations
 
-from multiprocessing import shared_memory
+from repro.storage.shared import SharedMatrix, SharedMemStore
 
-import numpy as np
-
-__all__ = ["SharedMatrix"]
-
-
-class SharedMatrix:
-    """A float64 matrix backed by POSIX shared memory.
-
-    Create one per embedding matrix before forking workers; every process
-    that inherits the object (via fork) sees the same pages, so in-place
-    NumPy updates are immediately visible everywhere.
-
-    The creating process owns the segment and must call :meth:`close`
-    (or use the object as a context manager) to release it.
-    """
-
-    def __init__(self, initial: np.ndarray) -> None:
-        initial = np.ascontiguousarray(initial, dtype=np.float64)
-        self._shm = shared_memory.SharedMemory(
-            create=True, size=initial.nbytes
-        )
-        self.array = np.ndarray(
-            initial.shape, dtype=np.float64, buffer=self._shm.buf
-        )
-        self.array[:] = initial
-        self._closed = False
-
-    def copy(self) -> np.ndarray:
-        """A private (non-shared) copy of the current contents."""
-        return np.array(self.array)
-
-    def close(self) -> None:
-        """Release the shared segment (idempotent).
-
-        The numpy view becomes invalid afterwards; callers should
-        :meth:`copy` first if they need the data.
-        """
-        if self._closed:
-            return
-        # Drop the numpy view before closing the mapping, else the
-        # exported buffer keeps the segment pinned and close() raises.
-        self.array = None
-        self._shm.close()
-        try:
-            self._shm.unlink()
-        except FileNotFoundError:  # already unlinked by another path
-            pass
-        self._closed = True
-
-    def __enter__(self) -> "SharedMatrix":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
-
-    def __del__(self) -> None:  # best-effort cleanup
-        try:
-            self.close()
-        except Exception:
-            pass
+__all__ = ["SharedMatrix", "SharedMemStore"]

@@ -4,9 +4,11 @@ from repro.graphs.activity_graph import ActivityGraph
 from repro.graphs.builder import BuiltGraphs, GraphBuilder, RecordUnits
 from repro.graphs.interaction_graph import UserInteractionGraph
 from repro.graphs.proximity import (
+    adjacency_rows,
     first_order_proximity,
     meta_graph_proximity,
     second_order_proximity,
+    second_order_proximity_matrix,
 )
 from repro.graphs.types import EdgeSet, EdgeType, NodeType, edge_type_between
 
@@ -20,7 +22,9 @@ __all__ = [
     "EdgeType",
     "NodeType",
     "edge_type_between",
+    "adjacency_rows",
     "first_order_proximity",
     "second_order_proximity",
+    "second_order_proximity_matrix",
     "meta_graph_proximity",
 ]

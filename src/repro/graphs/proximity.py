@@ -13,21 +13,28 @@
   interaction graph, which is exactly the structure ACTOR's embedding is
   designed to preserve (e.g. T1 ~ W2 in Fig. 3a).
 
-These functions are diagnostic/reference implementations — O(degree) per
-call — used by tests and analyses, not by the trainer's hot path.
+These functions are diagnostic/reference implementations used by tests
+and analyses, not by the trainer's hot path.  Second-order proximity is
+vectorized over the finalized edge arrays (O(E) scatter per call instead
+of the historical pure-python shared-neighbor loop), and
+:func:`second_order_proximity_matrix` amortizes that scatter across a
+whole block of vertices at once.
 """
 
 from __future__ import annotations
 
-import math
+import numpy as np
 
 from repro.graphs.activity_graph import ActivityGraph
 from repro.graphs.builder import BuiltGraphs
 from repro.graphs.types import NodeType
+from repro.storage import normalize_rows
 
 __all__ = [
+    "adjacency_rows",
     "first_order_proximity",
     "second_order_proximity",
+    "second_order_proximity_matrix",
     "meta_graph_proximity",
 ]
 
@@ -37,23 +44,61 @@ def first_order_proximity(graph: ActivityGraph, u: int, v: int) -> float:
     return graph.edge_weight(u, v)
 
 
+def adjacency_rows(graph: ActivityGraph, nodes) -> np.ndarray:
+    """Dense weighted adjacency rows of ``nodes`` across all edge types.
+
+    Row ``i`` holds vertex ``nodes[i]``'s weighted neighbor vector (the
+    adjacency distribution of Definition 4).  Built with one vectorized
+    scatter over the finalized edge arrays, both edge orientations
+    counted; duplicate entries in ``nodes`` share the same computed row.
+    Requires a finalized graph.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    unique, inverse = np.unique(nodes, return_inverse=True)
+    rows = np.zeros((len(unique), graph.n_nodes), dtype=np.float64)
+    for edge_set in graph.edge_sets.values():
+        for ends, others in (
+            (edge_set.src, edge_set.dst),
+            (edge_set.dst, edge_set.src),
+        ):
+            positions = np.searchsorted(unique, ends)
+            positions[positions == len(unique)] = 0
+            sel = unique[positions] == ends
+            if sel.any():
+                np.add.at(
+                    rows,
+                    (positions[sel], others[sel]),
+                    edge_set.weight[sel],
+                )
+    return rows[inverse]
+
+
 def second_order_proximity(graph: ActivityGraph, u: int, v: int) -> float:
     """Cosine similarity of the two vertices' weighted neighbor vectors.
 
-    Returns 0 when either vertex is isolated.  A vertex is *not* counted
-    as its own neighbor, matching Definition 4's adjacency distributions.
+    Returns 0 when either vertex is isolated: neighbors the two vertices
+    do not share contribute zero to the dot product, so cosine over the
+    full adjacency rows equals the paper's shared-neighbor sum.
     """
-    neighbors_u = graph.neighbors(u)
-    neighbors_v = graph.neighbors(v)
-    if not neighbors_u or not neighbors_v:
-        return 0.0
-    shared = set(neighbors_u) & set(neighbors_v)
-    dot = sum(neighbors_u[n] * neighbors_v[n] for n in shared)
-    norm_u = math.sqrt(sum(w * w for w in neighbors_u.values()))
-    norm_v = math.sqrt(sum(w * w for w in neighbors_v.values()))
-    if norm_u == 0.0 or norm_v == 0.0:
-        return 0.0
-    return dot / (norm_u * norm_v)
+    normalized = normalize_rows(adjacency_rows(graph, [u, v]))
+    return float(normalized[0] @ normalized[1])
+
+
+def second_order_proximity_matrix(
+    graph: ActivityGraph, nodes=None
+) -> np.ndarray:
+    """Pairwise second-order proximities of ``nodes`` (all nodes if omitted).
+
+    ``result[i, j] == second_order_proximity(graph, nodes[i], nodes[j])``
+    for every pair, computed as one normalized matrix product — the batch
+    form for analyses that sweep whole modalities (e.g. every word vertex)
+    where per-pair calls would rebuild the same adjacency rows O(k^2)
+    times.
+    """
+    if nodes is None:
+        nodes = np.arange(graph.n_nodes, dtype=np.int64)
+    normalized = normalize_rows(adjacency_rows(graph, nodes))
+    return normalized @ normalized.T
 
 
 def meta_graph_proximity(built: BuiltGraphs, unit_x: int, unit_y: int) -> float:

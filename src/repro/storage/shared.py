@@ -1,0 +1,176 @@
+"""POSIX shared-memory backend for Hogwild training and shared serving.
+
+Python threads cannot parallelize the NumPy SGNS kernels (the scatter-add
+updates hold the GIL), so the paper's lock-free multi-threaded SGD (Recht
+et al.; Fig. 12b/c) is reproduced with *processes*: the center and context
+matrices live in POSIX shared memory, worker processes are forked after
+the trainer is fully constructed, and every worker scatter-adds into the
+same pages without locks — the Hogwild recipe with processes supplying
+the parallelism threads cannot.
+
+:class:`SharedMatrix` wraps one matrix in one segment (it is the same
+class `repro.embedding.shared` has always exported — that module is now a
+thin re-export).  Cleanup is crash-proof: a ``weakref.finalize`` guard
+unlinks the segment even when the owning trainer dies mid-epoch and
+``close()`` is never reached, so aborted runs no longer leak ``/dev/shm``
+segments until reboot.
+
+:class:`SharedMemStore` composes two segments behind the
+:class:`~repro.storage.base.EmbeddingStore` contract, which lets the
+Hogwild pool train *directly* on a model's live storage (no copy-in /
+copy-out) and lets forked serving processes answer queries against one
+shared embedding table.
+"""
+
+from __future__ import annotations
+
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.storage.base import EmbeddingStore
+
+__all__ = ["SharedMatrix", "SharedMemStore"]
+
+
+def _release_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close + unlink a segment, tolerating live views and double unlinks.
+
+    ``close()`` raises ``BufferError`` while ndarray views of the buffer
+    are still alive; the name is unlinked regardless so the kernel
+    reclaims the pages once the last mapping dies — nothing outlives the
+    process either way.
+    """
+    try:
+        shm.close()
+    except BufferError:  # exported views still alive; pages freed at GC/exit
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # already unlinked by another path/process
+        pass
+
+
+class SharedMatrix:
+    """A float64 matrix backed by a POSIX shared-memory segment.
+
+    Create one per embedding matrix before forking workers; every process
+    that inherits the object (via fork) sees the same pages, so in-place
+    NumPy updates are immediately visible everywhere.
+
+    The creating process owns the segment.  Call :meth:`close` (or use
+    the object as a context manager) to release it deterministically; a
+    ``weakref.finalize`` guard unlinks the segment at garbage collection
+    or interpreter exit even when the owner crashes before ``close()``.
+    """
+
+    def __init__(self, initial: np.ndarray) -> None:
+        initial = np.ascontiguousarray(initial, dtype=np.float64)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=initial.nbytes
+        )
+        self.array = np.ndarray(
+            initial.shape, dtype=np.float64, buffer=self._shm.buf
+        )
+        self.array[:] = initial
+        self._closed = False
+        # Crash guard: unlink the segment when this wrapper is collected
+        # or the interpreter exits, whichever comes first.  finalize()
+        # runs at most once, so an explicit close() supersedes it.
+        self._finalizer = weakref.finalize(self, _release_segment, self._shm)
+
+    def copy(self) -> np.ndarray:
+        """A private (non-shared) copy of the current contents."""
+        return np.array(self.array)
+
+    def close(self) -> None:
+        """Release the shared segment (idempotent).
+
+        The numpy view becomes invalid afterwards; callers should
+        :meth:`copy` first if they need the data.
+        """
+        if self._closed:
+            return
+        # Drop our numpy view before closing the mapping; any *other*
+        # surviving views are tolerated (the segment is still unlinked
+        # and the pages die with the last mapping).
+        self.array = None
+        self._finalizer()
+        self._closed = True
+
+    def __enter__(self) -> "SharedMatrix":
+        """Context-manager entry (returns the wrapper)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: release the segment via :meth:`close`."""
+        self.close()
+
+
+class SharedMemStore(EmbeddingStore):
+    """Embedding store with both matrices in POSIX shared memory.
+
+    Forked processes (Hogwild SGD workers, read-only query servers)
+    inherit the segments and operate on the very same pages — the
+    trainer's in-place updates are visible to every process with no
+    copies.  ``grow`` reallocates fresh segments and retires the old
+    ones (unlink now, pages reclaimed when the last inherited mapping
+    dies).  Pickling materializes the contents and recreates private
+    segments on load: shared memory is per-machine, not per-bundle.
+    """
+
+    backend = "shared"
+
+    def __init__(self, center=None, context=None) -> None:
+        super().__init__()
+        self._segments: dict[str, SharedMatrix | None] = {
+            "center": None,
+            "context": None,
+        }
+        if center is not None:
+            self.set_matrix("center", center)
+        if context is not None:
+            self.set_matrix("context", context)
+
+    def _get(self, name: str) -> np.ndarray | None:
+        """The live shared-memory view (or ``None`` when unset)."""
+        seg = self._segments[name]
+        return None if seg is None else seg.array
+
+    def _put(self, name: str, value: np.ndarray) -> None:
+        """Write into the segment in place, reallocating on shape change."""
+        seg = self._segments[name]
+        if seg is not None and seg.array is not None:
+            if seg.array.shape == value.shape:
+                seg.array[:] = value
+                return
+            seg.close()  # retire: unlink now, pages freed with last mapping
+        self._segments[name] = SharedMatrix(value)
+
+    def close(self) -> None:
+        """Release both segments (idempotent)."""
+        for seg in self._segments.values():
+            if seg is not None:
+                seg.close()
+        self._segments = {"center": None, "context": None}
+
+    # ----------------------------------------------------------------- pickle
+
+    def __getstate__(self) -> dict:
+        """Materialize segment contents — segments don't cross pickles."""
+        state = super().__getstate__()
+        state["_segments"] = {
+            name: None if seg is None or seg.array is None else seg.copy()
+            for name, seg in self._segments.items()
+        }
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Recreate fresh private segments holding the pickled contents."""
+        arrays = state.pop("_segments")
+        self.__dict__.update(state)
+        self._segments = {
+            name: None if arr is None else SharedMatrix(arr)
+            for name, arr in arrays.items()
+        }

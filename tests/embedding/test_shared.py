@@ -148,3 +148,29 @@ class TestHogwildPool:
                     [_SimpleTask()], sc.array, sx.array,
                     batch_size=4, n_workers=0,
                 )
+
+    def test_start_failure_terminates_started_workers(self, monkeypatch):
+        """A mid-loop start failure must not strand already-forked workers."""
+        import multiprocessing.context as mpc
+
+        started = []
+
+        class FlakyProcess(mpc.ForkProcess):
+            def start(self):
+                if started:
+                    raise OSError("simulated fork failure")
+                super().start()
+                started.append(self)
+
+        monkeypatch.setattr(mpc.ForkContext, "Process", FlakyProcess)
+        with SharedMatrix(np.zeros((4, 2))) as sc, SharedMatrix(
+            np.zeros((4, 2))
+        ) as sx:
+            with pytest.raises(OSError, match="simulated fork failure"):
+                HogwildPool(
+                    [_SimpleTask()], sc.array, sx.array,
+                    batch_size=4, n_workers=2, seed=0,
+                )
+        assert started  # the first worker really did come up
+        for proc in started:
+            assert not proc.is_alive()

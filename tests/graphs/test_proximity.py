@@ -1,15 +1,35 @@
 """Tests for the proximity definitions (paper Definitions 3-5)."""
 
+import math
+
+import numpy as np
 import pytest
 
 from repro.data import Corpus, Record, Vocabulary
 from repro.graphs import GraphBuilder, NodeType
 from repro.graphs.proximity import (
+    adjacency_rows,
     first_order_proximity,
     meta_graph_proximity,
     second_order_proximity,
+    second_order_proximity_matrix,
 )
 from repro.hotspots import HotspotDetector
+
+
+def reference_second_order(graph, u, v):
+    """The original pure-python shared-neighbor loop (Definition 4)."""
+    neighbors_u = graph.neighbors(u)
+    neighbors_v = graph.neighbors(v)
+    if not neighbors_u or not neighbors_v:
+        return 0.0
+    shared = set(neighbors_u) & set(neighbors_v)
+    dot = sum(neighbors_u[n] * neighbors_v[n] for n in shared)
+    norm_u = math.sqrt(sum(w * w for w in neighbors_u.values()))
+    norm_v = math.sqrt(sum(w * w for w in neighbors_v.values()))
+    if norm_u == 0.0 or norm_v == 0.0:
+        return 0.0
+    return dot / (norm_u * norm_v)
 
 
 @pytest.fixture(scope="module")
@@ -88,6 +108,51 @@ class TestSecondOrder:
             for v in words:
                 value = second_order_proximity(activity, int(u), int(v))
                 assert -1e-9 <= value <= 1.0 + 1e-9
+
+    def test_matches_pure_python_reference(self, fig1_built):
+        """The vectorized adjacency-row cosine equals the neighbor-dict sum."""
+        activity = fig1_built.activity
+        n = activity.n_nodes
+        for u in range(n):
+            for v in range(n):
+                assert second_order_proximity(
+                    activity, u, v
+                ) == pytest.approx(reference_second_order(activity, u, v))
+
+    def test_adjacency_rows_match_neighbor_dicts(self, fig1_built):
+        activity = fig1_built.activity
+        rows = adjacency_rows(activity, np.arange(activity.n_nodes))
+        for node in range(activity.n_nodes):
+            expected = np.zeros(activity.n_nodes)
+            for other, weight in activity.neighbors(node).items():
+                expected[other] = weight
+            np.testing.assert_allclose(rows[node], expected)
+
+    def test_adjacency_rows_duplicate_nodes(self, fig1_built):
+        activity = fig1_built.activity
+        rows = adjacency_rows(activity, [2, 0, 2])
+        np.testing.assert_array_equal(rows[0], rows[2])
+        single = adjacency_rows(activity, [0])
+        np.testing.assert_array_equal(rows[1], single[0])
+
+    def test_matrix_matches_scalar_calls(self, fig1_built):
+        activity = fig1_built.activity
+        words = activity.nodes_of_type(NodeType.WORD).astype(int)
+        block = second_order_proximity_matrix(activity, words)
+        assert block.shape == (len(words), len(words))
+        for i, u in enumerate(words):
+            for j, v in enumerate(words):
+                assert block[i, j] == pytest.approx(
+                    second_order_proximity(activity, int(u), int(v))
+                )
+
+    def test_matrix_default_covers_all_nodes(self, fig1_built):
+        activity = fig1_built.activity
+        block = second_order_proximity_matrix(activity)
+        assert block.shape == (activity.n_nodes, activity.n_nodes)
+        np.testing.assert_allclose(block, block.T)
+        # Every connected vertex is maximally similar to itself.
+        np.testing.assert_allclose(np.diag(block), 1.0)
 
 
 class TestMetaGraphProximity:

@@ -1,0 +1,282 @@
+"""Backend-agnostic contract tests for the embedding storage layer.
+
+Every test in :class:`TestStoreContract` runs against all three backends
+(dense, shared, mmap); backend-specific behavior (persistence, pickling
+semantics, read-only enforcement, segment cleanup) lives in the dedicated
+classes below.
+"""
+
+import gc
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    STORE_BACKENDS,
+    DenseStore,
+    MmapStore,
+    SharedMatrix,
+    SharedMemStore,
+    make_store,
+    normalize_rows,
+)
+
+
+def _matrices(rows=8, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows, dim)), rng.normal(size=(rows, dim))
+
+
+@pytest.fixture(params=STORE_BACKENDS)
+def store(request, tmp_path):
+    """One store per backend, pre-loaded with deterministic matrices."""
+    center, context = _matrices()
+    directory = tmp_path / "store" if request.param == "mmap" else None
+    s = make_store(request.param, center, context, directory=directory)
+    yield s
+    s.close()
+
+
+class TestMakeStore:
+    def test_backend_names(self, tmp_path):
+        assert make_store("dense").backend == "dense"
+        assert make_store("shared").backend == "shared"
+        assert make_store("mmap", directory=tmp_path / "m").backend == "mmap"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            make_store("etcd")
+
+    def test_directory_rejected_for_ram_backends(self, tmp_path):
+        with pytest.raises(ValueError, match="directory"):
+            make_store("dense", directory=tmp_path)
+
+    def test_default_is_dense(self):
+        assert isinstance(make_store(), DenseStore)
+
+
+class TestStoreContract:
+    def test_roundtrip(self, store):
+        center, context = _matrices()
+        np.testing.assert_array_equal(store.center, center)
+        np.testing.assert_array_equal(store.context, context)
+        assert store.n_rows == 8
+        assert store.dim == 4
+
+    def test_empty_store_raises_attribute_error(self, store):
+        empty = make_store(store.backend)
+        with empty:
+            with pytest.raises(AttributeError, match="center"):
+                empty.as_array("center")
+            assert not hasattr_center(empty)
+
+    def test_bad_matrix_name_rejected(self, store):
+        with pytest.raises(ValueError, match="matrix name"):
+            store.as_array("weights")
+
+    def test_set_matrix_bumps_version(self, store):
+        before = store.version
+        store.set_matrix("center", np.zeros((8, 4)))
+        assert store.version == before + 1
+        np.testing.assert_array_equal(store.center, np.zeros((8, 4)))
+
+    def test_put_row_bumps_version_and_writes(self, store):
+        before = store.version
+        store.put_row(3, np.arange(4, dtype=float))
+        assert store.version == before + 1
+        np.testing.assert_array_equal(store.get_row(3), np.arange(4.0))
+
+    def test_view_gathers_rows(self, store):
+        gathered = store.view([2, 0, 2], name="context")
+        expected = store.context[[2, 0, 2]]
+        np.testing.assert_array_equal(gathered, expected)
+
+    def test_grow_appends_and_bumps(self, store):
+        before = store.version
+        new_c = np.full((3, 4), 7.0)
+        new_x = np.full((3, 4), 9.0)
+        first = store.grow(new_c, new_x)
+        assert first == 8
+        assert store.n_rows == 11
+        assert store.version == before + 1
+        np.testing.assert_array_equal(store.center[8:], new_c)
+        np.testing.assert_array_equal(store.context[8:], new_x)
+
+    def test_grow_zero_rows_is_noop(self, store):
+        before = store.version
+        assert store.grow(np.empty((0, 4)), np.empty((0, 4))) == 8
+        assert store.n_rows == 8
+        assert store.version == before
+
+    def test_grow_shape_mismatch_rejected(self, store):
+        with pytest.raises(ValueError, match="matching"):
+            store.grow(np.zeros((2, 4)), np.zeros((3, 4)))
+
+    def test_normalized_matches_reference(self, store):
+        np.testing.assert_array_equal(
+            store.normalized("center"), normalize_rows(store.center)
+        )
+
+    def test_normalized_cached_until_mutation(self, store):
+        first = store.normalized("center")
+        assert store.normalized("center") is first
+        store.put_row(0, np.ones(4))
+        second = store.normalized("center")
+        assert second is not first
+        np.testing.assert_array_equal(second, normalize_rows(store.center))
+
+    def test_bump_invalidates_after_inplace_write(self, store):
+        cached = store.normalized("center")
+        store.center[0] = 5.0  # in-place SGD-style write, store unaware
+        assert store.normalized("center") is cached  # stale until bump
+        store.bump()
+        assert store.normalized("center") is not cached
+
+    def test_coerces_to_float64(self, store):
+        store.set_matrix("center", np.ones((8, 4), dtype=np.float32))
+        assert store.center.dtype == np.float64
+
+    def test_one_dim_matrix_rejected(self, store):
+        with pytest.raises(ValueError, match="2-D"):
+            store.set_matrix("center", np.zeros(4))
+
+    def test_pickle_roundtrip(self, store):
+        restored = pickle.loads(pickle.dumps(store))
+        try:
+            np.testing.assert_array_equal(restored.center, store.center)
+            np.testing.assert_array_equal(restored.context, store.context)
+            assert restored.version == store.version
+            assert restored.backend == store.backend
+        finally:
+            restored.close()
+
+    def test_close_idempotent(self, store):
+        store.close()
+        store.close()
+
+    def test_repr_mentions_shape(self, store):
+        assert "8x4" in repr(store)
+
+
+def hasattr_center(store):
+    """hasattr-style probe mirroring prediction-model attribute checks."""
+    try:
+        store.center
+    except AttributeError:
+        return False
+    return True
+
+
+class TestDenseStore:
+    def test_float64_input_adopted_zero_copy(self):
+        center, context = _matrices()
+        store = DenseStore(center, context)
+        assert store.center is center
+        store.center[0, 0] = 42.0
+        assert center[0, 0] == 42.0
+
+
+class TestSharedMemStore:
+    def test_inplace_put_preserves_segment(self):
+        center, context = _matrices()
+        with SharedMemStore(center, context) as store:
+            view = store.center
+            store.set_matrix("center", np.zeros((8, 4)))
+            assert store.center is view  # same pages, overwritten in place
+
+    def test_shape_change_reallocates(self):
+        center, context = _matrices()
+        with SharedMemStore(center, context) as store:
+            store.set_matrix("center", np.zeros((12, 4)))
+            assert store.center.shape == (12, 4)
+
+    def test_unpickled_store_is_private(self):
+        center, context = _matrices()
+        with SharedMemStore(center, context) as store:
+            with pickle.loads(pickle.dumps(store)) as restored:
+                restored.center[0, 0] = -1.0
+                assert store.center[0, 0] == center[0, 0]
+
+    def test_segment_unlinked_when_dropped_without_close(self):
+        """The weakref.finalize crash guard unlinks leaked segments."""
+        from multiprocessing import shared_memory
+
+        matrix = SharedMatrix(np.zeros((2, 2)))
+        name = matrix._shm.name
+        del matrix
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_store_segments_unlinked_on_drop(self):
+        from multiprocessing import shared_memory
+
+        center, context = _matrices()
+        store = SharedMemStore(center, context)
+        names = [seg._shm.name for seg in store._segments.values()]
+        del store
+        gc.collect()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+class TestMmapStore:
+    def test_files_on_disk(self, tmp_path):
+        center, context = _matrices()
+        with MmapStore(center, context, directory=tmp_path / "m") as store:
+            store.flush()
+            assert (tmp_path / "m" / "center.npy").exists()
+            assert (tmp_path / "m" / "context.npy").exists()
+
+    def test_reopen_sees_writes(self, tmp_path):
+        center, context = _matrices()
+        store = MmapStore(center, context, directory=tmp_path / "m")
+        store.put_row(0, np.ones(4))
+        store.close()
+        with MmapStore.open(tmp_path / "m") as reopened:
+            np.testing.assert_array_equal(reopened.get_row(0), np.ones(4))
+            np.testing.assert_array_equal(reopened.context, context)
+
+    def test_readonly_mode_rejects_writes(self, tmp_path):
+        center, context = _matrices()
+        MmapStore(center, context, directory=tmp_path / "m").close()
+        with MmapStore.open(tmp_path / "m", mode="r") as ro:
+            with pytest.raises(ValueError, match="read-only"):
+                ro.set_matrix("center", np.zeros((8, 4)))
+            with pytest.raises((ValueError, OSError)):
+                ro.center[0, 0] = 1.0
+
+    def test_readonly_without_directory_rejected(self):
+        with pytest.raises(ValueError, match="directory"):
+            MmapStore(mode="r")
+
+    def test_bad_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="mode"):
+            MmapStore(directory=tmp_path, mode="w+")
+
+    def test_grow_persists_across_reopen(self, tmp_path):
+        center, context = _matrices()
+        store = MmapStore(center, context, directory=tmp_path / "m")
+        store.grow(np.ones((2, 4)), np.ones((2, 4)))
+        store.close()
+        with MmapStore.open(tmp_path / "m") as reopened:
+            assert reopened.n_rows == 10
+            np.testing.assert_array_equal(reopened.center[8:], np.ones((2, 4)))
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        center, context = _matrices()
+        with MmapStore(center, context, directory=tmp_path / "m") as store:
+            store.grow(np.ones((2, 4)), np.ones((2, 4)))
+            leftovers = list((tmp_path / "m").glob("*.tmp"))
+            assert leftovers == []
+
+    def test_pickle_references_directory(self, tmp_path):
+        """Mmap pickles carry the path, not the matrices."""
+        center, context = _matrices(rows=64, dim=32)
+        with MmapStore(center, context, directory=tmp_path / "m") as store:
+            blob = pickle.dumps(store)
+            assert len(blob) < center.nbytes  # no embedded matrix payload
+            with pickle.loads(blob) as restored:
+                np.testing.assert_array_equal(restored.center, center)

@@ -577,3 +577,115 @@ class TestExportBundle:
         )
         assert code == 0
         assert "MRR" in capsys.readouterr().out
+
+
+class TestStoreFlags:
+    @pytest.mark.parametrize("backend", ["dense", "shared", "mmap"])
+    def test_train_with_store_backend(
+        self, corpus_path, tmp_path, backend, capsys
+    ):
+        out = tmp_path / f"actor-{backend}.pkl"
+        code = main(
+            [
+                "train",
+                "--corpus", str(corpus_path),
+                "--out", str(out),
+                "--dim", "8",
+                "--epochs", "1",
+                "--store", backend,
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        capsys.readouterr()
+        assert main(
+            ["query", "--model", str(out), "--time", "21.0", "--k", "3"]
+        ) == 0
+
+    def test_evaluate_mmap_bundle(self, model_path, corpus_path, tmp_path, capsys):
+        bundle_dir = tmp_path / "bundle-mmap"
+        main(["export", "--model", str(model_path), "--out", str(bundle_dir)])
+        capsys.readouterr()
+        code = main(
+            [
+                "evaluate",
+                "--model", str(bundle_dir),
+                "--corpus", str(corpus_path),
+                "--max-queries", "20",
+                "--mmap",
+            ]
+        )
+        assert code == 0
+        assert "MRR" in capsys.readouterr().out
+
+    def test_evaluate_mmap_matches_eager(
+        self, model_path, corpus_path, tmp_path, capsys
+    ):
+        """--mmap is a loading strategy, not a model change: same MRR table."""
+        bundle_dir = tmp_path / "bundle-parity"
+        main(["export", "--model", str(model_path), "--out", str(bundle_dir)])
+        capsys.readouterr()
+        common = [
+            "evaluate",
+            "--model", str(bundle_dir),
+            "--corpus", str(corpus_path),
+            "--max-queries", "15",
+        ]
+        assert main(common) == 0
+        eager_out = capsys.readouterr().out
+        assert main(common + ["--mmap"]) == 0
+        mmap_out = capsys.readouterr().out
+        assert mmap_out == eager_out
+
+    def test_evaluate_mmap_rejects_pickled_model(
+        self, model_path, corpus_path, capsys
+    ):
+        code = main(
+            [
+                "evaluate",
+                "--model", str(model_path),
+                "--corpus", str(corpus_path),
+                "--mmap",
+            ]
+        )
+        assert code == 2
+        assert "bundle directory" in capsys.readouterr().err
+
+    def test_export_migrates_bundle_for_mmap(
+        self, model_path, corpus_path, tmp_path, capsys
+    ):
+        """An existing bundle re-exports in place of a pickle (v1 -> v2 path)."""
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        main(["export", "--model", str(model_path), "--out", str(first)])
+        assert main(
+            ["export", "--model", str(first), "--out", str(second)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "evaluate",
+                "--model", str(second),
+                "--corpus", str(corpus_path),
+                "--max-queries", "10",
+                "--mmap",
+            ]
+        )
+        assert code == 0
+        assert "MRR" in capsys.readouterr().out
+
+    def test_stream_with_shared_store(
+        self, model_path, corpus_path, capsys
+    ):
+        code = main(
+            [
+                "stream",
+                "--model", str(model_path),
+                "--corpus", str(corpus_path),
+                "--batch-size", "200",
+                "--steps-per-batch", "5",
+                "--store", "shared",
+            ]
+        )
+        assert code == 0
+        assert "streamed" in capsys.readouterr().out
