@@ -20,6 +20,8 @@ Usage (also available as ``python -m repro``)::
                    --serve-metrics 9100 --telemetry-dir tel/ \
                    --telemetry-flush-every 20   # live ops: scrape + alerts
     repro telemetry --dir tel/                       # inspect a telemetry dump
+    repro serve    --model bundle/ --mmap --port 8099  # HTTP query serving
+    repro loadgen  --url http://127.0.0.1:8099 --concurrency 8
 
 ``--telemetry-dir DIR`` (on ``train``, ``evaluate`` and ``stream``) writes a
 Prometheus text-format ``metrics.prom`` plus a ``trace.jsonl`` span dump
@@ -39,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from collections.abc import Sequence
 
 from pathlib import Path
@@ -247,6 +250,105 @@ def build_parser() -> argparse.ArgumentParser:
     tel.add_argument(
         "--raw", action="store_true",
         help="dump the raw Prometheus exposition text instead of summaries",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve cross-modal queries over HTTP (predict + neighbors)",
+    )
+    serve.add_argument(
+        "--model", required=True,
+        help="trained model path (use a bundle directory with --mmap for "
+        "zero-copy read-only serving)",
+    )
+    serve.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the bundle's embedding matrices instead of "
+        "loading them into RAM (requires a format-v2 bundle directory)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8099,
+        help="TCP port (0 picks a free ephemeral port; default: 8099)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="largest coalesced batch dispatched to the engine at once",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0, metavar="MS",
+        help="how long a request lingers for co-travellers before the "
+        "batch dispatches (default: 2.0)",
+    )
+    serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable request coalescing: every request becomes its own "
+        "engine call (the naive path the latency bench compares against)",
+    )
+    serve.add_argument(
+        "--stale-after", type=float, metavar="SECONDS",
+        help="/healthz degrades to 'stale' when no query completed for "
+        "this long (default: never)",
+    )
+    serve.add_argument(
+        "--max-seconds", type=float, metavar="SECONDS",
+        help="exit (gracefully) after this long instead of waiting for "
+        "SIGINT/SIGTERM — for CI smoke tests",
+    )
+    serve.add_argument(
+        "--telemetry-dir", metavar="DIR",
+        help="write Prometheus metrics + structured events.jsonl logs to "
+        "DIR at shutdown",
+    )
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="replay a synthetic per-user query stream against a server",
+    )
+    lg.add_argument(
+        "--url", required=True,
+        help="base URL of a running 'repro serve' (e.g. "
+        "http://127.0.0.1:8099)",
+    )
+    lg.add_argument(
+        "--preset",
+        default="utgeo2011",
+        choices=["utgeo2011", "tweet", "4sq"],
+        help="city preset the traffic is drawn from (match the corpus the "
+        "served model was trained on for in-vocabulary queries)",
+    )
+    lg.add_argument("--n-queries", type=int, default=200)
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument(
+        "--duration", type=float, default=5.0, metavar="SECONDS",
+        help="replay-time length the diurnal day is compressed into",
+    )
+    lg.add_argument(
+        "--speedup", type=float, default=1.0,
+        help="time-compression factor applied to event offsets",
+    )
+    lg.add_argument(
+        "--concurrency", type=int, default=8,
+        help="number of concurrent client worker threads",
+    )
+    lg.add_argument("--n-noise", type=int, default=10)
+    lg.add_argument(
+        "--neighbor-fraction", type=float, default=0.25,
+        help="fraction of queries hitting /v1/neighbors instead of "
+        "/v1/predict",
+    )
+    lg.add_argument("--k", type=int, default=10)
+    lg.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request HTTP timeout in seconds",
+    )
+    lg.add_argument(
+        "--json", action="store_true",
+        help="print the raw report as JSON instead of a table",
+    )
+    lg.add_argument(
+        "--fail-on-server-error", action="store_true",
+        help="exit 1 if any request drew a 5xx or a transport error",
     )
 
     q = sub.add_parser("query", help="neighbor search around one unit")
@@ -548,6 +650,119 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serving import QueryServer
+
+    try:
+        model = _load_model(args.model, mmap=args.mmap)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    logger = None
+    if args.telemetry_dir:
+        Path(args.telemetry_dir).mkdir(parents=True, exist_ok=True)
+        logger = StructuredLogger(
+            path=Path(args.telemetry_dir) / "events.jsonl"
+        )
+    server = QueryServer(
+        model,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+        coalesce=not args.no_coalesce,
+        logger=logger,
+        stale_after=args.stale_after,
+    )
+    server.start()
+    mode = "coalesced" if server.coalesce else "per-request"
+    print(
+        f"serving {args.model} on {server.url} ({mode}; "
+        "POST /v1/predict /v1/neighbors, GET /metrics /healthz /varz)",
+        flush=True,
+    )
+    stop_event = threading.Event()
+
+    def _on_signal(signum, frame) -> None:
+        """Turn SIGINT/SIGTERM into a graceful drain-and-exit."""
+        stop_event.set()
+
+    # Signal handlers can only be installed from the main thread; when
+    # embedded (tests driving main() from a worker thread) the
+    # --max-seconds deadline is the only exit trigger.
+    previous = {}
+    if threading.current_thread() is threading.main_thread():
+        previous = {
+            sig: signal.signal(sig, _on_signal)
+            for sig in (signal.SIGINT, signal.SIGTERM)
+        }
+    try:
+        stop_event.wait(timeout=args.max_seconds)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.stop()
+        if args.telemetry_dir:
+            written = write_telemetry(args.telemetry_dir, server.metrics, None)
+            print(f"wrote telemetry to {', '.join(sorted(written))}")
+        if logger is not None:
+            logger.close()
+    print("server drained and stopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.data.datasets import preset_config
+    from repro.data.synthetic import CityModel
+    from repro.serving import LoadGenerator, http_transport
+
+    city = CityModel(preset_config(args.preset), seed=args.seed)
+    events = city.generate_query_stream(
+        args.n_queries,
+        duration=args.duration,
+        n_noise=args.n_noise,
+        neighbor_fraction=args.neighbor_fraction,
+        k=args.k,
+    )
+    generator = LoadGenerator(
+        events,
+        http_transport(args.url, timeout=args.timeout),
+        concurrency=args.concurrency,
+        speedup=args.speedup,
+    )
+    report = generator.run()
+    if args.json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+    else:
+        rows = [
+            ["requests", report["n_requests"]],
+            ["concurrency", report["concurrency"]],
+            ["wall seconds", report["wall_seconds"]],
+            ["qps", report["qps"]],
+            ["p50 ms", report["p50_ms"]],
+            ["p90 ms", report["p90_ms"]],
+            ["p99 ms", report["p99_ms"]],
+            ["server errors (5xx)", report["server_errors"]],
+            ["client errors (4xx)", report["client_errors"]],
+            ["transport errors", report["transport_errors"]],
+        ]
+        print(format_table(["metric", "value"], rows, title=args.url))
+    if args.fail_on_server_error and (
+        report["server_errors"] or report["transport_errors"]
+    ):
+        print(
+            f"FAIL: {report['server_errors']} server error(s), "
+            f"{report['transport_errors']} transport error(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     dump = read_telemetry(args.dir)
     if (
@@ -616,6 +831,8 @@ _COMMANDS = {
     "query": _cmd_query,
     "export": _cmd_export,
     "stream": _cmd_stream,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "telemetry": _cmd_telemetry,
 }
 

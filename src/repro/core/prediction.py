@@ -95,6 +95,14 @@ def top_k(scores: np.ndarray, k: int) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
     if k >= n:
         return np.argsort(-scores, kind="stable")
+    if np.isnan(scores).any():
+        # argpartition makes no ordering promise for NaN: a NaN landing in
+        # the prefix turns `threshold` into NaN, both filters below go
+        # False, and the result can shrink below k.  The stable full sort
+        # ranks NaN last (after every finite and infinite score), which is
+        # the documented reference order, so defer to it for these rare
+        # pathological inputs.
+        return np.argsort(-scores, kind="stable")[:k]
     part = np.argpartition(-scores, k - 1)[:k]
     threshold = scores[part].min()
     chosen = np.flatnonzero(scores > threshold)

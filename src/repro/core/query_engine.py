@@ -336,6 +336,82 @@ class QueryEngine:
             )
         return block
 
+    def score_ragged_batch(
+        self,
+        *,
+        target: str,
+        candidates: Sequence[Sequence],
+        times: Sequence[float | None] | None = None,
+        locations: Sequence | None = None,
+        words: Sequence[Sequence[str] | None] | None = None,
+    ) -> list[np.ndarray]:
+        """Cosine scores when every query brings its *own* candidate list.
+
+        The serving path's workhorse: :meth:`score_candidates_batch`
+        requires one shared candidate list, but coalesced client requests
+        each carry their own.  The candidate lists are flattened into a
+        single :meth:`candidate_matrix` gather and scored with one
+        row-wise ``einsum`` against the repeated query rows, then split
+        back per query.
+
+        Every per-row operation (snap, CSR word gather, row
+        normalization, sequential einsum dot) is content-deterministic,
+        so element ``i`` of the result is **bit-identical** to calling
+        this method with query ``i`` alone — the exact-parity contract
+        the request coalescer relies on (enforced by tests).
+        """
+        counts = np.asarray([len(c) for c in candidates], dtype=np.int64)
+        if (counts == 0).any():
+            raise ValueError("every query needs at least one candidate")
+        with self.tracer.span(
+            "query.score_ragged_batch",
+            target=target,
+            n_queries=len(candidates),
+        ):
+            start = time.perf_counter()
+            with self.metrics.time("query.embed"):
+                query_mat = normalize_rows(
+                    self.query_matrix(
+                        times=times,
+                        locations=locations,
+                        words=words,
+                        n_queries=len(candidates),
+                    )
+                )
+                flat = [c for group in candidates for c in group]
+                cand_mat = normalize_rows(self.candidate_matrix(target, flat))
+            with self.metrics.time("query.score"), self.tracer.span(
+                "query.score", target=target
+            ):
+                score_start = time.perf_counter()
+                scores = np.einsum(
+                    "nd,nd->n", cand_mat, np.repeat(query_mat, counts, axis=0)
+                )
+                self.metrics.histogram("query.score_seconds").observe(
+                    time.perf_counter() - score_start
+                )
+            self.metrics.counter("query.queries").inc(len(candidates))
+            splits = np.cumsum(counts[:-1])
+            out = [np.asarray(block) for block in np.split(scores, splits)]
+            self._record_batch(
+                op="score_ragged_batch",
+                target=target,
+                n_queries=len(candidates),
+                seconds=time.perf_counter() - start,
+                modalities={
+                    "time": sum(1 for t in times if t is not None)
+                    if times is not None
+                    else 0,
+                    "location": sum(1 for l in locations if l is not None)
+                    if locations is not None
+                    else 0,
+                    "word": sum(1 for w in words if w is not None)
+                    if words is not None
+                    else 0,
+                },
+            )
+        return out
+
     def rank_batch(self, queries: Sequence) -> np.ndarray:
         """1-based truth ranks for a batch of ``PredictionQuery`` objects.
 

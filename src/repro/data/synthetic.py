@@ -44,7 +44,31 @@ __all__ = [
     "SimUser",
     "CityConfig",
     "CityModel",
+    "QueryEvent",
 ]
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One synthetic client query in a replayable traffic stream.
+
+    Attributes
+    ----------
+    offset:
+        Arrival time in seconds from the start of the stream (the diurnal
+        load curve compressed into the stream's duration).
+    user:
+        Screen name of the simulated client issuing the query.
+    endpoint:
+        Serving endpoint path (``"/v1/predict"`` or ``"/v1/neighbors"``).
+    body:
+        JSON-ready request body for that endpoint.
+    """
+
+    offset: float
+    user: str
+    endpoint: str
+    body: dict
 
 
 @dataclass(frozen=True)
@@ -336,10 +360,18 @@ class CityModel:
         day = int(self._rng.integers(0, 120))
         return day * 24.0 + hour
 
-    def generate_record(self) -> Record:
-        """Draw one record from the generative process."""
+    def generate_record(self, *, author: int | None = None) -> Record:
+        """Draw one record from the generative process.
+
+        ``author`` pins the posting user (an index into :attr:`users`) —
+        the query-stream generator uses this to give each simulated
+        client a stream consistent with *their* preferences; the default
+        picks an author uniformly, as before.
+        """
         cfg = self.config
-        author_idx = int(self._rng.integers(cfg.n_users))
+        author_idx = (
+            int(self._rng.integers(cfg.n_users)) if author is None else int(author)
+        )
         author = self.users[author_idx]
         is_social = (
             cfg.mention_rate > 0.0
@@ -394,6 +426,149 @@ class CityModel:
         return Corpus.from_records(
             self.generate_record() for _ in range(n_records)
         )
+
+    # ------------------------------------------------------------ query traffic
+
+    def _sample_diurnal_hours(
+        self, n: int, *, amplitude: float, peak_hour: float
+    ) -> np.ndarray:
+        """``n`` hour-of-day draws from the city's diurnal load curve.
+
+        The arrival-rate density is ``1 + amplitude * cos`` centred on
+        ``peak_hour`` — quiet small hours, a busy evening — sampled by
+        rejection against the flat envelope.
+        """
+        hours = np.empty(0)
+        while hours.shape[0] < n:
+            draw = self._rng.uniform(0.0, 24.0, size=2 * n)
+            rate = 1.0 + amplitude * np.cos(
+                2.0 * np.pi * (draw - peak_hour) / 24.0
+            )
+            keep = self._rng.uniform(0.0, 1.0 + amplitude, size=draw.shape[0])
+            hours = np.concatenate([hours, draw[keep < rate]])
+        return hours[:n]
+
+    def generate_query_stream(
+        self,
+        n_queries: int,
+        *,
+        duration: float = 10.0,
+        n_noise: int = 10,
+        zipf_exponent: float = 1.1,
+        neighbor_fraction: float = 0.25,
+        diurnal_amplitude: float = 0.8,
+        peak_hour: float = 20.0,
+        k: int = 10,
+    ) -> list[QueryEvent]:
+        """A replayable per-user query stream for ``repro loadgen``.
+
+        Models the load a deployed cross-modal service actually sees:
+
+        * **Zipf user popularity** — a few heavy users issue most
+          queries (user ranks weighted ``rank ** -zipf_exponent``);
+        * **diurnal load curve** — arrival times follow a ``1 +
+          amplitude*cos`` hour-of-day density peaking at ``peak_hour``,
+          compressed into ``duration`` seconds of replay time;
+        * **mixed modality targets** — each query is drawn from the
+          issuing user's own generative process, then asks either for a
+          cross-modal prediction (any of the three targets, ground truth
+          plus ``n_noise`` decoys from other records) or a per-modality
+          neighbor search, ``neighbor_fraction`` of the time.
+
+        Returns events sorted by arrival offset, bodies JSON-ready for
+        the serving API.
+        """
+        check_positive("n_queries", n_queries)
+        check_positive("duration", duration)
+        check_positive("n_noise", n_noise)
+        check_probability("neighbor_fraction", neighbor_fraction)
+        check_probability("diurnal_amplitude", diurnal_amplitude)
+        cfg = self.config
+        # Popularity ranks: a random permutation of users weighted by a
+        # Zipf law, so "who is popular" varies by seed but the heavy-tail
+        # shape does not.
+        order = self._rng.permutation(cfg.n_users)
+        weights = 1.0 / np.arange(1, cfg.n_users + 1) ** zipf_exponent
+        popularity = np.empty(cfg.n_users)
+        popularity[order] = weights / weights.sum()
+        # A shared pool of context records supplies prediction decoys.
+        pool = [
+            self.generate_record()
+            for _ in range(max(4 * (n_noise + 1), 64))
+        ]
+        hours = np.sort(
+            self._sample_diurnal_hours(
+                n_queries, amplitude=diurnal_amplitude, peak_hour=peak_hour
+            )
+        )
+        offsets = hours / 24.0 * duration
+        events: list[QueryEvent] = []
+        for offset in offsets:
+            author_idx = int(self._rng.choice(cfg.n_users, p=popularity))
+            record = self.generate_record(author=author_idx)
+            if self._rng.random() < neighbor_fraction:
+                body = self._neighbors_body(record, k=k)
+                endpoint = "/v1/neighbors"
+            else:
+                body = self._predict_body(record, pool, n_noise=n_noise)
+                endpoint = "/v1/predict"
+            events.append(
+                QueryEvent(
+                    offset=float(offset),
+                    user=self.users[author_idx].name,
+                    endpoint=endpoint,
+                    body=body,
+                )
+            )
+        return events
+
+    def _predict_body(
+        self, record: Record, pool: list[Record], *, n_noise: int
+    ) -> dict:
+        """A ``/v1/predict`` body: truth + decoy candidates, two observed
+        modalities."""
+        target = ("text", "location", "time")[int(self._rng.integers(3))]
+        decoys = [
+            pool[int(j)]
+            for j in self._rng.choice(len(pool), size=n_noise, replace=False)
+        ]
+
+        def value(r: Record):
+            """The candidate value of ``r`` for the drawn target."""
+            if target == "text":
+                return list(r.words)
+            if target == "location":
+                return [float(r.location[0]), float(r.location[1])]
+            return float(r.timestamp)
+
+        candidates = [value(r) for r in decoys]
+        candidates.insert(int(self._rng.integers(n_noise + 1)), value(record))
+        body: dict = {"target": target, "candidates": candidates}
+        if target != "time":
+            body["time"] = float(record.timestamp)
+        if target != "location":
+            body["location"] = [
+                float(record.location[0]),
+                float(record.location[1]),
+            ]
+        if target != "text":
+            body["words"] = list(record.words)
+        return body
+
+    def _neighbors_body(self, record: Record, *, k: int) -> dict:
+        """A ``/v1/neighbors`` body probing around the record's context."""
+        modality = ("word", "time", "location")[int(self._rng.integers(3))]
+        body: dict = {"modality": modality, "k": int(k)}
+        if modality != "time":
+            body["time"] = float(record.timestamp)
+        if modality != "location":
+            body["location"] = [
+                float(record.location[0]),
+                float(record.location[1]),
+            ]
+        if modality != "word":
+            body["words"] = list(record.words)
+        return body
 
     # ------------------------------------------------------------ ground truth
 

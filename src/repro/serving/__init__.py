@@ -1,0 +1,40 @@
+"""Query serving: HTTP daemon, request coalescing, synthetic load replay.
+
+The serving layer turns a fitted model (usually a read-only
+``load_bundle(mmap=True)`` bundle) into a network service:
+
+* :class:`~repro.serving.http_server.QueryServer` — the ``repro serve``
+  daemon: ``POST /v1/predict`` + ``POST /v1/neighbors`` plus the live
+  ``/metrics`` / ``/healthz`` / ``/varz`` observability surface;
+* :class:`~repro.serving.batcher.RequestBatcher` — coalesces concurrent
+  single queries into the engine's vectorized batch path with exact
+  per-request parity;
+* :class:`~repro.serving.service.QueryService` — validation
+  (:class:`~repro.serving.service.BadRequest` → structured 400s) and
+  batched dispatch;
+* :class:`~repro.serving.loadgen.LoadGenerator` — ``repro loadgen``:
+  replays :meth:`~repro.data.synthetic.CityModel.generate_query_stream`
+  traffic and reports p50/p99 latency + queries/sec.
+"""
+
+from repro.serving.batcher import BatcherClosed, RequestBatcher
+from repro.serving.http_server import QueryServer
+from repro.serving.loadgen import LoadGenerator, http_transport
+from repro.serving.service import (
+    BadRequest,
+    NeighborsRequest,
+    PredictRequest,
+    QueryService,
+)
+
+__all__ = [
+    "BadRequest",
+    "BatcherClosed",
+    "LoadGenerator",
+    "NeighborsRequest",
+    "PredictRequest",
+    "QueryServer",
+    "QueryService",
+    "RequestBatcher",
+    "http_transport",
+]

@@ -1,0 +1,213 @@
+"""Request batcher/coalescer: many concurrent callers, one engine call.
+
+The query engine's vectorized paths amortize their fixed per-call cost
+(modality-cache lookup, hotspot snap, normalized gathers) across a whole
+batch — but serving traffic arrives as single queries on independent
+handler threads.  :class:`RequestBatcher` bridges the two shapes: callers
+block in :meth:`~RequestBatcher.submit` while a dispatcher thread collects
+everything that arrived within a few milliseconds (``max_wait_ms``) or up
+to ``max_batch`` items, hands the group to one ``dispatch_fn`` call, and
+fans the per-item results back out.
+
+The contract that makes coalescing safe is **exact parity**: the dispatch
+function must return, for each item, the same result it would return for a
+single-item batch (the engine's ragged-batch path guarantees this
+bit-for-bit; see :meth:`repro.core.query_engine.QueryEngine
+.score_ragged_batch`).  The batcher itself never reorders items — the
+dispatch list preserves submission order.
+
+Failure semantics: an exception raised by ``dispatch_fn`` is delivered to
+*every* caller of that batch (it describes the group call); a per-item
+failure is expressed by returning an :class:`Exception` instance in that
+item's result slot, which is raised only in its own caller.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+
+from repro.utils.metrics import MetricsRegistry
+
+__all__ = ["RequestBatcher", "BatcherClosed"]
+
+
+class BatcherClosed(RuntimeError):
+    """Raised by :meth:`RequestBatcher.submit` after the batcher closed."""
+
+
+class _Slot:
+    """One caller's result slot: an event plus the outcome."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+
+class RequestBatcher:
+    """Coalesce concurrent single requests into batched dispatch calls.
+
+    Parameters
+    ----------
+    dispatch_fn:
+        ``callable(list[request]) -> sequence[result]`` executing a whole
+        batch; must return exactly one result per request, in order.  An
+        :class:`Exception` instance in a result slot is raised in that
+        caller alone.
+    max_batch:
+        Upper bound on items per dispatch call.
+    max_wait_ms:
+        How long the dispatcher waits for more arrivals after the first
+        item of a batch, in milliseconds.  ``0`` dispatches whatever is
+        queued immediately (still coalescing items that queued while a
+        previous batch was executing).
+    metrics:
+        Optional :class:`~repro.utils.metrics.MetricsRegistry`; records
+        ``serve.batch_size`` / ``serve.batch_wait_seconds`` histograms and
+        the ``serve.batches`` / ``serve.coalesced_batches`` counters.
+    name:
+        Thread-name suffix for the dispatcher thread.
+    """
+
+    def __init__(
+        self,
+        dispatch_fn: Callable[[list], Sequence],
+        *,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        metrics: MetricsRegistry | None = None,
+        name: str = "serve",
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self._dispatch_fn = dispatch_fn
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1e3
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+        self._queue: list[tuple[object, _Slot]] = []
+        self._closed = False
+        self.dispatched = 0
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-batcher-{name}", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------- caller side
+
+    def submit(self, request, *, timeout: float | None = 30.0):
+        """Block until ``request``'s batch executed; return its result.
+
+        Raises :class:`BatcherClosed` when the batcher is already closed,
+        :class:`TimeoutError` if no result arrived within ``timeout``
+        seconds, and re-raises whatever exception the dispatch produced
+        for this item or its batch.
+        """
+        slot = _Slot()
+        with self._arrived:
+            if self._closed:
+                raise BatcherClosed("batcher is closed")
+            self._queue.append((request, slot))
+            self._arrived.notify_all()
+        if not slot.event.wait(timeout):
+            raise TimeoutError(
+                f"batched dispatch did not complete within {timeout}s"
+            )
+        if slot.error is not None:
+            raise slot.error
+        return slot.result
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued and awaiting dispatch."""
+        with self._lock:
+            return len(self._queue)
+
+    # --------------------------------------------------------- dispatcher side
+
+    def _take_batch(self) -> list[tuple[object, _Slot]] | None:
+        """Wait for arrivals, linger ``max_wait``, then cut one batch.
+
+        Returns ``None`` exactly once: when the batcher closed and the
+        queue is fully drained, which terminates the dispatcher thread.
+        """
+        with self._arrived:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._arrived.wait()
+            if self.max_wait > 0:
+                deadline = time.monotonic() + self.max_wait
+                while len(self._queue) < self.max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._arrived.wait(remaining)
+            batch = self._queue[: self.max_batch]
+            del self._queue[: len(batch)]
+            return batch
+
+    def _run(self) -> None:
+        """Dispatcher loop: cut batches and execute them until drained."""
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            start = time.perf_counter()
+            requests = [request for request, _slot in batch]
+            try:
+                results = self._dispatch_fn(requests)
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"dispatch returned {len(results)} results for "
+                        f"{len(batch)} requests"
+                    )
+            except Exception as exc:  # noqa: BLE001 - delivered to callers
+                for _request, slot in batch:
+                    slot.error = exc
+                    slot.event.set()
+                continue
+            finally:
+                self.dispatched += len(batch)
+                self.metrics.counter("serve.batches").inc()
+                if len(batch) > 1:
+                    self.metrics.counter("serve.coalesced_batches").inc()
+                self.metrics.histogram("serve.batch_size").observe(len(batch))
+                self.metrics.histogram("serve.batch_wait_seconds").observe(
+                    time.perf_counter() - start
+                )
+            for (_request, slot), result in zip(batch, results):
+                if isinstance(result, Exception):
+                    slot.error = result
+                else:
+                    slot.result = result
+                slot.event.set()
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def close(self, *, timeout: float = 10.0) -> None:
+        """Stop accepting work, drain queued requests, join the thread.
+
+        Everything already queued is still dispatched (callers blocked in
+        :meth:`submit` get their results); only *new* submissions fail
+        with :class:`BatcherClosed`.  Idempotent.
+        """
+        with self._arrived:
+            self._closed = True
+            self._arrived.notify_all()
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "RequestBatcher":
+        """Context-manager entry: the batcher itself (already running)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()

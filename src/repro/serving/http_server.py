@@ -1,0 +1,352 @@
+"""``repro serve``: the HTTP/JSON query-serving daemon.
+
+:class:`QueryServer` exposes a fitted model — typically a read-only
+``load_bundle(mmap=True)`` bundle — over a stdlib
+:class:`~http.server.ThreadingHTTPServer` (the same idiom as
+:class:`~repro.utils.telemetry_server.TelemetryServer`, which it embeds
+for its observability surface):
+
+* ``POST /v1/predict`` — cross-modal candidate ranking: a JSON body with
+  ``target``, ``candidates`` and at least one of ``time`` / ``location``
+  / ``words``; returns cosine ``scores`` plus the stable descending
+  ``ranking``;
+* ``POST /v1/neighbors`` — per-modality nearest-neighbor search around a
+  composed query vector;
+* ``GET /metrics`` / ``/healthz`` / ``/varz`` — the live telemetry
+  endpoints, rendered by the embedded
+  :class:`~repro.utils.telemetry_server.TelemetryServer` on *this*
+  socket (no second port).
+
+Concurrent single-query requests are coalesced: handler threads park in
+the :class:`~repro.serving.batcher.RequestBatcher` for up to
+``batch_window_ms`` and execute as one vectorized
+:class:`~repro.serving.service.QueryService` dispatch, with exact parity
+to per-request execution.  Malformed bodies are *client* errors: they
+return structured 400 payloads and count under ``serve.bad_requests``
+rather than killing the handler thread with a 500.
+
+Shutdown drains: :meth:`QueryServer.stop` stops accepting new work (late
+requests get a 503), waits for in-flight handlers to finish, then drains
+and joins the batcher.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.query_engine import QueryEngine
+from repro.serving.batcher import BatcherClosed, RequestBatcher
+from repro.serving.service import BadRequest, QueryService
+from repro.utils.logging import NULL_LOGGER
+from repro.utils.metrics import MetricsRegistry
+from repro.utils.telemetry_server import TelemetryServer
+
+__all__ = ["QueryServer"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _QueryHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer with a backlog sized for client bursts.
+
+    The stdlib default ``request_queue_size`` of 5 drops connections
+    (ECONNRESET on the client) the moment a coalescing-friendly burst of
+    concurrent clients connects at once.
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """Request handler bound to the owning :class:`QueryServer`."""
+
+    # Built once per QueryServer via type(); the server injects itself.
+    server_ref: "QueryServer"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        """Serve the observability endpoints from the embedded renderer."""
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        rendered = self.server_ref.telemetry.respond_get(path)
+        if rendered is None:
+            self._respond_json(404, {"error": f"no such endpoint: {path}"})
+            return
+        status, body, content_type = rendered
+        self._respond(status, body, content_type)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        """Route ``/v1/predict`` and ``/v1/neighbors``."""
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        server = self.server_ref
+        if path not in ("/v1/predict", "/v1/neighbors"):
+            self._respond_json(404, {"error": f"no such endpoint: {path}"})
+            return
+        if not server.accepting:
+            self._respond_json(503, {"error": "server is draining"})
+            return
+        server._enter_request()
+        try:
+            status, payload = self._handle_query(path)
+        finally:
+            server._exit_request()
+        self._respond_json(status, payload)
+
+    def _handle_query(self, path: str) -> tuple[int, dict]:
+        """Validate, dispatch and shape one query request."""
+        server = self.server_ref
+        metrics = server.metrics
+        with metrics.time("serve.request"):
+            try:
+                body = self._read_json_body()
+                if path == "/v1/predict":
+                    request = server.service.validate_predict(body)
+                else:
+                    request = server.service.validate_neighbors(body)
+            except BadRequest as exc:
+                metrics.counter("serve.bad_requests").inc()
+                server.logger.warning(
+                    "serve.bad_request", path=path, error=str(exc)
+                )
+                return 400, exc.to_payload()
+            try:
+                result = server.execute(request)
+            except BatcherClosed:
+                return 503, {"error": "server is draining"}
+            except Exception as exc:  # noqa: BLE001 - must not kill thread
+                metrics.counter("serve.errors").inc()
+                server.logger.error(
+                    "serve.internal_error",
+                    path=path,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                return 500, {"error": "internal server error"}
+        server.telemetry.heartbeat()
+        return 200, result
+
+    def _read_json_body(self):
+        """Read and parse the request body; malformed input is a 400."""
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header)
+        except (TypeError, ValueError):
+            raise BadRequest("Content-Length header is required") from None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise BadRequest(
+                f"request body must be 0..{_MAX_BODY_BYTES} bytes, "
+                f"got {length}"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}") from None
+
+    def _respond(self, status: int, body: bytes, content_type: str) -> None:
+        """Send one complete response."""
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_json(self, status: int, payload: dict) -> None:
+        """Send ``payload`` as a JSON response."""
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._respond(status, body, "application/json; charset=utf-8")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Route access logs to the structured logger instead of stderr."""
+        self.server_ref.logger.debug(
+            "serve.request_line", detail=format % args
+        )
+
+
+class QueryServer:
+    """Serve cross-modal queries over HTTP with request coalescing.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.prediction.GraphEmbeddingModel`
+        (live Actor, or a ``load_bundle(mmap=True)`` QueryModel for
+        zero-copy read-only serving).
+    port:
+        TCP port; ``0`` picks an ephemeral port (read :attr:`port` after
+        :meth:`start`).
+    host:
+        Bind address; loopback by default.
+    max_batch:
+        Largest coalesced batch handed to the engine at once.
+    batch_window_ms:
+        How long a request lingers for co-travellers before dispatch.
+    coalesce:
+        ``False`` disables the batcher entirely — every request becomes
+        its own engine call (the naive path the latency bench compares
+        against).
+    metrics / logger / stale_after:
+        Shared registry, structured logger, and ``/healthz`` staleness
+        threshold (see :class:`~repro.utils.telemetry_server
+        .TelemetryServer`).
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        max_batch: int = 64,
+        batch_window_ms: float = 2.0,
+        coalesce: bool = True,
+        metrics: MetricsRegistry | None = None,
+        logger=None,
+        stale_after: float | None = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.logger = logger if logger is not None else NULL_LOGGER
+        engine = QueryEngine(model, metrics=self.metrics, logger=self.logger)
+        self.service = QueryService(
+            model, engine=engine, metrics=self.metrics, logger=self.logger
+        )
+        self.coalesce = bool(coalesce)
+        self.max_batch = int(max_batch)
+        self.batch_window_ms = float(batch_window_ms)
+        self.batcher: RequestBatcher | None = None
+        self.telemetry = TelemetryServer(
+            self.metrics,
+            host=host,
+            slow_queries=engine.slow_queries,
+            logger=logger,
+            stale_after=stale_after,
+        )
+        self.telemetry.add_status_provider(self._serving_status)
+        self.requested_port = int(port)
+        self.host = host
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._accepting = False
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "QueryServer":
+        """Bind the socket, start the batcher, serve from a daemon thread."""
+        if self._httpd is not None:
+            raise RuntimeError("query server already started")
+        if self.coalesce:
+            self.batcher = RequestBatcher(
+                self.service.dispatch,
+                max_batch=self.max_batch,
+                max_wait_ms=self.batch_window_ms,
+                metrics=self.metrics,
+            )
+        handler = type("BoundServeHandler", (_ServeHandler,), {"server_ref": self})
+        self._httpd = _QueryHTTPServer(
+            (self.host, self.requested_port), handler
+        )
+        self._accepting = True
+        self.telemetry.mark_started()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-query-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self.logger.info(
+            "serve.started",
+            host=self.host,
+            port=self.port,
+            coalesce=self.coalesce,
+        )
+        return self
+
+    def stop(self, *, drain_timeout: float = 10.0) -> None:
+        """Graceful shutdown: refuse new work, drain in-flight, join.
+
+        In-flight requests (including ones parked in the batcher) run to
+        completion within ``drain_timeout`` seconds; requests arriving
+        after the drain began receive a 503.  Idempotent.
+        """
+        if self._httpd is None:
+            return
+        self._accepting = False
+        with self._inflight_cond:
+            self._inflight_cond.wait_for(
+                lambda: self._inflight == 0, timeout=drain_timeout
+            )
+        if self.batcher is not None:
+            self.batcher.close(timeout=drain_timeout)
+            self.batcher = None
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+        self.logger.info("serve.stopped")
+
+    def __enter__(self) -> "QueryServer":
+        """Context-manager entry: :meth:`start`."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`stop` (drains in-flight work)."""
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        """Whether the HTTP thread is currently serving."""
+        return self._httpd is not None
+
+    @property
+    def accepting(self) -> bool:
+        """Whether new query requests are admitted (False while draining)."""
+        return self._accepting
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ephemeral ``port=0`` bindings)."""
+        if self._httpd is None:
+            return self.requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    # -------------------------------------------------------------- execution
+
+    def execute(self, request) -> dict:
+        """Run one typed request through the coalesced (or direct) path."""
+        batcher = self.batcher
+        if batcher is not None:
+            return batcher.submit(request)
+        return self.service.dispatch([request])[0]
+
+    def _enter_request(self) -> None:
+        """Count one handler thread into the in-flight drain barrier."""
+        with self._inflight_cond:
+            self._inflight += 1
+
+    def _exit_request(self) -> None:
+        """Count one handler thread out of the in-flight drain barrier."""
+        with self._inflight_cond:
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
+
+    def _serving_status(self) -> dict:
+        """Status-provider payload merged into ``/healthz`` and ``/varz``."""
+        batcher = self.batcher
+        return {
+            "serving": {
+                "accepting": self._accepting,
+                "inflight": self._inflight,
+                "coalesce": self.coalesce,
+                "batcher_depth": batcher.depth if batcher is not None else 0,
+            }
+        }

@@ -1,0 +1,213 @@
+"""``repro loadgen``: replay synthetic client traffic against a server.
+
+Pairs with :class:`~repro.serving.http_server.QueryServer`: a
+:class:`LoadGenerator` takes the per-user query stream produced by
+:meth:`repro.data.synthetic.CityModel.generate_query_stream` (Zipf user
+popularity, diurnal arrival curve, mixed modality targets) and replays it
+from a pool of concurrent worker threads, following each event's arrival
+offset (an open-loop generator: a worker that falls behind schedule fires
+immediately rather than compressing the measured latencies).
+
+Every request's wall latency and HTTP status are recorded; :meth:`
+LoadGenerator.run` returns a report with per-endpoint counts, error
+tallies, latency percentiles (p50/p90/p99) and achieved queries/sec —
+the numbers ``bench_serve_latency.py`` gates and the serving runbook's
+SLO tables read.
+
+The transport is injectable (any ``callable(endpoint, body_dict) ->
+(status_code, response_dict)``); the default POSTs JSON over urllib to
+the target base URL, needing nothing outside the stdlib.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["LoadGenerator", "http_transport", "percentile"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    ``q`` is in ``[0, 100]``; empty input returns 0.0 (a report of zero
+    completed requests has no latency distribution to summarize).
+    """
+    if not sorted_values:
+        return 0.0
+    rank = int(np.ceil(q / 100.0 * len(sorted_values))) - 1
+    return float(sorted_values[max(0, min(rank, len(sorted_values) - 1))])
+
+
+def http_transport(
+    base_url: str, *, timeout: float = 30.0
+) -> Callable[[str, dict], tuple[int, dict]]:
+    """A stdlib-urllib JSON POST transport bound to ``base_url``.
+
+    Returns ``(status_code, parsed_body)``; HTTP error statuses (4xx/5xx)
+    are returned, not raised, so the load generator can tally them.
+    Transport-level failures (connection refused, timeout) are reported
+    as status ``0`` with the error text in the body.
+    """
+    base = base_url.rstrip("/")
+
+    def transport(endpoint: str, body: dict) -> tuple[int, dict]:
+        """POST one request body to ``endpoint`` under the base URL."""
+        data = json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            f"{base}{endpoint}",
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as err:
+            try:
+                payload = json.loads(err.read())
+            except (ValueError, OSError):
+                payload = {"error": str(err)}
+            return err.code, payload
+        except (urllib.error.URLError, OSError, TimeoutError) as err:
+            return 0, {"error": str(err)}
+
+    return transport
+
+
+class LoadGenerator:
+    """Replay a query-event stream from concurrent worker threads.
+
+    Parameters
+    ----------
+    events:
+        Sequence of :class:`~repro.data.synthetic.QueryEvent`; replayed
+        in arrival order, each no earlier than its ``offset`` (scaled by
+        ``speedup``).
+    transport:
+        ``callable(endpoint, body) -> (status, response)``; build one
+        with :func:`http_transport`, or inject an in-process callable in
+        tests.
+    concurrency:
+        Number of worker threads issuing requests.
+    speedup:
+        Time-compression factor for event offsets (``2.0`` replays a
+        10-second stream in ~5 seconds of wall time).
+    """
+
+    def __init__(
+        self,
+        events: Sequence,
+        transport: Callable[[str, dict], tuple[int, dict]],
+        *,
+        concurrency: int = 8,
+        speedup: float = 1.0,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        if speedup <= 0:
+            raise ValueError(f"speedup must be > 0, got {speedup}")
+        self.events = list(events)
+        self.transport = transport
+        self.concurrency = int(concurrency)
+        self.speedup = float(speedup)
+        self._cursor = 0
+        self._cursor_lock = threading.Lock()
+        self._results_lock = threading.Lock()
+        self._latencies: dict[str, list[float]] = {}
+        self._statuses: dict[int, int] = {}
+
+    def _next_event(self):
+        """Claim the next unreplayed event, or ``None`` when exhausted."""
+        with self._cursor_lock:
+            if self._cursor >= len(self.events):
+                return None
+            event = self.events[self._cursor]
+            self._cursor += 1
+            return event
+
+    def _worker(self, start: float) -> None:
+        """Worker loop: pace to each event's offset, fire, record."""
+        while True:
+            event = self._next_event()
+            if event is None:
+                return
+            due = start + event.offset / self.speedup
+            delay = due - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            sent = time.perf_counter()
+            status, _response = self.transport(event.endpoint, event.body)
+            latency = time.perf_counter() - sent
+            with self._results_lock:
+                self._statuses[status] = self._statuses.get(status, 0) + 1
+                self._latencies.setdefault(event.endpoint, []).append(latency)
+
+    def run(self) -> dict:
+        """Replay every event; returns the traffic report dict."""
+        start = time.monotonic()
+        workers = [
+            threading.Thread(
+                target=self._worker,
+                args=(start,),
+                name=f"repro-loadgen-{i}",
+                daemon=True,
+            )
+            for i in range(self.concurrency)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        wall = time.monotonic() - start
+        return self._report(wall)
+
+    def _report(self, wall_seconds: float) -> dict:
+        """Summarize statuses, latency percentiles and throughput."""
+        all_latencies = sorted(
+            latency
+            for latencies in self._latencies.values()
+            for latency in latencies
+        )
+        endpoints = {}
+        for endpoint, latencies in sorted(self._latencies.items()):
+            ordered = sorted(latencies)
+            endpoints[endpoint] = {
+                "n": len(ordered),
+                "p50_ms": round(percentile(ordered, 50) * 1e3, 3),
+                "p90_ms": round(percentile(ordered, 90) * 1e3, 3),
+                "p99_ms": round(percentile(ordered, 99) * 1e3, 3),
+            }
+        n = len(all_latencies)
+        server_errors = sum(
+            count for status, count in self._statuses.items() if status >= 500
+        )
+        client_errors = sum(
+            count
+            for status, count in self._statuses.items()
+            if 400 <= status < 500
+        )
+        transport_errors = self._statuses.get(0, 0)
+        return {
+            "n_requests": n,
+            "concurrency": self.concurrency,
+            "wall_seconds": round(wall_seconds, 3),
+            "qps": round(n / wall_seconds, 2) if wall_seconds > 0 else 0.0,
+            "p50_ms": round(percentile(all_latencies, 50) * 1e3, 3),
+            "p90_ms": round(percentile(all_latencies, 90) * 1e3, 3),
+            "p99_ms": round(percentile(all_latencies, 99) * 1e3, 3),
+            "statuses": {
+                str(status): count
+                for status, count in sorted(self._statuses.items())
+            },
+            "server_errors": server_errors,
+            "client_errors": client_errors,
+            "transport_errors": transport_errors,
+            "endpoints": endpoints,
+        }

@@ -134,15 +134,19 @@ class StructuredLogger:
             if suppressed_count:
                 record["suppressed"] = suppressed_count
             record.update(fields)
-            self.recent.append(record)
-            self.emitted += 1
-            line = json.dumps(record)
-            if self._handle is not None:
-                self._handle.write(line + "\n")
-                self._handle.flush()
-            if self._stream is not None:
-                self._stream.write(line + "\n")
+            self._write_record(record)
             return record
+
+    def _write_record(self, record: dict) -> None:
+        """Append one record to the tail and sinks (caller holds the lock)."""
+        self.recent.append(record)
+        self.emitted += 1
+        line = json.dumps(record)
+        if self._handle is not None:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+        if self._stream is not None:
+            self._stream.write(line + "\n")
 
     def debug(self, event: str, **fields) -> dict | None:
         """Emit a ``debug`` record (never deduped by default)."""
@@ -163,8 +167,33 @@ class StructuredLogger:
     # ------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
-        """Flush and close the file handle, if the logger owns one."""
+        """Flush pending suppressed tallies, then close the owned handle.
+
+        Dedup normally attaches the suppressed count of a ``(level,
+        event)`` key to that event's *next* emission — a count still
+        pending when the run ends would silently vanish.  Close therefore
+        writes one final summary record per key with a nonzero pending
+        count (``"suppressed_flush": true``) before releasing the file
+        handle, and zeroes the per-key tallies so a second :meth:`close`
+        (the method stays idempotent) flushes nothing twice.
+        :attr:`suppressed` keeps counting every record that was actually
+        suppressed; the flush reports those counts, it does not undo them.
+        """
         with self._lock:
+            for (level, event), entry in self._dedup.items():
+                if not entry[1]:
+                    continue
+                record = {
+                    "ts": float(self._clock()),
+                    "level": level,
+                    "event": event,
+                }
+                if self.tracer is not None:
+                    record["span"] = self.tracer.current_span_id
+                record["suppressed"] = entry[1]
+                record["suppressed_flush"] = True
+                entry[1] = 0
+                self._write_record(record)
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None

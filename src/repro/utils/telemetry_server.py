@@ -62,19 +62,12 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         """Route ``/metrics`` / ``/healthz`` / ``/varz``; 404 otherwise."""
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        if path == "/metrics":
-            body = self.telemetry.render_metrics().encode("utf-8")
-            self._respond(
-                200, body, "text/plain; version=0.0.4; charset=utf-8"
-            )
-        elif path == "/healthz":
-            payload = self.telemetry.health()
-            status = 200 if payload["status"] == "ok" else 503
-            self._respond_json(status, payload)
-        elif path == "/varz":
-            self._respond_json(200, self.telemetry.varz())
-        else:
+        rendered = self.telemetry.respond_get(path)
+        if rendered is None:
             self._respond_json(404, {"error": f"no such endpoint: {path}"})
+            return
+        status, body, content_type = rendered
+        self._respond(status, body, content_type)
 
     def _respond(self, status: int, body: bytes, content_type: str) -> None:
         """Send one complete response."""
@@ -165,8 +158,7 @@ class TelemetryServer:
             (self.host, self.requested_port), handler
         )
         self._httpd.daemon_threads = True
-        self._started_monotonic = time.monotonic()
-        self._started_wall = time.time()
+        self.mark_started()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-telemetry-server",
@@ -217,6 +209,17 @@ class TelemetryServer:
         """Base URL of the running server."""
         return f"http://{self.host}:{self.port}"
 
+    def mark_started(self) -> None:
+        """Stamp the uptime/started clocks without binding a socket.
+
+        :meth:`start` calls this; embedding hosts (the query-serving
+        daemon routes its ``GET`` endpoints through :meth:`respond_get`
+        on its own socket) call it directly so ``/healthz`` uptime tracks
+        *their* start instead of staying at zero.
+        """
+        self._started_monotonic = time.monotonic()
+        self._started_wall = time.time()
+
     # ------------------------------------------------------------- liveness
 
     def heartbeat(self) -> None:
@@ -247,9 +250,48 @@ class TelemetryServer:
     # ------------------------------------------------------------- rendering
 
     def render_metrics(self) -> str:
-        """The live registry in Prometheus text format (one scrape)."""
+        """The live registry in Prometheus text format (one scrape).
+
+        Always newline-terminated: a scrape can race the creation of the
+        very first metric (scrapers attach before the first batch is
+        ingested), and the exposition format requires the body to end in
+        a line feed even when there are no samples yet.
+        """
         self.scrapes += 1
-        return render_prometheus(self.registry, namespace=self.namespace)
+        rendered = render_prometheus(self.registry, namespace=self.namespace)
+        return rendered if rendered.endswith("\n") else rendered + "\n"
+
+    def respond_get(self, path: str) -> tuple[int, bytes, str] | None:
+        """Render one observability GET endpoint for an HTTP handler.
+
+        ``path`` must already be query-string-stripped and
+        trailing-slash-normalized.  Returns ``(status, body,
+        content_type)`` for ``/metrics`` / ``/healthz`` / ``/varz`` and
+        ``None`` for any other path — the seam that lets other HTTP
+        servers (the query-serving daemon) mount the same endpoints on
+        their own socket instead of running a second server.
+        """
+        if path == "/metrics":
+            return (
+                200,
+                self.render_metrics().encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/healthz":
+            payload = self.health()
+            status = 200 if payload["status"] == "ok" else 503
+            return (
+                status,
+                json.dumps(payload, sort_keys=True).encode("utf-8"),
+                "application/json; charset=utf-8",
+            )
+        if path == "/varz":
+            return (
+                200,
+                json.dumps(self.varz(), sort_keys=True).encode("utf-8"),
+                "application/json; charset=utf-8",
+            )
+        return None
 
     def _provider_state(self) -> tuple[str, dict]:
         """Collect provider dicts; returns (worst status, merged state)."""

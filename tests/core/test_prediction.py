@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.core import cosine_similarities, rank_descending
+from repro.core import cosine_similarities, rank_descending, top_k
 
 
 class TestCosineSimilarities:
@@ -78,6 +78,55 @@ class TestRankDescending:
         ranks = rank_descending(scores)
         best = int(np.argmax(scores))
         assert ranks[best] == 1
+
+
+class TestTopK:
+    def test_matches_reference_on_clean_scores(self):
+        scores = np.asarray([0.1, 0.9, 0.5, 0.9, 0.3])
+        np.testing.assert_array_equal(
+            top_k(scores, 3), np.argsort(-scores, kind="stable")[:3]
+        )
+
+    def test_nan_regression_issue_example(self):
+        # Before the fix a NaN in the argpartition prefix made `threshold`
+        # NaN, every filter went False, and this returned [] instead of k
+        # indices.
+        scores = np.asarray([np.nan, np.nan, 0.9, 0.1, 0.2, 0.3])
+        result = top_k(scores, 5)
+        assert len(result) == 5
+        np.testing.assert_array_equal(result, [2, 5, 4, 3, 0])
+        np.testing.assert_array_equal(
+            result, np.argsort(-scores, kind="stable")[:5]
+        )
+
+    def test_nan_ranks_after_every_finite_score(self):
+        scores = np.asarray([np.nan, -0.5, 0.7, np.nan, -np.inf])
+        np.testing.assert_array_equal(top_k(scores, 4), [2, 1, 4, 0])
+
+    def test_all_nan_still_returns_k_indices(self):
+        scores = np.asarray([np.nan, np.nan, np.nan])
+        np.testing.assert_array_equal(top_k(scores, 2), [0, 1])
+
+    def test_k_zero_and_k_beyond_n(self):
+        scores = np.asarray([0.2, np.nan, 0.4])
+        assert top_k(scores, 0).shape == (0,)
+        np.testing.assert_array_equal(top_k(scores, 10), [2, 0, 1])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        scores=arrays(
+            np.float64,
+            st.integers(1, 20),
+            elements=st.floats(
+                allow_nan=True, allow_infinity=True, width=64
+            ),
+        ),
+        k=st.integers(1, 25),
+    )
+    def test_property_equals_stable_sort_prefix(self, scores, k):
+        np.testing.assert_array_equal(
+            top_k(scores, k), np.argsort(-scores, kind="stable")[:k]
+        )
 
 
 class TestQuerySurface:

@@ -311,3 +311,110 @@ class TestNeighborsCachePath:
         got = tiny_actor.neighbors(np.zeros(tiny_actor.dim), "word", k=3)
         assert len(got) == 3
         assert all(score == 0.0 for _, score in got)
+
+
+class TestScoreRaggedBatch:
+    """Parity contract of the serving path's per-request candidate lists."""
+
+    def _requests(self, dataset, n=12):
+        records = list(dataset.test)[: n + 1]
+        requests = []
+        for i, record in enumerate(records[:-1]):
+            noise = records[i + 1]
+            target = TARGETS[i % 3]
+            if target == "text":
+                candidates = [record.words, noise.words]
+            elif target == "location":
+                candidates = [record.location, noise.location, (0.0, 0.0)]
+            else:
+                candidates = [record.timestamp, noise.timestamp]
+            requests.append(
+                {
+                    "target": target,
+                    "candidates": candidates,
+                    "time": None if target == "time" else record.timestamp,
+                    "location": (
+                        None if target == "location" else record.location
+                    ),
+                    "words": None if target == "text" else record.words,
+                }
+            )
+        return requests
+
+    @pytest.mark.parametrize("target", TARGETS)
+    def test_batch_bit_identical_to_singles(self, tiny_actor, dataset, target):
+        engine = tiny_actor.query_engine()
+        group = [r for r in self._requests(dataset) if r["target"] == target]
+        batched = engine.score_ragged_batch(
+            target=target,
+            candidates=[r["candidates"] for r in group],
+            times=[r["time"] for r in group],
+            locations=[r["location"] for r in group],
+            words=[r["words"] for r in group],
+        )
+        for request, row in zip(group, batched):
+            single = engine.score_ragged_batch(
+                target=target,
+                candidates=[request["candidates"]],
+                times=[request["time"]],
+                locations=[request["location"]],
+                words=[request["words"]],
+            )[0]
+            assert row.tolist() == single.tolist()
+
+    def test_ragged_lengths_split_correctly(self, tiny_actor):
+        engine = tiny_actor.query_engine()
+        candidates = [[1.0], [2.0, 3.0, 4.0], [5.0, 6.0]]
+        rows = engine.score_ragged_batch(
+            target="time",
+            candidates=candidates,
+            words=[("common_000",), ("common_001",), None],
+            times=[None, None, 9.0],
+        )
+        assert [len(row) for row in rows] == [1, 3, 2]
+
+    def test_oov_and_unseen_values_keep_parity(self, tiny_actor):
+        engine = tiny_actor.query_engine()
+        batched = engine.score_ragged_batch(
+            target="time",
+            candidates=[[1.0, 23.0], [12.0]],
+            words=[("never_in_vocab_a",), ("never_in_vocab_b",)],
+            locations=[(-500.0, 800.0), None],
+        )
+        for i in range(2):
+            single = engine.score_ragged_batch(
+                target="time",
+                candidates=[[[1.0, 23.0], [12.0]][i]],
+                words=[[("never_in_vocab_a",), ("never_in_vocab_b",)][i]],
+                locations=[[(-500.0, 800.0), None][i]],
+            )[0]
+            assert batched[i].tolist() == single.tolist()
+
+    def test_empty_candidate_list_rejected(self, tiny_actor):
+        engine = tiny_actor.query_engine()
+        with pytest.raises(ValueError, match="at least one candidate"):
+            engine.score_ragged_batch(
+                target="time", candidates=[[1.0], []], times=[2.0, 3.0]
+            )
+
+    def test_matches_shared_candidate_batch_path(self, tiny_actor):
+        """Same candidates for every query ~= score_candidates_batch.
+
+        The shared path scores with one GEMM (``queries @ cands.T``)
+        while the ragged path uses row-wise einsum dots, so agreement is
+        last-ulp, not bit-exact — bit-exactness is the ragged path's
+        *self*-parity contract (the tests above), never a cross-path one.
+        """
+        engine = tiny_actor.query_engine()
+        shared = [1.0, 9.0, 14.5, 22.0]
+        words = [("common_000",), ("common_001",)]
+        block = engine.score_candidates_batch(
+            target="time", candidates=shared, words=words
+        )
+        ragged = engine.score_ragged_batch(
+            target="time", candidates=[shared, shared], words=words
+        )
+        for i in range(2):
+            np.testing.assert_allclose(
+                ragged[i], block[i], rtol=1e-12, atol=1e-15
+            )

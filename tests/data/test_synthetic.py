@@ -149,3 +149,86 @@ class TestGenerativeStructure:
     def test_rejects_nonpositive_corpus_size(self, city):
         with pytest.raises(ValueError):
             city.generate_corpus(0)
+
+
+class TestQueryStream:
+    @pytest.fixture(scope="class")
+    def stream_city(self):
+        return CityModel(
+            CityConfig(n_topics=4, venues_per_topic=3, n_users=40), seed=9
+        )
+
+    @pytest.fixture(scope="class")
+    def events(self, stream_city):
+        return stream_city.generate_query_stream(150, duration=6.0, n_noise=4)
+
+    def test_count_and_offsets_sorted_in_range(self, events):
+        assert len(events) == 150
+        offsets = [e.offset for e in events]
+        assert offsets == sorted(offsets)
+        assert all(0.0 <= o <= 6.0 for o in offsets)
+
+    def test_bodies_are_json_ready(self, events):
+        import json
+
+        for event in events:
+            round_trip = json.loads(json.dumps(event.body))
+            assert round_trip == event.body
+
+    def test_mixed_endpoints_and_modalities(self, events):
+        endpoints = {e.endpoint for e in events}
+        assert endpoints == {"/v1/predict", "/v1/neighbors"}
+        targets = {
+            e.body["target"] for e in events if e.endpoint == "/v1/predict"
+        }
+        assert targets == {"text", "location", "time"}
+
+    def test_predict_bodies_have_truth_among_candidates(self, events):
+        for event in events:
+            if event.endpoint != "/v1/predict":
+                continue
+            body = event.body
+            assert len(body["candidates"]) == 5  # truth + n_noise
+            present = [
+                key for key in ("time", "location", "words") if key in body
+            ]
+            assert len(present) == 2  # the two non-target modalities
+
+    def test_neighbor_bodies_well_formed(self, events):
+        for event in events:
+            if event.endpoint != "/v1/neighbors":
+                continue
+            assert event.body["modality"] in ("word", "time", "location")
+            assert event.body["k"] == 10
+
+    def test_zipf_popularity_is_skewed(self, stream_city):
+        events = stream_city.generate_query_stream(400, duration=1.0)
+        counts = {}
+        for event in events:
+            counts[event.user] = counts.get(event.user, 0) + 1
+        top = sorted(counts.values(), reverse=True)
+        # The head of a Zipf(1.1) over 40 users carries far more traffic
+        # than the uniform share (400/40 = 10).
+        assert top[0] > 25
+        assert len(counts) < 40
+
+    def test_diurnal_peak_concentrates_traffic(self, stream_city):
+        events = stream_city.generate_query_stream(
+            600, duration=24.0, diurnal_amplitude=0.9, peak_hour=20.0
+        )
+        hours = np.asarray([e.offset for e in events])  # duration==24h
+        near_peak = np.sum(np.abs(hours - 20.0) < 3.0)
+        near_trough = np.sum(np.abs(hours - 8.0) < 3.0)
+        assert near_peak > 2 * near_trough
+
+    def test_stream_is_seeded(self):
+        config = CityConfig(n_topics=4, venues_per_topic=3, n_users=30)
+        first = CityModel(config, seed=3).generate_query_stream(40)
+        second = CityModel(config, seed=3).generate_query_stream(40)
+        assert first == second
+
+    def test_rejects_bad_arguments(self, stream_city):
+        with pytest.raises(ValueError):
+            stream_city.generate_query_stream(0)
+        with pytest.raises(ValueError):
+            stream_city.generate_query_stream(5, neighbor_fraction=1.5)

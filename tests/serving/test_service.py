@@ -1,0 +1,302 @@
+"""Tests for QueryService: validation → typed requests, batched dispatch.
+
+The dispatch parity assertions are *bit-exact* (``==`` on the float
+lists, not ``allclose``): the request coalescer is only safe because a
+request's response never depends on its batch co-travellers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.service import (
+    BadRequest,
+    NeighborsRequest,
+    PredictRequest,
+    QueryService,
+)
+from repro.utils.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def service(tiny_actor):
+    return QueryService(tiny_actor, metrics=MetricsRegistry())
+
+
+@pytest.fixture(scope="module")
+def sample_requests(tiny_actor, dataset):
+    """A mixed bag of valid typed requests drawn from real test records."""
+    records = list(dataset.test)[:24]
+    requests = []
+    for i, record in enumerate(records):
+        noise = records[(i + 1) % len(records)]
+        target = ("text", "location", "time")[i % 3]
+        if i % 4 == 3:
+            requests.append(
+                NeighborsRequest(
+                    modality=("word", "time", "location")[i % 3],
+                    time=record.timestamp,
+                    location=record.location,
+                    words=record.words,
+                    k=5,
+                )
+            )
+            continue
+        if target == "text":
+            candidates = (record.words, noise.words)
+        elif target == "location":
+            candidates = (record.location, noise.location)
+        else:
+            candidates = (record.timestamp, noise.timestamp)
+        requests.append(
+            PredictRequest(
+                target=target,
+                candidates=candidates,
+                time=None if target == "time" else record.timestamp,
+                location=None if target == "location" else record.location,
+                words=None if target == "text" else record.words,
+            )
+        )
+    return requests
+
+
+class TestValidatePredict:
+    def test_happy_path(self, service):
+        request = service.validate_predict(
+            {
+                "target": "time",
+                "candidates": [1.0, 13.5],
+                "words": ["coffee"],
+                "location": [1.0, 2.0],
+                "k": 1,
+            }
+        )
+        assert request == PredictRequest(
+            target="time",
+            candidates=(1.0, 13.5),
+            time=None,
+            location=(1.0, 2.0),
+            words=("coffee",),
+            k=1,
+        )
+
+    @pytest.mark.parametrize(
+        "body, field",
+        [
+            ({"candidates": [1.0], "time": 2.0}, "target"),
+            ({"target": "venue", "candidates": [1.0]}, "target"),
+            ({"target": "time", "time": 2.0}, "candidates"),
+            ({"target": "time", "candidates": [], "time": 2.0}, "candidates"),
+            (
+                {"target": "time", "candidates": ["x"], "words": ["a"]},
+                "candidates",
+            ),
+            (
+                {"target": "location", "candidates": [[1.0]], "time": 2.0},
+                "candidates",
+            ),
+            (
+                {"target": "text", "candidates": [[1]], "time": 2.0},
+                "candidates",
+            ),
+            (
+                {"target": "time", "candidates": [1.0], "location": [1.0]},
+                "location",
+            ),
+            (
+                {"target": "time", "candidates": [1.0], "words": "coffee"},
+                "words",
+            ),
+            (
+                {"target": "time", "candidates": [1.0], "words": [1]},
+                "words",
+            ),
+            (
+                {
+                    "target": "time",
+                    "candidates": [1.0],
+                    "time": 2.0,
+                    "k": 0,
+                },
+                "k",
+            ),
+            (
+                {
+                    "target": "time",
+                    "candidates": [1.0],
+                    "time": 2.0,
+                    "k": True,
+                },
+                "k",
+            ),
+        ],
+    )
+    def test_field_errors_are_attributed(self, service, body, field):
+        with pytest.raises(BadRequest) as excinfo:
+            service.validate_predict(body)
+        assert excinfo.value.field == field
+        assert excinfo.value.to_payload()["field"] == field
+
+    def test_non_dict_body_rejected(self, service):
+        with pytest.raises(BadRequest, match="JSON object"):
+            service.validate_predict([1, 2, 3])
+
+    def test_no_query_modality_rejected(self, service):
+        with pytest.raises(BadRequest, match="at least one query modality"):
+            service.validate_predict(
+                {"target": "time", "candidates": [1.0]}
+            )
+
+    def test_candidate_cap(self, service):
+        with pytest.raises(BadRequest, match="at most"):
+            service.validate_predict(
+                {
+                    "target": "time",
+                    "candidates": [0.0] * 5000,
+                    "words": ["a"],
+                }
+            )
+
+    def test_bool_is_not_a_number(self, service):
+        with pytest.raises(BadRequest):
+            service.validate_predict(
+                {"target": "time", "candidates": [True], "words": ["a"]}
+            )
+
+
+class TestValidateNeighbors:
+    def test_happy_path(self, service):
+        request = service.validate_neighbors(
+            {"modality": "word", "time": 21.5}
+        )
+        assert request == NeighborsRequest(
+            modality="word", time=21.5, location=None, words=None, k=10
+        )
+
+    def test_unknown_modality_rejected(self, service):
+        with pytest.raises(BadRequest) as excinfo:
+            service.validate_neighbors({"modality": "text", "time": 2.0})
+        assert excinfo.value.field == "modality"
+
+    def test_no_query_modality_rejected(self, service):
+        with pytest.raises(BadRequest, match="at least one query modality"):
+            service.validate_neighbors({"modality": "word"})
+
+    def test_k_bounds(self, service):
+        with pytest.raises(BadRequest):
+            service.validate_neighbors(
+                {"modality": "word", "time": 2.0, "k": 100_000}
+            )
+
+
+class TestDispatchParity:
+    def test_batched_dispatch_is_bit_identical_to_singles(
+        self, service, sample_requests
+    ):
+        """dispatch(batch)[i] == dispatch([batch[i]])[0], exactly."""
+        batched = service.dispatch(sample_requests)
+        singles = [service.dispatch([r])[0] for r in sample_requests]
+        assert batched == singles
+
+    def test_parity_with_oov_words_and_unseen_values(self, service):
+        """Degenerate queries keep parity: OOV bags, unseen hotspots."""
+        requests = [
+            PredictRequest(
+                target="time",
+                candidates=(3.0, 15.0, 23.9),
+                words=("never_in_any_vocab",),
+            ),
+            PredictRequest(
+                target="text",
+                candidates=(("also_not_in_vocab",), ("common_000",)),
+                time=2.5,
+                location=(-50.0, 90.0),
+            ),
+            NeighborsRequest(modality="word", location=(999.0, -999.0)),
+            NeighborsRequest(
+                modality="location", words=("never_in_any_vocab",)
+            ),
+        ]
+        batched = service.dispatch(requests)
+        singles = [service.dispatch([r])[0] for r in requests]
+        assert batched == singles
+
+    def test_order_preserved_across_target_groups(self, service):
+        """Interleaved targets come back in submission order."""
+        requests = [
+            PredictRequest(target="time", candidates=(1.0,), words=("a",)),
+            PredictRequest(
+                target="location", candidates=((0.0, 0.0),), time=5.0
+            ),
+            NeighborsRequest(modality="word", time=5.0),
+            PredictRequest(target="time", candidates=(2.0, 3.0), words=("b",)),
+        ]
+        responses = service.dispatch(requests)
+        assert responses[0]["target"] == "time"
+        assert responses[0]["n_candidates"] == 1
+        assert responses[1]["target"] == "location"
+        assert responses[2]["modality"] == "word"
+        assert responses[3]["n_candidates"] == 2
+
+    def test_unsupported_request_type_rejected(self, service):
+        with pytest.raises(TypeError, match="unsupported request"):
+            service.dispatch(["not a request"])
+
+
+class TestResponseShapes:
+    def test_predict_response(self, service):
+        request = PredictRequest(
+            target="time", candidates=(1.0, 13.0, 22.0), words=("common_000",)
+        )
+        response = service.dispatch([request])[0]
+        assert response["n_candidates"] == 3
+        assert len(response["scores"]) == 3
+        assert sorted(response["ranking"]) == [0, 1, 2]
+        # Ranking is descending by score with stable ties.
+        scores = np.asarray(response["scores"])
+        expected = np.argsort(-scores, kind="stable").tolist()
+        assert response["ranking"] == expected
+
+    def test_predict_k_truncates_ranking(self, service):
+        request = PredictRequest(
+            target="time", candidates=(1.0, 13.0, 22.0), words=("a",), k=2
+        )
+        response = service.dispatch([request])[0]
+        assert len(response["ranking"]) == 2
+        assert len(response["scores"]) == 3
+
+    def test_neighbors_word_response(self, service):
+        request = NeighborsRequest(modality="word", time=21.0, k=4)
+        response = service.dispatch([request])[0]
+        assert response["modality"] == "word"
+        assert len(response["neighbors"]) == 4
+        for entry in response["neighbors"]:
+            assert isinstance(entry["word"], str)
+            assert isinstance(entry["score"], float)
+
+    def test_neighbors_time_response_resolves_hours(self, service):
+        request = NeighborsRequest(modality="time", words=("common_000",), k=3)
+        response = service.dispatch([request])[0]
+        for entry in response["neighbors"]:
+            assert 0.0 <= entry["hour"] < 24.0
+            assert isinstance(entry["hotspot"], int)
+
+    def test_neighbors_location_response_resolves_centers(self, service):
+        request = NeighborsRequest(modality="location", time=12.0, k=3)
+        response = service.dispatch([request])[0]
+        for entry in response["neighbors"]:
+            assert len(entry["center"]) == 2
+
+    def test_requests_counter_increments(self, tiny_actor):
+        registry = MetricsRegistry()
+        service = QueryService(tiny_actor, metrics=registry)
+        service.dispatch(
+            [
+                PredictRequest(
+                    target="time", candidates=(1.0,), words=("a",)
+                ),
+                NeighborsRequest(modality="word", time=2.0),
+            ]
+        )
+        assert registry.counter("serve.requests").value == 2

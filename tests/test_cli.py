@@ -689,3 +689,95 @@ class TestStoreFlags:
         )
         assert code == 0
         assert "streamed" in capsys.readouterr().out
+
+
+class TestServeLoadgen:
+    @pytest.fixture(scope="class")
+    def bundle_path(self, model_path, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-serve") / "bundle"
+        assert main(["export", "--model", str(model_path), "--out", str(path)]) == 0
+        return path
+
+    def test_serve_then_loadgen_round_trip(
+        self, bundle_path, tmp_path, capsys
+    ):
+        """serve --mmap, loadgen burst against it, clean deadline drain."""
+        import json
+        import socket
+        import threading
+        import urllib.request
+
+        tel_dir = tmp_path / "tel"
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        outcome = {}
+
+        def run_server():
+            outcome["code"] = main(
+                [
+                    "serve",
+                    "--model", str(bundle_path),
+                    "--mmap",
+                    "--port", str(port),
+                    "--max-seconds", "8",
+                    "--telemetry-dir", str(tel_dir),
+                ]
+            )
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{port}"
+        deadline = threading.Event()
+        for _ in range(100):
+            try:
+                with urllib.request.urlopen(f"{url}/healthz", timeout=5) as r:
+                    assert json.loads(r.read())["status"] == "ok"
+                break
+            except OSError:
+                deadline.wait(0.05)
+        else:
+            pytest.fail("server never came up")
+        capsys.readouterr()
+        code = main(
+            [
+                "loadgen",
+                "--url", url,
+                "--n-queries", "40",
+                "--duration", "0.5",
+                "--concurrency", "4",
+                "--fail-on-server-error",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "qps" in out
+        assert "server errors (5xx)  0" in out
+        # The embedded server exits on its --max-seconds deadline.
+        thread.join(timeout=30)
+        assert outcome["code"] == 0
+        assert (tel_dir / "metrics.prom").exists()
+        assert (tel_dir / "events.jsonl").exists()
+
+    def test_serve_mmap_requires_bundle(self, model_path, capsys):
+        code = main(
+            ["serve", "--model", str(model_path), "--mmap", "--max-seconds", "1"]
+        )
+        assert code == 2
+        assert "--mmap requires a bundle directory" in capsys.readouterr().err
+
+    def test_loadgen_reports_transport_failure(self, capsys):
+        code = main(
+            [
+                "loadgen",
+                "--url", "http://127.0.0.1:9",
+                "--n-queries", "3",
+                "--duration", "0.1",
+                "--concurrency", "2",
+                "--timeout", "2",
+                "--fail-on-server-error",
+                "--json",
+            ]
+        )
+        assert code == 1
+        assert '"transport_errors": 3' in capsys.readouterr().out

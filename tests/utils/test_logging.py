@@ -132,6 +132,70 @@ class TestDedup:
             StructuredLogger(rate_limit_seconds=-1.0)
 
 
+class TestCloseFlush:
+    def test_pending_tallies_flushed_to_file_on_close(self, tmp_path):
+        # Counts accumulated after the last emission used to be dropped:
+        # they were only ever attached to the *next* emission, which never
+        # comes at end of run.
+        path = tmp_path / "events.jsonl"
+        logger = StructuredLogger(path=path, rate_limit_seconds=3600.0)
+        logger.warning("hot")
+        for _ in range(4):
+            logger.warning("hot")
+        logger.close()
+        records = read_log(path)
+        assert len(records) == 2
+        summary = records[-1]
+        assert summary["event"] == "hot"
+        assert summary["level"] == "warning"
+        assert summary["suppressed"] == 4
+        assert summary["suppressed_flush"] is True
+
+    def test_flush_covers_every_pending_key(self):
+        logger = StructuredLogger(rate_limit_seconds=3600.0)
+        logger.warning("a")
+        logger.warning("a")
+        logger.warning("b")
+        logger.warning("b")
+        logger.warning("b")
+        logger.info("quiet")
+        logger.close()
+        flushed = {
+            r["event"]: r["suppressed"]
+            for r in logger.recent
+            if r.get("suppressed_flush")
+        }
+        assert flushed == {"a": 1, "b": 2}
+
+    def test_close_is_idempotent_and_flushes_once(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        logger = StructuredLogger(path=path, rate_limit_seconds=3600.0)
+        logger.warning("hot")
+        logger.warning("hot")
+        logger.close()
+        logger.close()
+        records = read_log(path)
+        assert sum(1 for r in records if r.get("suppressed_flush")) == 1
+
+    def test_suppressed_counter_stays_consistent(self):
+        logger = StructuredLogger(rate_limit_seconds=3600.0)
+        logger.warning("hot")
+        logger.warning("hot")
+        logger.warning("hot")
+        assert logger.suppressed == 2
+        logger.close()
+        # The flush reports the pending counts, it does not undo them.
+        assert logger.suppressed == 2
+        assert logger.emitted == 2  # first emission + the flush summary
+
+    def test_nothing_pending_flushes_nothing(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        logger = StructuredLogger(path=path, rate_limit_seconds=3600.0)
+        logger.info("once")
+        logger.close()
+        assert len(read_log(path)) == 1
+
+
 class TestNullLogger:
     def test_all_methods_are_noops(self):
         assert isinstance(NULL_LOGGER, NullLogger)

@@ -75,6 +75,19 @@ class TestMetricsEndpoint:
         assert "repro_stream_records_total 5" in first
         assert "repro_stream_records_total 12" in second
 
+    def test_empty_registry_scrape_is_newline_terminated(self):
+        """A scrape racing the first metric creation stays well-formed.
+
+        Regression: scrapers attach before the first batch is ingested,
+        so the registry can still be empty; the exposition must end in a
+        line feed even then (a bare 200 with an empty body is what the
+        live-scrape drift test intermittently tripped over).
+        """
+        with TelemetryServer(MetricsRegistry()) as server:
+            status, _ctype, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert body.endswith("\n")
+
     def test_unknown_path_is_404(self, registry):
         with TelemetryServer(registry) as server:
             status, _ctype, body = _get(server.url + "/nope")

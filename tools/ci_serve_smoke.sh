@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# CI smoke for the query-serving daemon: export a tiny format-v2 bundle,
+# launch `repro serve --mmap` against it, fire a `repro loadgen` burst of
+# mixed predict/neighbor traffic, and assert zero 5xx responses plus a
+# well-formed /healthz.  Then run the serve latency bench at smoke scale
+# (tiny model, permissive speed gates — the acceptance thresholds apply
+# at the default benchmark scale on quiet hardware) and upload its
+# BENCH_serve_latency.json from the workflow.
+#
+# Usage: bash tools/ci_serve_smoke.sh  (from the repo root)
+set -euo pipefail
+
+export PYTHONPATH=src
+PORT="${SERVE_SMOKE_PORT:-8975}"
+WORK="${SERVE_SMOKE_DIR:-/tmp/serve_smoke}"
+BASE="http://127.0.0.1:${PORT}"
+
+mkdir -p "$WORK"
+
+python -m repro generate --preset utgeo2011 --n-records 1200 \
+  --out "$WORK/corpus.jsonl" --split train
+python -m repro train --corpus "$WORK/corpus.jsonl" \
+  --out "$WORK/model.pkl" --dim 16 --epochs 2
+python -m repro export --model "$WORK/model.pkl" --out "$WORK/bundle"
+
+# Read-only mmap serving with a generous deadline; the loadgen burst and
+# assertions below finish well inside it.
+python -m repro serve --model "$WORK/bundle" --mmap --port "$PORT" \
+  --max-seconds 120 --telemetry-dir "$WORK/tel" \
+  >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+up=0
+for _ in $(seq 1 120); do
+  if curl -sf "$BASE/healthz" -o "$WORK/healthz_up.json"; then
+    up=1
+    break
+  fi
+  sleep 0.25
+done
+if [ "$up" != 1 ]; then
+  echo "FAIL: query server never came up" >&2
+  cat "$WORK/serve.log" >&2 || true
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+
+# Mixed Zipf/diurnal traffic from 8 concurrent clients; --fail-on-server-error
+# makes any 5xx or connection failure fail the job.
+python -m repro loadgen --url "$BASE" --preset utgeo2011 \
+  --n-queries 150 --duration 2 --concurrency 8 \
+  --fail-on-server-error --json >"$WORK/loadgen.json"
+
+# A malformed body must come back as a structured 400, never a 500.
+BAD_STATUS=$(curl -s -o "$WORK/bad.json" -w '%{http_code}' \
+  -X POST "$BASE/v1/predict" -H 'Content-Type: application/json' \
+  -d '{"target": "venue"}')
+if [ "$BAD_STATUS" != 400 ]; then
+  echo "FAIL: malformed request returned HTTP $BAD_STATUS, wanted 400" >&2
+  exit 1
+fi
+
+curl -sf "$BASE/healthz" -o "$WORK/healthz.json"
+curl -sf "$BASE/metrics" -o "$WORK/metrics.prom"
+
+grep -q 'repro_serve_requests_total' "$WORK/metrics.prom"
+grep -q 'repro_serve_bad_requests_total' "$WORK/metrics.prom"
+
+python - "$WORK" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+work = Path(sys.argv[1])
+report = json.loads((work / "loadgen.json").read_text())
+assert report["n_requests"] == 150, report["n_requests"]
+assert report["server_errors"] == 0, report
+assert report["transport_errors"] == 0, report
+assert report["client_errors"] == 0, report
+assert report["p99_ms"] > 0, report
+health = json.loads((work / "healthz.json").read_text())
+assert health["status"] == "ok", health
+assert health["serving"]["accepting"] is True, health
+assert health["serving"]["coalesce"] is True, health
+bad = json.loads((work / "bad.json").read_text())
+assert bad["field"] == "target", bad
+print("loadgen:", json.dumps({k: report[k] for k in
+    ("n_requests", "qps", "p50_ms", "p99_ms", "statuses")}, indent=2))
+EOF
+
+# Graceful shutdown: SIGTERM must drain and exit 0 before the deadline.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q 'server drained and stopped' "$WORK/serve.log"
+echo "--- serve output ---"
+cat "$WORK/serve.log"
+
+# Smoke-scale latency bench; acceptance-scale gates are relaxed because
+# shared CI runners are neither quiet nor multi-core enough to hold them.
+python benchmarks/bench_serve_latency.py \
+  --records 900 --dim 16 --epochs 2 --line-samples 5000 \
+  --n-queries 150 --duration 1.0 --parity-sample 40 \
+  --max-p99-ms 2000 --min-qps 5 --min-speedup 1.1 \
+  --out BENCH_serve_latency.json
+echo "serve smoke: OK"
