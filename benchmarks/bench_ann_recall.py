@@ -1,0 +1,284 @@
+"""ANN recall/throughput gates: the IVF index vs the exact dense scan.
+
+Builds a synthetic *clustered* modality matrix (a mixture of von
+Mises-Fisher-like bumps on the unit sphere — serving embeddings are
+clustered by construction, uniform random vectors are not a
+representative workload), trains :class:`~repro.ann.ivf.IVFIndex`
+coarse quantizers over it, and sweeps ``(nlist, nprobe)`` measuring:
+
+1. **recall@k** — overlap between the ANN top-``k`` and the exact
+   top-``k`` (ground truth from a full dense scan), averaged over the
+   query set;
+2. **throughput** — best-of-``--trials`` queries/sec for the ANN probe
+   path vs the exact rank-batch scan (BLAS matvec + ``top_k``, the same
+   work ``GraphEmbeddingModel.neighbors`` does per query);
+3. **probed fraction** — the share of the exact workload the index
+   actually scored, straight from :class:`~repro.ann.ivf.SearchStats`.
+
+Gates (applied at the primary ``--nlist``/``--nprobe`` point and
+recorded in the JSON with the thresholds actually enforced):
+``recall@10 >= --min-recall`` (default 0.95) and
+``ann_qps / exact_qps >= --min-speedup`` (default 10.0, calibrated for
+the 1M-vertex default scale; ``--smoke`` relaxes it because at tiny
+scales Python dispatch overhead, not scan cost, dominates both paths).
+
+Emits ``BENCH_ann_recall.json``.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_ann_recall.py \
+        --out BENCH_ann_recall.json
+
+CI's ``ann-recall`` job runs ``--smoke`` (see .github/workflows/ci.yml);
+the 10x throughput gate applies at the default 1M-vertex scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ann import IVFIndex
+from repro.core.prediction import normalize_rows, top_k
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--n-rows", type=int, default=1_000_000,
+        help="vertices in the synthetic modality (default: 1M)",
+    )
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument(
+        "--n-centers", type=int, default=1_024,
+        help="generator bumps the synthetic data is drawn from",
+    )
+    parser.add_argument(
+        "--spread", type=float, default=0.35,
+        help="noise norm around each unit-norm generator bump, i.e. the "
+        "per-dim scale is spread/sqrt(dim) (higher = harder)",
+    )
+    parser.add_argument(
+        "--nlist", type=int, default=1_024,
+        help="primary inverted-list count the gates are applied at",
+    )
+    parser.add_argument(
+        "--nprobe", type=int, default=8,
+        help="primary probe count the gates are applied at",
+    )
+    parser.add_argument(
+        "--nlist-sweep", type=str, default="512,1024",
+        help="comma-separated nlist values to build and sweep",
+    )
+    parser.add_argument(
+        "--nprobe-sweep", type=str, default="1,2,4,8,16,32",
+        help="comma-separated nprobe values swept per nlist",
+    )
+    parser.add_argument("--n-queries", type=int, default=64)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument(
+        "--trials", type=int, default=3,
+        help="timing trials per path; best-of is reported (min noise)",
+    )
+    parser.add_argument("--min-recall", type=float, default=0.95)
+    parser.add_argument(
+        "--min-speedup", type=float, default=10.0,
+        help="ANN-vs-exact qps ratio gate at the primary sweep point",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=str, default="BENCH_ann_recall.json")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI scale: 100k rows, 128 lists, speedup gate informational",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n_rows = 100_000
+        args.n_centers = 128
+        args.nlist = 128
+        args.nlist_sweep = "64,128"
+        args.nprobe_sweep = "1,2,4,8,16"
+        args.min_speedup = 1.0
+    return args
+
+
+def make_clustered(
+    n_rows: int, dim: int, n_centers: int, spread: float, seed: int
+) -> np.ndarray:
+    """Row-normalized mixture-of-bumps data (the IVF-friendly regime)."""
+    rng = np.random.default_rng(seed)
+    centers = normalize_rows(rng.normal(size=(n_centers, dim)))
+    assign = rng.integers(0, n_centers, size=n_rows)
+    scale = spread / np.sqrt(dim)
+    points = centers[assign] + scale * rng.normal(size=(n_rows, dim))
+    return normalize_rows(points)
+
+
+def make_queries(
+    matrix: np.ndarray, n_queries: int, spread: float, seed: int
+) -> np.ndarray:
+    """Queries jittered off real rows (serving probes land near data)."""
+    rng = np.random.default_rng(seed + 1)
+    rows = rng.integers(0, matrix.shape[0], size=n_queries)
+    scale = 0.5 * spread / np.sqrt(matrix.shape[1])
+    jitter = scale * rng.normal(size=(n_queries, matrix.shape[1]))
+    return normalize_rows(matrix[rows] + jitter)
+
+
+def exact_topk(
+    matrix: np.ndarray, queries: np.ndarray, k: int
+) -> list[np.ndarray]:
+    """Ground-truth top-``k`` rows per query via the dense scan."""
+    return [top_k(matrix @ q, k) for q in queries]
+
+
+def time_exact(
+    matrix: np.ndarray, queries: np.ndarray, k: int, trials: int
+) -> float:
+    """Best-of-``trials`` qps for the exact rank-batch scan."""
+    best = 0.0
+    for _ in range(trials):
+        start = time.perf_counter()
+        for q in queries:
+            top_k(matrix @ q, k)
+        best = max(best, len(queries) / (time.perf_counter() - start))
+    return best
+
+
+def time_ann(
+    index: IVFIndex, queries: np.ndarray, k: int, nprobe: int, trials: int
+) -> float:
+    """Best-of-``trials`` qps for the IVF probe path."""
+    best = 0.0
+    for _ in range(trials):
+        start = time.perf_counter()
+        index.search(queries, k, nprobe=nprobe)
+        best = max(best, len(queries) / (time.perf_counter() - start))
+    return best
+
+
+def recall_at_k(
+    truth: list[np.ndarray], rows_list: list[np.ndarray], k: int
+) -> float:
+    """Mean |ANN top-k ∩ exact top-k| / k over the query set."""
+    hits = sum(
+        len(set(t.tolist()) & set(int(r) for r in rows))
+        for t, rows in zip(truth, rows_list)
+    )
+    return hits / (k * len(truth))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    print(
+        f"data: {args.n_rows} rows x {args.dim} dims, "
+        f"{args.n_centers} centers, spread {args.spread}"
+    )
+    matrix = make_clustered(
+        args.n_rows, args.dim, args.n_centers, args.spread, args.seed
+    )
+    queries = make_queries(matrix, args.n_queries, args.spread, args.seed)
+
+    print(f"exact ground truth over {args.n_queries} queries ...")
+    truth = exact_topk(matrix, queries, args.k)
+    exact_qps = time_exact(matrix, queries, args.k, args.trials)
+    print(f"exact rank-batch scan: {exact_qps:.1f} qps")
+
+    nlists = [int(v) for v in args.nlist_sweep.split(",") if v]
+    nprobes = [int(v) for v in args.nprobe_sweep.split(",") if v]
+    if args.nlist not in nlists:
+        nlists.append(args.nlist)
+    if args.nprobe not in nprobes:
+        nprobes.append(args.nprobe)
+
+    sweep = []
+    primary = None
+    for nlist in sorted(nlists):
+        print(f"building IVF index nlist={nlist} ...")
+        index = IVFIndex(matrix, nlist=nlist, seed=args.seed)
+        print(f"  built in {index.build_seconds:.2f}s")
+        for nprobe in sorted(p for p in nprobes if p <= nlist):
+            rows_list, _, stats = index.search(
+                queries, args.k, nprobe=nprobe
+            )
+            recall = recall_at_k(truth, rows_list, args.k)
+            ann_qps = time_ann(
+                index, queries, args.k, nprobe, args.trials
+            )
+            point = {
+                "nlist": nlist,
+                "nprobe": nprobe,
+                "recall_at_k": round(recall, 4),
+                "ann_qps": round(ann_qps, 1),
+                "exact_qps": round(exact_qps, 1),
+                "speedup": round(ann_qps / exact_qps, 2),
+                "probed_fraction": round(stats.probed_fraction, 5),
+                "build_seconds": round(index.build_seconds, 3),
+            }
+            sweep.append(point)
+            print(
+                f"  nprobe={nprobe}: recall@{args.k}={recall:.3f} "
+                f"{ann_qps:.1f} qps ({point['speedup']}x, "
+                f"probed {stats.probed_fraction:.1%})"
+            )
+            if nlist == args.nlist and nprobe == args.nprobe:
+                primary = point
+
+    if primary is None:  # pragma: no cover - guarded by parse_args
+        raise SystemExit("primary (nlist, nprobe) point missing from sweep")
+
+    gates = {
+        "recall_at_k": {
+            "value": primary["recall_at_k"],
+            "min": args.min_recall,
+            "pass": primary["recall_at_k"] >= args.min_recall,
+        },
+        "speedup": {
+            "value": primary["speedup"],
+            "min": args.min_speedup,
+            "default_min": 10.0,
+            "pass": primary["speedup"] >= args.min_speedup,
+        },
+    }
+    ok = all(g["pass"] for g in gates.values())
+    payload = {
+        "benchmark": "ann_recall",
+        "config": {
+            "n_rows": args.n_rows,
+            "dim": args.dim,
+            "n_centers": args.n_centers,
+            "spread": args.spread,
+            "n_queries": args.n_queries,
+            "k": args.k,
+            "trials": args.trials,
+            "seed": args.seed,
+            "smoke": args.smoke,
+            "primary": {"nlist": args.nlist, "nprobe": args.nprobe},
+        },
+        "sweep": sweep,
+        "gates": gates,
+        "pass": ok,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    for name, gate in gates.items():
+        status = "PASS" if gate["pass"] else "FAIL"
+        print(f"gate {name}: {gate['value']} (min {gate['min']}) {status}")
+    if args.smoke and primary["speedup"] < 10.0:
+        print(
+            "note: speedup gate enforced at the relaxed smoke threshold "
+            f"({args.min_speedup}x); the 10x gate applies at the default "
+            "1M-vertex scale"
+        )
+    if not ok:
+        print("BENCH FAILED: gate(s) below threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,13 @@ things:
    the dispatch layer under saturation, once as one-request-per-call
    (the naive per-request path) and once through the
    :class:`~repro.serving.batcher.RequestBatcher`; gates the
-   coalesced/per-request qps ratio (``--min-speedup``).
+   coalesced/per-request qps ratio (``--min-speedup``).  Trials run as
+   interleaved (per-request, coalesced) pairs and the gate honors the
+   documented best-of-N rule on the *ratio itself*: machine noise that
+   hits both paths in the same trial cancels instead of skewing the
+   gate.  The JSON records the threshold actually enforced alongside
+   the documented default, so a relaxed smoke run can never be misread
+   as a full-scale pass.
 3. **Exact response parity** — every coalesced HTTP response is compared
    ``==`` against a direct single-request dispatch on a private
    service; Python's shortest-round-trip float printing makes this a
@@ -32,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import threading
 import time
 from pathlib import Path
@@ -41,6 +48,11 @@ from repro.serving import LoadGenerator, QueryServer, http_transport
 from repro.serving.batcher import RequestBatcher
 from repro.serving.service import QueryService
 from repro.utils.metrics import MetricsRegistry
+
+# The documented full-scale coalescing gate (docs/operations.md); smoke
+# runs may enforce a relaxed --min-speedup but the JSON always records
+# this default next to the threshold actually enforced.
+DEFAULT_MIN_SPEEDUP = 3.0
 
 
 def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
@@ -85,8 +97,9 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         help="gate: HTTP queries/sec floor under --concurrency clients",
     )
     parser.add_argument(
-        "--min-speedup", type=float, default=3.0,
-        help="gate: coalesced vs per-request dispatch qps ratio floor",
+        "--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+        help="gate: coalesced vs per-request dispatch qps ratio floor "
+        f"(documented full-scale default: {DEFAULT_MIN_SPEEDUP}x)",
     )
     parser.add_argument(
         "--out", type=Path, default=Path("BENCH_serve_latency.json")
@@ -179,30 +192,45 @@ def main(argv: list[str] | None = None) -> int:
     # vectorized batch dispatch.  Saturation (more threads than batch
     # capacity) is where coalescing pays: batches cut on size, not on the
     # linger window.
-    per_request_qps = max(
-        _saturate(
-            args.saturation_threads, typed, lambda r: service.dispatch([r])[0]
-        )
-        for _ in range(args.throughput_trials)
-    )
+    # Interleaved (per-request, coalesced) trial pairs: the gate takes
+    # the best per-trial *ratio*, so noise that slows the whole machine
+    # for one trial hits both paths and cancels, instead of pairing one
+    # path's best trial against the other's worst.
     batcher = RequestBatcher(
         service.dispatch,
         max_batch=args.max_batch,
         max_wait_ms=args.batch_window_ms,
     )
+    trial_pairs: list[tuple[float, float]] = []
     try:
-        coalesced_qps = max(
-            _saturate(args.saturation_threads, typed, batcher.submit)
-            for _ in range(args.throughput_trials)
-        )
+        for _ in range(args.throughput_trials):
+            per_request = _saturate(
+                args.saturation_threads,
+                typed,
+                lambda r: service.dispatch([r])[0],
+            )
+            coalesced = _saturate(
+                args.saturation_threads, typed, batcher.submit
+            )
+            trial_pairs.append((per_request, coalesced))
     finally:
         batcher.close()
-    speedup = coalesced_qps / per_request_qps
+    per_request_qps = max(pr for pr, _ in trial_pairs)
+    coalesced_qps = max(co for _, co in trial_pairs)
+    speedup = max(co / pr for pr, co in trial_pairs)
     report["throughput"] = {
         "saturation_threads": args.saturation_threads,
         "per_request_qps": round(per_request_qps, 2),
         "coalesced_qps": round(coalesced_qps, 2),
         "speedup": round(speedup, 3),
+        "trials": [
+            {
+                "per_request_qps": round(pr, 2),
+                "coalesced_qps": round(co, 2),
+                "speedup": round(co / pr, 3),
+            }
+            for pr, co in trial_pairs
+        ],
     }
 
     # ---- Phase 3: exact response parity over HTTP ----------------------
@@ -259,7 +287,12 @@ def main(argv: list[str] | None = None) -> int:
         "zero_5xx": {"value": errors, "pass": errors == 0},
         "coalescing_speedup": {
             "value": round(speedup, 3),
+            # "min" is the threshold this run actually enforced; a smoke
+            # run's relaxed floor is recorded as such, never silently in
+            # place of the documented full-scale gate.
             "min": args.min_speedup,
+            "default_min": DEFAULT_MIN_SPEEDUP,
+            "relaxed": args.min_speedup < DEFAULT_MIN_SPEEDUP,
             "pass": speedup >= args.min_speedup,
         },
         "exact_parity": {
@@ -279,9 +312,28 @@ def main(argv: list[str] | None = None) -> int:
         f"coalesced={coalesced_qps:.0f}qps speedup={speedup:.2f}x"
     )
     print(f"parity: {len(sample) - mismatches}/{len(sample)} exact")
+    if args.min_speedup < DEFAULT_MIN_SPEEDUP:
+        print(
+            f"note: coalescing gate enforced at a relaxed "
+            f"{args.min_speedup}x (documented default "
+            f"{DEFAULT_MIN_SPEEDUP}x; recorded in the JSON)"
+        )
+    if speedup < DEFAULT_MIN_SPEEDUP:
+        print(
+            f"WARNING: best-of-{args.throughput_trials} coalescing "
+            f"speedup {speedup:.2f}x is below the documented "
+            f"{DEFAULT_MIN_SPEEDUP}x full-scale gate",
+            file=sys.stderr,
+        )
     failed = [name for name, gate in gates.items() if not gate["pass"]]
     if failed:
-        print(f"FAILED gates: {', '.join(failed)}")
+        for name in failed:
+            print(
+                f"GATE FAILED: {name} = {gates[name]['value']} "
+                f"(gate: {gates[name]})",
+                file=sys.stderr,
+            )
+        print(f"FAILED gates: {', '.join(failed)}", file=sys.stderr)
         return 1
     print("all gates passed")
     return 0

@@ -1,0 +1,164 @@
+"""Spherical k-means: the coarse quantizer behind the IVF ANN index.
+
+The IVF index partitions an embedding matrix into ``nlist`` Voronoi cells
+around k-means centroids.  Everything here operates on **row-L2-normalized**
+vectors (the store's cached ``normalized()`` view), where nearest-by-cosine
+and nearest-by-Euclidean coincide, so one dot-product ``argmax`` is the
+assignment kernel — the same trick the query engine uses to turn cosine
+scoring into a matrix product.
+
+This is deliberately the sibling of :mod:`repro.hotspots.meanshift`, the
+repository's other mode-seeking clusterer, and reuses its machinery:
+
+* results come back as a :class:`~repro.hotspots.meanshift.MeanShiftResult`
+  (modes ordered by descending support, labels, counts) so downstream code
+  handles both clusterers uniformly;
+* :func:`~repro.hotspots.meanshift.assign_nearest` is the independent
+  KD-tree reference that :func:`nearest_centroid`'s dot-product assignment
+  is validated against in the test suite;
+* per-cluster means use the same sort + ``np.add.reduceat`` segment-sum
+  idiom as the mean-shift window means (and the SGNS scatter-add).
+
+Seeding is k-means++ (D² sampling): binned grid seeding — mean shift's
+choice — degenerates in the 16-to-64-dimensional embedding spaces this
+quantizer runs in, where almost every point occupies its own grid cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hotspots.meanshift import MeanShiftResult
+from repro.storage.base import normalize_rows
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["kmeans", "kmeans_seeds", "nearest_centroid"]
+
+
+def nearest_centroid(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    *,
+    chunk_rows: int = 262_144,
+) -> np.ndarray:
+    """Index of the highest-dot-product centroid for every point.
+
+    On row-normalized inputs this is the nearest centroid under both
+    cosine and Euclidean distance.  The score block is computed in row
+    chunks of ``chunk_rows`` so a million-row assignment never
+    materializes an ``(n, nlist)`` matrix at once.  Ties resolve to the
+    lowest centroid index (``np.argmax``), deterministically.
+    """
+    points = np.asarray(points, dtype=float)
+    out = np.empty(points.shape[0], dtype=np.int64)
+    for start in range(0, points.shape[0], int(chunk_rows)):
+        block = points[start : start + int(chunk_rows)] @ centroids.T
+        out[start : start + int(chunk_rows)] = np.argmax(block, axis=1)
+    return out
+
+
+def kmeans_seeds(
+    points: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seed rows: D²-weighted sampling without replacement.
+
+    Each new seed is drawn with probability proportional to its squared
+    Euclidean distance from the nearest already-chosen seed; on normalized
+    rows that distance is ``2 - 2 * cos``, so every update is one matrix
+    product.  Degenerate inputs (every remaining point coincides with a
+    seed) fall back to uniform draws so exactly ``n_clusters`` seeds
+    always come back.
+    """
+    n = points.shape[0]
+    seeds = [int(rng.integers(n))]
+    d2 = np.maximum(0.0, 2.0 - 2.0 * (points @ points[seeds[0]]))
+    for _ in range(1, n_clusters):
+        total = float(d2.sum())
+        if total > 0.0:
+            choice = int(rng.choice(n, p=d2 / total))
+        else:
+            choice = int(rng.integers(n))
+        seeds.append(choice)
+        d2 = np.minimum(
+            d2, np.maximum(0.0, 2.0 - 2.0 * (points @ points[choice]))
+        )
+    return np.asarray(seeds, dtype=np.int64)
+
+
+def _cluster_means(
+    points: np.ndarray, labels: np.ndarray, n_clusters: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cluster mean vectors via the sort + ``reduceat`` segment sum.
+
+    Empty clusters come back as zero rows (with zero counts); the caller
+    decides whether to keep their previous centroid or reseed.
+    """
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+    starts = np.concatenate(
+        ([0], np.flatnonzero(np.diff(sorted_labels)) + 1)
+    )
+    sums = np.zeros((n_clusters, points.shape[1]))
+    sums[sorted_labels[starts]] = np.add.reduceat(
+        points[order], starts, axis=0
+    )
+    counts = np.bincount(labels, minlength=n_clusters)
+    means = np.zeros_like(sums)
+    np.divide(sums, counts[:, None], out=means, where=counts[:, None] > 0)
+    return means, counts
+
+
+def kmeans(
+    points: np.ndarray,
+    n_clusters: int,
+    *,
+    n_iter: int = 10,
+    tol: float = 1e-4,
+    seed: int | np.random.Generator | None = 0,
+) -> MeanShiftResult:
+    """Spherical k-means over row-normalized ``points``.
+
+    Lloyd iterations with k-means++ seeding; centroids are re-normalized
+    every step so the dot-product assignment stays a cosine assignment.
+    ``n_clusters`` is clamped to the number of points.  Returns a
+    :class:`~repro.hotspots.meanshift.MeanShiftResult` whose ``modes``
+    are the centroids ordered by descending support, exactly like
+    :func:`~repro.hotspots.meanshift.mean_shift`.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError(
+            f"points must be a non-empty 2-D array, got shape {points.shape}"
+        )
+    check_positive("n_clusters", n_clusters)
+    n_clusters = int(min(n_clusters, points.shape[0]))
+    rng = ensure_rng(seed)
+    centroids = normalize_rows(
+        points[kmeans_seeds(points, n_clusters, rng)]
+    )
+    labels = nearest_centroid(points, centroids)
+    for _ in range(int(n_iter)):
+        means, counts = _cluster_means(points, labels, n_clusters)
+        new_centroids = normalize_rows(means)
+        # A cluster that emptied (or whose mean cancelled to zero) keeps
+        # its previous centroid rather than collapsing to a zero row that
+        # would attract nothing forever.
+        dead = np.linalg.norm(new_centroids, axis=1) == 0
+        new_centroids[dead] = centroids[dead]
+        shift = float(
+            np.linalg.norm(new_centroids - centroids, axis=1).max()
+        )
+        centroids = new_centroids
+        labels = nearest_centroid(points, centroids)
+        if shift < tol:
+            break
+    counts = np.bincount(labels, minlength=n_clusters)
+    order = np.argsort(-counts, kind="stable")
+    relabel = np.empty_like(order)
+    relabel[order] = np.arange(order.size)
+    return MeanShiftResult(
+        modes=centroids[order],
+        labels=relabel[labels],
+        counts=counts[order],
+    )

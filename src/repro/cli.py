@@ -166,6 +166,20 @@ def build_parser() -> argparse.ArgumentParser:
         "them into RAM (requires a format-v2 bundle directory from "
         "'repro export')",
     )
+    ev.add_argument(
+        "--ann", action="store_true",
+        help="evaluate through the ANN-indexed engine; Table-2 ranking "
+        "uses explicit candidate lists, which the indexed engine scores "
+        "via its exact fallback, so the MRR is identical by construction",
+    )
+    ev.add_argument(
+        "--ann-nlist", type=int, default=256, metavar="N",
+        help="inverted lists per ANN modality index (with --ann)",
+    )
+    ev.add_argument(
+        "--ann-nprobe", type=int, default=8, metavar="N",
+        help="lists probed per ANN neighbor query (with --ann)",
+    )
 
     export = sub.add_parser(
         "export",
@@ -279,6 +293,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-window-ms", type=float, default=2.0, metavar="MS",
         help="how long a request lingers for co-travellers before the "
         "batch dispatches (default: 2.0)",
+    )
+    serve.add_argument(
+        "--ann", action="store_true",
+        help="serve /v1/neighbors from IVF ANN indexes (built per "
+        "modality at startup) instead of exact dense scans; /v1/predict "
+        "keeps the exact path",
+    )
+    serve.add_argument(
+        "--ann-nlist", type=int, default=256, metavar="N",
+        help="inverted lists per modality index (default: 256; clamped "
+        "to the modality's vocabulary size)",
+    )
+    serve.add_argument(
+        "--ann-nprobe", type=int, default=8, metavar="N",
+        help="lists probed per neighbor query (default: 8; nprobe == "
+        "nlist is exact coverage — see docs/operations.md for tuning)",
     )
     serve.add_argument(
         "--no-coalesce", action="store_true",
@@ -460,17 +490,31 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     engine = None
-    if args.telemetry_dir or args.serve_metrics is not None:
+    if args.ann or args.telemetry_dir or args.serve_metrics is not None:
         from repro.core import QueryEngine
 
-        engine = QueryEngine(
+        engine_cls = QueryEngine
+        engine_kwargs = {}
+        if args.ann:
+            from repro.ann import IndexedQueryEngine
+
+            engine_cls = IndexedQueryEngine
+            engine_kwargs = {
+                "nlist": args.ann_nlist,
+                "nprobe": args.ann_nprobe,
+            }
+        engine = engine_cls(
             model,
             metrics=MetricsRegistry(),
             tracer=Tracer(),
             slow_query_threshold=args.slow_query_ms / 1e3,
+            **engine_kwargs,
         )
         # The eval path resolves model.query_engine(); pre-seed its cache
-        # so every batch flows through the instrumented engine.
+        # so every batch flows through the instrumented engine.  Table-2
+        # ranking scores explicit candidate lists, which the indexed
+        # engine routes through its exact fallback — so --ann reproduces
+        # the exact MRR bit-for-bit.
         model._query_engine = engine
     server = None
     if args.serve_metrics is not None:
@@ -675,9 +719,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         coalesce=not args.no_coalesce,
         logger=logger,
         stale_after=args.stale_after,
+        ann=args.ann,
+        ann_nlist=args.ann_nlist,
+        ann_nprobe=args.ann_nprobe,
     )
     server.start()
     mode = "coalesced" if server.coalesce else "per-request"
+    if args.ann:
+        status = server.engine.ann_status()
+        built = ", ".join(
+            f"{m}: {s['rows']} rows / {s['nlist']} lists "
+            f"in {s['build_seconds']:.3f}s"
+            for m, s in sorted(status["indexes"].items())
+        )
+        mode += f"; ann nprobe={status['nprobe']} ({built})"
     print(
         f"serving {args.model} on {server.url} ({mode}; "
         "POST /v1/predict /v1/neighbors, GET /metrics /healthz /varz)",

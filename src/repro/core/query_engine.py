@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from collections.abc import Sequence
+from collections.abc import Hashable, Sequence
 
 import numpy as np
 
@@ -45,7 +45,40 @@ from repro.utils.logging import NULL_LOGGER
 from repro.utils.metrics import MetricsRegistry
 from repro.utils.tracing import NULL_TRACER
 
-__all__ = ["QueryEngine"]
+__all__ = ["QueryEngine", "dedup_candidates"]
+
+
+def dedup_candidates(flat: Sequence) -> tuple[list, np.ndarray]:
+    """First-seen unique candidates plus the inverse gather indices.
+
+    Serving traffic repeats hot candidates heavily (the load generator's
+    Zipf popularity makes the same venues/timestamps ride along in most
+    coalesced batches), so the ragged scorer embeds each distinct value
+    once and scatters the rows back through ``inverse``.  Candidate
+    embedding is content-deterministic row by row, which makes the
+    dedup + gather bit-identical to embedding the full flattened list.
+
+    Values are keyed by their own hash; unhashable sequences (lists,
+    arrays) fall back to a flattened-tuple key.  Returns
+    ``(unique, inverse)`` with ``unique[inverse[i]]`` the i-th original
+    candidate.
+    """
+    index_of: dict = {}
+    unique: list = []
+    inverse = np.empty(len(flat), dtype=np.int64)
+    for i, cand in enumerate(flat):
+        key: Hashable
+        try:
+            hash(cand)
+            key = cand
+        except TypeError:
+            key = tuple(np.asarray(cand).ravel().tolist())
+        pos = index_of.get(key)
+        if pos is None:
+            pos = index_of[key] = len(unique)
+            unique.append(cand)
+        inverse[i] = pos
+    return unique, inverse
 
 
 class QueryEngine:
@@ -379,7 +412,15 @@ class QueryEngine:
                     )
                 )
                 flat = [c for group in candidates for c in group]
-                cand_mat = normalize_rows(self.candidate_matrix(target, flat))
+                # Zipf-shaped serving traffic repeats hot candidates:
+                # embed each distinct value once, gather rows back.
+                unique, inverse = dedup_candidates(flat)
+                cand_mat = normalize_rows(
+                    self.candidate_matrix(target, unique)
+                )[inverse]
+                self.metrics.counter("query.candidates_deduped").inc(
+                    len(flat) - len(unique)
+                )
             with self.metrics.time("query.score"), self.tracer.span(
                 "query.score", target=target
             ):
@@ -411,6 +452,21 @@ class QueryEngine:
                 },
             )
         return out
+
+    def neighbors(
+        self, query_vec, modality: str, k: int = 10
+    ) -> list[tuple[Hashable, float]]:
+        """Exact top-``k`` nearest units of ``modality`` to a raw vector.
+
+        Delegates to the model's cached dense scan
+        (:meth:`~repro.core.prediction.GraphEmbeddingModel.neighbors`).
+        This is the serving seam the ANN layer plugs into:
+        :class:`~repro.ann.engine.IndexedQueryEngine` overrides it with a
+        sub-linear IVF probe, so :class:`~repro.serving.service
+        .QueryService` routes every neighbor request through the engine
+        and picks up whichever retrieval mode the engine implements.
+        """
+        return self.model.neighbors(query_vec, modality, k)
 
     def rank_batch(self, queries: Sequence) -> np.ndarray:
         """1-based truth ranks for a batch of ``PredictionQuery`` objects.

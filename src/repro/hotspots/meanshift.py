@@ -29,7 +29,12 @@ from scipy.spatial import cKDTree
 
 from repro.utils.validation import check_positive
 
-__all__ = ["MeanShiftResult", "mean_shift", "circular_mean_shift"]
+__all__ = [
+    "MeanShiftResult",
+    "assign_nearest",
+    "mean_shift",
+    "circular_mean_shift",
+]
 
 
 @dataclass
@@ -162,11 +167,26 @@ def _merge_modes(
     return np.stack(kept)
 
 
-def _assign(points: np.ndarray, modes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def assign_nearest(
+    points: np.ndarray, modes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest-mode label and per-mode support count for every point.
+
+    The shared hard-assignment kernel: mean shift uses it to map points to
+    their converged modes, and the ANN coarse quantizer
+    (:mod:`repro.ann.kmeans`) uses it as the independent KD-tree reference
+    its dot-product assignment is checked against.  Returns
+    ``(labels, counts)`` with ``labels[i]`` the index of the mode nearest
+    (Euclidean) to ``points[i]``.
+    """
     tree = cKDTree(modes)
     _, labels = tree.query(points)
     counts = np.bincount(labels, minlength=modes.shape[0])
     return labels, counts
+
+
+# Internal alias kept for the call sites above.
+_assign = assign_nearest
 
 
 def circular_mean_shift(

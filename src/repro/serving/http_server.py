@@ -186,6 +186,17 @@ class QueryServer:
         ``False`` disables the batcher entirely — every request becomes
         its own engine call (the naive path the latency bench compares
         against).
+    ann:
+        ``True`` serves ``/v1/neighbors`` from per-modality IVF indexes
+        (:class:`~repro.ann.engine.IndexedQueryEngine`) built eagerly at
+        :meth:`start` — i.e. at bundle load for ``--mmap`` serving —
+        instead of dense O(V) scans.  ``/v1/predict`` (explicit
+        candidate lists) keeps the exact path.  Build time lands in the
+        ``ann.build_seconds`` histogram and each query's scored fraction
+        in ``ann.probed_fraction``.
+    ann_nlist / ann_nprobe:
+        IVF shape: inverted lists per modality and cells probed per
+        query (see ``docs/operations.md`` for the tuning runbook).
     metrics / logger / stale_after:
         Shared registry, structured logger, and ``/healthz`` staleness
         threshold (see :class:`~repro.utils.telemetry_server
@@ -201,13 +212,33 @@ class QueryServer:
         max_batch: int = 64,
         batch_window_ms: float = 2.0,
         coalesce: bool = True,
+        ann: bool = False,
+        ann_nlist: int = 256,
+        ann_nprobe: int = 8,
         metrics: MetricsRegistry | None = None,
         logger=None,
         stale_after: float | None = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.logger = logger if logger is not None else NULL_LOGGER
-        engine = QueryEngine(model, metrics=self.metrics, logger=self.logger)
+        self.ann = bool(ann)
+        if self.ann:
+            from repro.ann import IndexedQueryEngine
+
+            engine = IndexedQueryEngine(
+                model,
+                nlist=ann_nlist,
+                nprobe=ann_nprobe,
+                metrics=self.metrics,
+                logger=self.logger,
+            )
+            self.metrics.gauge("ann.nlist").set(ann_nlist)
+            self.metrics.gauge("ann.nprobe").set(ann_nprobe)
+        else:
+            engine = QueryEngine(
+                model, metrics=self.metrics, logger=self.logger
+            )
+        self.engine = engine
         self.service = QueryService(
             model, engine=engine, metrics=self.metrics, logger=self.logger
         )
@@ -244,6 +275,13 @@ class QueryServer:
                 max_wait_ms=self.batch_window_ms,
                 metrics=self.metrics,
             )
+        if self.ann:
+            # Build every modality index up front (at bundle load for
+            # mmap serving) so the first neighbor query never pays the
+            # build; empty modalities fall back to the exact scan.
+            for modality in self.engine.ann_modalities:
+                if self.engine.model.modality_cache(modality).keys:
+                    self.engine.index_for(modality)
         handler = type("BoundServeHandler", (_ServeHandler,), {"server_ref": self})
         self._httpd = _QueryHTTPServer(
             (self.host, self.requested_port), handler
@@ -342,11 +380,15 @@ class QueryServer:
     def _serving_status(self) -> dict:
         """Status-provider payload merged into ``/healthz`` and ``/varz``."""
         batcher = self.batcher
-        return {
+        status = {
             "serving": {
                 "accepting": self._accepting,
                 "inflight": self._inflight,
                 "coalesce": self.coalesce,
+                "ann": self.ann,
                 "batcher_depth": batcher.depth if batcher is not None else 0,
             }
         }
+        if self.ann:
+            status["ann"] = self.engine.ann_status()
+        return status

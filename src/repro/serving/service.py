@@ -381,8 +381,16 @@ class QueryService:
     def _neighbors_response(
         self, request: NeighborsRequest, probe: np.ndarray
     ) -> dict:
-        """Build the ``/v1/neighbors`` response body for one probe vector."""
-        raw = self.model.neighbors(probe, request.modality, request.k)
+        """Build the ``/v1/neighbors`` response body for one probe vector.
+
+        Retrieval goes through the *engine's* ``neighbors`` seam: the
+        exact :class:`~repro.core.query_engine.QueryEngine` delegates to
+        the model's dense scan, while an
+        :class:`~repro.ann.engine.IndexedQueryEngine` (``repro serve
+        --ann``) answers from its IVF index — same response shape, same
+        per-request determinism, so coalescing parity holds either way.
+        """
+        raw = self.engine.neighbors(probe, request.modality, request.k)
         detector = self.model.built.detector
         neighbors = []
         for key, score in raw:

@@ -1,0 +1,161 @@
+"""Tests for the IVF inverted-file index.
+
+The load-bearing contracts: CSR list structure is a permutation
+consistent with the quantizer labels; probing every cell is *bit-exact*
+brute force under the engine's einsum kernel (including the stable
+ascending-row tie rule); partial probes only ever return probed rows;
+and every per-query result is independent of the surrounding batch (the
+coalescing-parity property serving relies on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann import IVFIndex
+from repro.ann.kmeans import nearest_centroid
+from repro.core.prediction import normalize_rows, top_k
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(42)
+    centers = normalize_rows(rng.normal(size=(6, 12)))
+    points = centers[rng.integers(0, 6, size=500)]
+    return normalize_rows(points + 0.02 * rng.normal(size=(500, 12)))
+
+
+@pytest.fixture(scope="module")
+def index(matrix):
+    return IVFIndex(matrix, nlist=8, nprobe=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def queries(matrix):
+    rng = np.random.default_rng(7)
+    return normalize_rows(
+        matrix[rng.integers(0, matrix.shape[0], size=12)]
+        + 0.01 * rng.normal(size=(12, matrix.shape[1]))
+    )
+
+
+class TestBuild:
+    def test_csr_structure_is_a_labeled_permutation(self, index, matrix):
+        assert index.list_offsets[0] == 0
+        assert index.list_offsets[-1] == index.n_rows
+        assert (np.diff(index.list_offsets) >= 0).all()
+        assert sorted(index.list_rows.tolist()) == list(range(500))
+        labels = nearest_centroid(matrix, index.centroids)
+        for cell in range(index.nlist):
+            rows = index.list_rows[
+                index.list_offsets[cell] : index.list_offsets[cell + 1]
+            ]
+            # ascending within each list (the cheap-merge tie invariant)
+            assert (np.diff(rows) > 0).all() or rows.size <= 1
+            assert (labels[rows] == cell).all()
+        np.testing.assert_array_equal(
+            index.list_sizes, np.bincount(labels, minlength=index.nlist)
+        )
+
+    def test_deterministic_and_keeps_reference_not_copy(self, matrix):
+        a = IVFIndex(matrix, nlist=8, seed=3)
+        b = IVFIndex(matrix, nlist=8, seed=3)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+        np.testing.assert_array_equal(a.list_rows, b.list_rows)
+        assert a.matrix is matrix
+        assert a.build_seconds > 0
+
+    def test_nlist_clamped_to_rows(self):
+        small = normalize_rows(np.random.default_rng(0).normal(size=(5, 4)))
+        index = IVFIndex(small, nlist=64, nprobe=64)
+        assert index.nlist <= 5
+        assert index.nprobe <= index.nlist
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            IVFIndex(np.empty((0, 8)))
+
+
+class TestSearch:
+    def test_full_probe_is_bit_exact_brute_force(self, index, matrix, queries):
+        """nprobe == nlist degrades to the exact einsum scan, bitwise."""
+        rows_list, scores_list, stats = index.search(
+            queries, 10, nprobe=index.nlist
+        )
+        assert stats.probed_fraction == 1.0
+        for i, q in enumerate(queries):
+            exact = np.einsum("nd,d->n", matrix, q)
+            order = top_k(exact, 10)
+            np.testing.assert_array_equal(rows_list[i], order)
+            np.testing.assert_array_equal(scores_list[i], exact[order])
+
+    def test_duplicate_rows_keep_the_stable_tie_order(self):
+        """Exact duplicate rows tie; both paths break ties by row id."""
+        base = normalize_rows(
+            np.random.default_rng(1).normal(size=(3, 6))
+        )
+        matrix = np.tile(base, (10, 1))  # 30 rows, each vector 10 times
+        index = IVFIndex(matrix, nlist=3, seed=0)
+        rows_list, _, _ = index.search(base, 8, nprobe=index.nlist)
+        for i in range(3):
+            exact = np.einsum("nd,d->n", matrix, base[i])
+            np.testing.assert_array_equal(rows_list[i], top_k(exact, 8))
+
+    def test_partial_probe_returns_only_probed_rows(self, index, queries):
+        probes = index.probe_cells(queries, 2)
+        rows_list, scores_list, stats = index.search(queries, 10, nprobe=2)
+        assert stats.nprobe == 2
+        assert 0 < stats.probed_fraction < 1
+        for i in range(len(queries)):
+            allowed = set(index.candidate_rows(probes[i]).tolist())
+            assert set(rows_list[i].tolist()) <= allowed
+            # scores are genuine cosines of the returned rows
+            np.testing.assert_array_equal(
+                scores_list[i],
+                np.einsum(
+                    "nd,d->n", index.matrix[rows_list[i]], queries[i]
+                ),
+            )
+            # descending score order
+            assert (np.diff(scores_list[i]) <= 1e-15).all()
+
+    def test_each_query_independent_of_batch(self, index, queries):
+        """Batch-of-1 == same query inside the full batch, bitwise."""
+        batched_rows, batched_scores, _ = index.search(queries, 5, nprobe=2)
+        for i in range(len(queries)):
+            rows, scores, _ = index.search(queries[i : i + 1], 5, nprobe=2)
+            np.testing.assert_array_equal(rows[0], batched_rows[i])
+            np.testing.assert_array_equal(scores[0], batched_scores[i])
+
+    def test_stats_accounting(self, index, queries):
+        _, _, stats = index.search(queries, 3, nprobe=2)
+        assert stats.n_queries == len(queries)
+        assert stats.total_rows == len(queries) * index.n_rows
+        probes = index.probe_cells(queries, 2)
+        expected = sum(
+            index.candidate_rows(probes[i]).shape[0]
+            for i in range(len(queries))
+        )
+        assert stats.probed_rows == expected
+
+    def test_k_edge_cases(self, index, queries):
+        rows_list, scores_list, _ = index.search(queries[:1], 0)
+        assert rows_list[0].size == 0 and scores_list[0].size == 0
+        # k beyond the probed pool returns the whole pool, ranked
+        rows_list, _, _ = index.search(queries[:1], 10_000, nprobe=1)
+        probes = index.probe_cells(queries[:1], 1)
+        assert rows_list[0].size == index.candidate_rows(probes[0]).size
+        with pytest.raises(ValueError, match="k must be"):
+            index.search(queries[:1], -1)
+
+    def test_query_shape_and_nprobe_validation(self, index):
+        with pytest.raises(ValueError, match="2-D"):
+            index.search(np.zeros((2, 3)), 5)
+        with pytest.raises(ValueError, match="nprobe"):
+            index.search(np.zeros((1, index.dim)), 5, nprobe=0)
+        # oversized nprobe clamps instead of failing
+        _, _, stats = index.search(
+            np.zeros((1, index.dim)), 5, nprobe=10_000
+        )
+        assert stats.nprobe == index.nlist

@@ -1,0 +1,179 @@
+"""End-to-end serving tests for ``repro serve --ann``.
+
+The serving contracts under ANN: `/v1/neighbors` over HTTP is identical
+to direct IndexedQueryEngine execution (coalesced or not — each query's
+probe depends only on that query and the index snapshot, so batching is
+invisible); `/v1/predict` still rides the exact candidate path; the
+telemetry surface reports the index state; and indexes are built eagerly
+before the socket binds, so the first request never pays the build.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.ann import IndexedQueryEngine
+from repro.serving import QueryServer
+from repro.serving.service import QueryService
+from repro.utils.metrics import MetricsRegistry
+
+
+def _post(url: str, body, timeout=30):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _get_json(url: str):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read())
+
+
+NEIGHBOR_BODIES = [
+    {"modality": "word", "time": 21.0, "k": 5},
+    {"modality": "time", "words": ["common_000"], "k": 3},
+    {"modality": "location", "time": 3.0, "k": 4},
+    {"modality": "word", "words": ["never_in_any_vocab_xyz"], "k": 2},
+    {"modality": "word", "location": [2.0, 3.0], "k": 6},
+]
+
+PREDICT_BODIES = [
+    {
+        "target": "time",
+        "candidates": [2.0, 9.5, 13.0, 21.5],
+        "words": ["common_000"],
+        "location": [1.0, 2.0],
+    },
+    {
+        "target": "location",
+        "candidates": [[0.5, 0.5], [10.0, 12.0], [3.3, 7.7]],
+        "time": 20.0,
+        "words": ["common_001"],
+    },
+]
+
+
+@pytest.fixture(scope="module")
+def ann_server(tiny_actor):
+    """A running coalescing QueryServer with ANN retrieval enabled."""
+    with QueryServer(
+        tiny_actor,
+        port=0,
+        metrics=MetricsRegistry(),
+        ann=True,
+        ann_nlist=8,
+        ann_nprobe=8,
+    ) as server:
+        yield server
+
+
+class TestServeAnn:
+    def test_indexes_built_eagerly_at_startup(self, ann_server):
+        status = ann_server.engine.ann_status()
+        assert set(status["indexes"]) == {"word", "time", "location"}
+        assert all(
+            not entry["stale"] for entry in status["indexes"].values()
+        )
+        assert (
+            ann_server.metrics.counter("ann.index_builds").value >= 3
+        )
+
+    def test_http_neighbors_identical_to_direct_ann_engine(
+        self, ann_server, tiny_actor
+    ):
+        """Coalesced HTTP == direct batch-of-1 on a private ANN service."""
+        direct = QueryService(
+            tiny_actor,
+            engine=IndexedQueryEngine(
+                tiny_actor, nlist=8, nprobe=8, metrics=MetricsRegistry()
+            ),
+            metrics=MetricsRegistry(),
+        )
+        for body in NEIGHBOR_BODIES:
+            status, payload = _post(
+                f"{ann_server.url}/v1/neighbors", body
+            )
+            assert status == 200
+            request = direct.validate_neighbors(body)
+            assert payload == direct.dispatch([request])[0]
+
+    def test_http_predict_still_exact(self, ann_server, tiny_actor):
+        """/v1/predict rides the inherited exact candidate path."""
+        exact = QueryService(tiny_actor, metrics=MetricsRegistry())
+        for body in PREDICT_BODIES:
+            status, payload = _post(f"{ann_server.url}/v1/predict", body)
+            assert status == 200
+            request = exact.validate_predict(body)
+            assert payload == exact.dispatch([request])[0]
+
+    def test_coalesced_burst_equals_batch_of_one(
+        self, ann_server, tiny_actor
+    ):
+        """Concurrent ANN neighbor queries: same bits as sequential."""
+        direct = QueryService(
+            tiny_actor,
+            engine=IndexedQueryEngine(
+                tiny_actor, nlist=8, nprobe=8, metrics=MetricsRegistry()
+            ),
+            metrics=MetricsRegistry(),
+        )
+        bodies = [
+            {"modality": "word", "time": float(i % 24), "k": 4}
+            for i in range(12)
+        ]
+        expected = [
+            direct.dispatch([direct.validate_neighbors(b)])[0]
+            for b in bodies
+        ]
+        results: list = [None] * len(bodies)
+        barrier = threading.Barrier(len(bodies))
+
+        def client(i):
+            barrier.wait()
+            results[i] = _post(
+                f"{ann_server.url}/v1/neighbors", bodies[i]
+            )
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(len(bodies))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for (status, payload), want in zip(results, expected):
+            assert status == 200
+            assert payload == want
+
+    def test_varz_reports_ann_state(self, ann_server):
+        varz = _get_json(f"{ann_server.url}/varz")
+        assert varz["serving"]["ann"] is True
+        assert varz["ann"]["nlist"] == 8
+        assert varz["ann"]["nprobe"] == 8
+        assert set(varz["ann"]["indexes"]) == {
+            "word",
+            "time",
+            "location",
+        }
+
+    def test_plain_server_reports_ann_disabled(self, tiny_actor):
+        with QueryServer(
+            tiny_actor, port=0, metrics=MetricsRegistry()
+        ) as server:
+            varz = _get_json(f"{server.url}/varz")
+            assert varz["serving"]["ann"] is False
+            assert "ann" not in varz

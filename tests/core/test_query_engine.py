@@ -13,6 +13,8 @@ import numpy as np
 import pytest
 
 from repro.core import Actor, ActorConfig, OnlineActor, QueryEngine
+from repro.core.prediction import normalize_rows
+from repro.core.query_engine import dedup_candidates
 from repro.data import Record
 from repro.data.records import Corpus
 from repro.eval.mrr import make_queries, query_rank, query_ranks
@@ -418,3 +420,89 @@ class TestScoreRaggedBatch:
             np.testing.assert_allclose(
                 ragged[i], block[i], rtol=1e-12, atol=1e-15
             )
+
+
+class TestDedupCandidates:
+    """The ragged-path candidate dedup: a pure gather optimization.
+
+    Zipf-shaped serving traffic repeats hot candidates across coalesced
+    requests; embedding each distinct value once and gathering rows back
+    must be invisible — bit-identical scores, exact per-single parity.
+    """
+
+    def test_first_seen_order_and_inverse_reconstructs(self):
+        flat = [3.0, 1.0, 3.0, (2.0, 4.0), 1.0, (2.0, 4.0)]
+        unique, inverse = dedup_candidates(flat)
+        assert unique == [3.0, 1.0, (2.0, 4.0)]
+        assert [unique[i] for i in inverse] == flat
+
+    def test_all_distinct_is_identity(self):
+        flat = [1.0, 2.0, 3.0]
+        unique, inverse = dedup_candidates(flat)
+        assert unique == flat
+        assert inverse.tolist() == [0, 1, 2]
+
+    def test_unhashable_candidates_fall_back_to_content_key(self):
+        flat = [np.array([1.0, 2.0]), [1.0, 2.0], np.array([3.0, 4.0])]
+        unique, inverse = dedup_candidates(flat)
+        # array and list with equal content share one embedding row
+        assert len(unique) == 2
+        assert inverse.tolist() == [0, 0, 1]
+
+    def test_dedup_gather_bit_identical_to_undeduped_embed(self, tiny_actor):
+        """Embed-unique-then-gather == embed-everything, bitwise."""
+        engine = tiny_actor.query_engine()
+        flat = [1.0, 9.0, 1.0, 14.5, 9.0, 9.0, 1.0]
+        reference = normalize_rows(engine.candidate_matrix("time", flat))
+        unique, inverse = dedup_candidates(flat)
+        deduped = normalize_rows(
+            engine.candidate_matrix("time", unique)
+        )[inverse]
+        np.testing.assert_array_equal(deduped, reference)
+
+    @pytest.mark.parametrize(
+        "target,candidates",
+        [
+            ("time", [[1.0, 1.0, 9.0], [9.0, 1.0], [1.0, 1.0]]),
+            (
+                "location",
+                [
+                    [(0.5, 0.5), (3.3, 7.7), (0.5, 0.5)],
+                    [(0.5, 0.5)],
+                    [(3.3, 7.7), (3.3, 7.7)],
+                ],
+            ),
+            (
+                "text",
+                [
+                    [("common_000",), ("common_001",), ("common_000",)],
+                    [("common_001",), ("common_000",)],
+                ],
+            ),
+        ],
+    )
+    def test_duplicate_heavy_batches_keep_per_single_parity(
+        self, tiny_actor, target, candidates
+    ):
+        """Repeats within and across requests: still bit-exact singles."""
+        engine = tiny_actor.query_engine()
+        words = [("common_002",)] * len(candidates)
+        batched = engine.score_ragged_batch(
+            target=target, candidates=candidates, words=words
+        )
+        for i, group in enumerate(candidates):
+            single = engine.score_ragged_batch(
+                target=target, candidates=[group], words=[words[i]]
+            )[0]
+            assert batched[i].tolist() == single.tolist()
+
+    def test_dedup_counter_records_savings(self, tiny_actor):
+        engine = tiny_actor.query_engine()
+        counter = engine.metrics.counter("query.candidates_deduped")
+        before = counter.value
+        engine.score_ragged_batch(
+            target="time",
+            candidates=[[1.0, 1.0, 1.0, 2.0]],
+            words=[("common_000",)],
+        )
+        assert counter.value == before + 2  # 4 flat, 2 unique
