@@ -22,6 +22,12 @@ Usage (also available as ``python -m repro``)::
     repro telemetry --dir tel/                       # inspect a telemetry dump
     repro serve    --model bundle/ --mmap --port 8099  # HTTP query serving
     repro loadgen  --url http://127.0.0.1:8099 --concurrency 8
+    repro stream   --model model.pkl --corpus live.jsonl \
+                   --publish-bundles bundles/ --publish-every 5
+    repro serve    --watch-bundles bundles/ --probe-corpus probe.jsonl \
+                   --port 8099                # zero-downtime lifecycle
+    repro promote  --model model.pkl --bundles bundles/  # next epoch
+    repro rollback --bundles bundles/        # revert to last-good
 
 ``--telemetry-dir DIR`` (on ``train``, ``evaluate`` and ``stream``) writes a
 Prometheus text-format ``metrics.prom`` plus a ``trace.jsonl`` span dump
@@ -191,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
         "re-export in the current format",
     )
     export.add_argument("--out", required=True, help="bundle directory")
+    export.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing bundle at --out; without it, export "
+        "refuses to rewrite a directory that already holds a bundle "
+        "(see docs/operations.md §7 for migration semantics)",
+    )
 
     stream = sub.add_parser(
         "stream",
@@ -255,6 +267,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="storage backend for the online embedding copies (shared "
         "lets forked processes serve the live model while it streams)",
     )
+    stream.add_argument(
+        "--publish-bundles", metavar="DIR",
+        help="publish versioned v2 bundles into the lifecycle bundle root "
+        "DIR (atomic epoch directories a 'repro serve --watch-bundles' "
+        "instance promotes from); one bundle is always published when "
+        "the stream ends",
+    )
+    stream.add_argument(
+        "--publish-every", type=int, metavar="N",
+        help="additionally publish a bundle every N ingested batches "
+        "(effective only with --publish-bundles)",
+    )
+    stream.add_argument(
+        "--publish-retain", type=int, default=8, metavar="N",
+        help="keep at most N published epochs in the bundle root; older "
+        "ones are pruned, but the CURRENT/LATEST pointer targets never "
+        "are (default: 8)",
+    )
 
     tel = sub.add_parser(
         "telemetry",
@@ -271,9 +301,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve cross-modal queries over HTTP (predict + neighbors)",
     )
     serve.add_argument(
-        "--model", required=True,
+        "--model",
         help="trained model path (use a bundle directory with --mmap for "
-        "zero-copy read-only serving)",
+        "zero-copy read-only serving); optional with --watch-bundles, "
+        "which then serves the root's CURRENT epoch",
     )
     serve.add_argument(
         "--mmap", action="store_true",
@@ -329,6 +360,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-dir", metavar="DIR",
         help="write Prometheus metrics + structured events.jsonl logs to "
         "DIR at shutdown",
+    )
+    serve.add_argument(
+        "--watch-bundles", metavar="DIR",
+        help="enable the zero-downtime lifecycle: poll the bundle root "
+        "DIR for new epochs, gate each candidate (probe MRR + drift "
+        "checks) and hot-swap it under live traffic, rolling back to "
+        "last-good on regression (see docs/operations.md §7)",
+    )
+    serve.add_argument(
+        "--probe-corpus", metavar="PATH",
+        help="JSONL corpus whose frozen probe sample powers the gate's "
+        "MRR check and the post-promotion regression monitor (with "
+        "--watch-bundles; without it only structural gate checks run)",
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=2.0, metavar="SECONDS",
+        help="bundle-root poll period (default: 2.0; with --watch-bundles)",
+    )
+    serve.add_argument(
+        "--gate-mrr-drop", type=float, default=0.2, metavar="FRACTION",
+        help="relative probe-MRR regression that vetoes a candidate "
+        "(default: 0.2 = veto below 80%% of baseline)",
+    )
+    serve.add_argument(
+        "--monitor-mrr-drop", type=float, default=0.2, metavar="FRACTION",
+        help="relative probe-MRR regression of the *active* model that "
+        "triggers auto-rollback to last-good (default: 0.2)",
+    )
+    serve.add_argument(
+        "--monitor-every", type=int, default=5, metavar="N",
+        help="re-probe the active model every N idle polls (default: 5)",
+    )
+
+    promote = sub.add_parser(
+        "promote",
+        help="publish a model as the next lifecycle epoch (atomic; a "
+        "watching server gates and hot-swaps it)",
+    )
+    promote.add_argument(
+        "--model", required=True,
+        help="pickled model path or bundle directory to publish",
+    )
+    promote.add_argument(
+        "--bundles", required=True, metavar="DIR",
+        help="lifecycle bundle root to publish into",
+    )
+    promote.add_argument(
+        "--force", action="store_true",
+        help="record a force flag in the epoch's promote.json: the "
+        "serving gate logs failing checks but promotes anyway "
+        "(operator override)",
+    )
+    promote.add_argument(
+        "--retain", type=int, default=8, metavar="N",
+        help="keep at most N published epochs (pointer targets are never "
+        "pruned; default: 8)",
+    )
+
+    rollback = sub.add_parser(
+        "rollback",
+        help="ask the watching server to revert to its last-good model",
+    )
+    rollback.add_argument(
+        "--bundles", required=True, metavar="DIR",
+        help="lifecycle bundle root the server watches",
+    )
+    rollback.add_argument(
+        "--reason", default="operator",
+        help="free-text reason recorded in decisions.jsonl",
     )
 
     lg = sub.add_parser(
@@ -470,8 +570,20 @@ def _load_model(path: str, *, mmap: bool = False):
 def _cmd_export(args: argparse.Namespace) -> int:
     # Accepts a bundle directory too, so v1 bundles migrate to the current
     # format with one `repro export --model old/ --out new/` round trip.
+    out = Path(args.out)
+    if (out / "manifest.json").exists() and not args.force:
+        print(
+            f"{args.out} already holds a bundle; re-exporting in place "
+            "would silently replace it (and yank mmap pages out from "
+            "under any server mapping it). Pass --force to overwrite, "
+            "or export to a fresh directory — lifecycle deployments "
+            "should publish new epochs with 'repro promote' instead "
+            "(docs/operations.md §7).",
+            file=sys.stderr,
+        )
+        return 2
     model = _load_model(args.model)
-    save_bundle(model, args.out)
+    save_bundle(model, out)
     print(f"exported portable bundle to {args.out}")
     return 0
 
@@ -652,6 +764,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             alerts=list(watchdog.alerts) if watchdog is not None else None,
         )
 
+    publisher = None
+    if args.publish_bundles:
+        from repro.lifecycle import BundlePublisher
+
+        publisher = BundlePublisher(
+            args.publish_bundles,
+            retain=args.publish_retain,
+            metrics=model.metrics,
+            logger=logger,
+        )
+
     records = list(corpus)
     try:
         for n_batch, start in enumerate(
@@ -661,11 +784,24 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             if server is not None:
                 server.heartbeat()
             if (
+                publisher is not None
+                and args.publish_every
+                and n_batch % args.publish_every == 0
+            ):
+                path = publisher.publish(model)
+                print(f"published bundle epoch {path.name} to {path}")
+            if (
                 args.telemetry_dir
                 and args.telemetry_flush_every
                 and n_batch % args.telemetry_flush_every == 0
             ):
                 _flush()
+        if publisher is not None:
+            # The final model state always ships, so a watching server
+            # picks up everything this stream learned even when the
+            # record count doesn't land on a --publish-every boundary.
+            path = publisher.publish(model)
+            print(f"published bundle epoch {path.name} to {path}")
     finally:
         if server is not None:
             server.stop()
@@ -699,8 +835,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serving import QueryServer
 
+    initial_epoch = 0
+    model_desc = args.model
     try:
-        model = _load_model(args.model, mmap=args.mmap)
+        if args.model is not None:
+            model = _load_model(args.model, mmap=args.mmap)
+        elif args.watch_bundles:
+            # No explicit model: serve the bundle root's CURRENT epoch
+            # (or the newest non-vetoed one) and hot-swap from there.
+            from repro.lifecycle import BundleWatcher
+
+            watcher = BundleWatcher(args.watch_bundles)
+            epoch = watcher.serving_epoch()
+            if epoch is None:
+                print(
+                    f"bundle root {args.watch_bundles} holds no "
+                    "promotable epoch; publish one with 'repro promote' "
+                    "or pass --model",
+                    file=sys.stderr,
+                )
+                return 2
+            initial_epoch = epoch
+            model_desc = str(watcher.epoch_path(epoch))
+            model = load_bundle(watcher.epoch_path(epoch), mmap=True)
+        else:
+            print(
+                "serve requires --model (or --watch-bundles with a "
+                "published epoch to serve from)",
+                file=sys.stderr,
+            )
+            return 2
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -724,6 +888,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ann_nprobe=args.ann_nprobe,
     )
     server.start()
+    manager = None
+    if args.watch_bundles:
+        from repro.core.drift import make_probe_queries
+        from repro.lifecycle import LifecycleManager
+
+        probe_queries = None
+        if args.probe_corpus:
+            probe_queries = make_probe_queries(load_corpus(args.probe_corpus))
+        manager = LifecycleManager(
+            server,
+            args.watch_bundles,
+            initial_epoch=initial_epoch,
+            probe_queries=probe_queries,
+            poll_interval=args.poll_interval,
+            gate_mrr_drop=args.gate_mrr_drop,
+            monitor_mrr_drop=args.monitor_mrr_drop,
+            monitor_every=args.monitor_every,
+            logger=logger,
+        )
+        manager.start()
     mode = "coalesced" if server.coalesce else "per-request"
     if args.ann:
         status = server.engine.ann_status()
@@ -733,8 +917,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for m, s in sorted(status["indexes"].items())
         )
         mode += f"; ann nprobe={status['nprobe']} ({built})"
+    if manager is not None:
+        mode += (
+            f"; lifecycle epoch {initial_epoch} watching "
+            f"{args.watch_bundles} every {args.poll_interval:g}s"
+        )
     print(
-        f"serving {args.model} on {server.url} ({mode}; "
+        f"serving {model_desc} on {server.url} ({mode}; "
         "POST /v1/predict /v1/neighbors, GET /metrics /healthz /varz)",
         flush=True,
     )
@@ -758,6 +947,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
+        if manager is not None:
+            manager.stop()
         server.stop()
         if args.telemetry_dir:
             written = write_telemetry(args.telemetry_dir, server.metrics, None)
@@ -765,6 +956,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if logger is not None:
             logger.close()
     print("server drained and stopped")
+    return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    from repro.lifecycle import BundlePublisher
+
+    try:
+        model = _load_model(args.model)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    publisher = BundlePublisher(args.bundles, retain=args.retain)
+    path = publisher.publish(model, force=args.force)
+    flag = " (forced: gate failures will not veto)" if args.force else ""
+    print(
+        f"published epoch {path.name} to {path}{flag}; a watching "
+        "server will gate and promote it"
+    )
+    return 0
+
+
+def _cmd_rollback(args: argparse.Namespace) -> int:
+    from repro.lifecycle import BundleWatcher
+
+    watcher = BundleWatcher(args.bundles)
+    watcher.request_rollback(args.reason)
+    print(
+        f"rollback requested in {args.bundles}; the watching server "
+        "reverts to last-good on its next poll (verdict lands in "
+        "decisions.jsonl and /varz)"
+    )
     return 0
 
 
@@ -887,6 +1109,8 @@ _COMMANDS = {
     "export": _cmd_export,
     "stream": _cmd_stream,
     "serve": _cmd_serve,
+    "promote": _cmd_promote,
+    "rollback": _cmd_rollback,
     "loadgen": _cmd_loadgen,
     "telemetry": _cmd_telemetry,
 }

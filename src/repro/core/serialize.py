@@ -175,7 +175,9 @@ def save_bundle(model: Actor | QueryModel, directory: str | Path) -> Path:
     Embeddings go out as raw ``.npy`` sidecars (format v2) so the bundle
     can later be served zero-copy via ``load_bundle(..., mmap=True)``.
     """
-    if not isinstance(model, QueryModel) and not model.is_fitted:
+    # QueryModel and OnlineActor are fitted by construction; a bare Actor
+    # must have been trained.
+    if not getattr(model, "is_fitted", True):
         raise ValueError("cannot serialize an unfitted model")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -185,6 +187,30 @@ def save_bundle(model: Actor | QueryModel, directory: str | Path) -> Path:
         [activity.type_of(i).value, activity.key_of(i)]
         for i in range(activity.n_nodes)
     ]
+    # Streaming models (OnlineActor) grow rows past the base registry;
+    # append those nodes in row order so nodes.json matches the matrices
+    # and the bundle loads as a self-consistent QueryModel.
+    extra_nodes = getattr(model, "_extra_nodes", None)
+    if extra_nodes:
+        base_rows = model.center.shape[0] - len(extra_nodes)
+        if base_rows != activity.n_nodes:
+            raise ValueError(
+                f"cannot serialize: {activity.n_nodes} registry nodes plus "
+                f"{len(extra_nodes)} extra nodes do not account for "
+                f"{model.center.shape[0]} embedding rows"
+            )
+        ordered = sorted(extra_nodes.items(), key=lambda item: item[1])
+        for offset, ((node_type, key), row) in enumerate(ordered):
+            if row != base_rows + offset:
+                raise ValueError(
+                    "extra node rows are not contiguous; refusing to export"
+                )
+            nodes.append(
+                [
+                    node_type.value,
+                    int(key) if isinstance(key, (int, np.integer)) else key,
+                ]
+            )
     detector = model.built.detector
 
     np.save(directory / "center.npy", np.asarray(model.center, dtype=np.float64))

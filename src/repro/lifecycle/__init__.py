@@ -1,0 +1,53 @@
+"""Zero-downtime model lifecycle: publish, gate, hot-swap, roll back.
+
+The package closes the loop between the streaming trainer and the
+serving layer (ROADMAP item 3, USTAR's online-serving framing):
+
+* :class:`~repro.lifecycle.publisher.BundlePublisher` — the trainer side:
+  atomic publication of versioned v2 bundles into a ``bundles/<epoch>/``
+  root with ``CURRENT``/``LATEST`` pointers and retention pruning.
+* :class:`~repro.lifecycle.watcher.BundleWatcher` — discovery: candidate
+  epochs, veto markers, operator rollback requests.
+* :class:`~repro.lifecycle.gate.PromotionGate` — pre-flight quality
+  checks (finite embeddings, dim match, norm-mass band, frozen-probe-set
+  MRR vs baseline) producing an auditable
+  :class:`~repro.lifecycle.gate.GateDecision`.
+* :class:`~repro.lifecycle.swapper.ModelSwapper` — blue/green generation
+  management inside a live ``QueryServer``: eager green-side warmup,
+  torn-read-free atomic flip, last-good retention.
+* :class:`~repro.lifecycle.manager.LifecycleManager` — the control loop
+  tying them together, with ``lifecycle.*`` metrics, ``/varz`` state and
+  a ``decisions.jsonl`` audit log.
+
+See the lifecycle chapter in ``docs/architecture.md`` for the state
+machine and ``docs/operations.md`` §7 for the operator runbook.
+"""
+
+from repro.lifecycle.gate import GateDecision, PromotionGate
+from repro.lifecycle.manager import LifecycleManager
+from repro.lifecycle.publisher import (
+    BundlePublisher,
+    epoch_name,
+    list_epochs,
+    parse_epoch,
+    read_pointer,
+    write_pointer,
+)
+from repro.lifecycle.swapper import Generation, ModelSwapper
+from repro.lifecycle.watcher import BundleWatcher, CandidateBundle
+
+__all__ = [
+    "BundlePublisher",
+    "BundleWatcher",
+    "CandidateBundle",
+    "GateDecision",
+    "Generation",
+    "LifecycleManager",
+    "ModelSwapper",
+    "PromotionGate",
+    "epoch_name",
+    "list_epochs",
+    "parse_epoch",
+    "read_pointer",
+    "write_pointer",
+]

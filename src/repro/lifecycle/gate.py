@@ -1,0 +1,263 @@
+"""Promotion gate: quality checks a candidate bundle must pass to serve.
+
+Before the :class:`~repro.lifecycle.swapper.ModelSwapper` flips live
+traffic onto a candidate, :class:`PromotionGate` runs the drift
+watchdog's signals *offline* against the green (not-yet-serving) model:
+
+* **sane embeddings** — a sampled slice of the center/context matrices
+  must be finite (a truncated or NaN-poisoned export fails here first);
+* **dimension match** — the candidate must embed into the same space as
+  the serving reference (callers cannot hot-swap across a dim change);
+* **norm-mass ratio** — the mean row norm must stay within a bounded
+  ratio of the reference's (the drift watchdog's norm-EWMA signal,
+  collapsed to a single pre-flight comparison);
+* **probe MRR** — the frozen probe set (see
+  :func:`repro.core.drift.make_probe_queries`) is scored through a
+  private :class:`~repro.core.query_engine.QueryEngine` on the candidate
+  and must not regress more than ``mrr_drop`` (relative) below the
+  reference MRR.
+
+Every check lands in the returned :class:`GateDecision` whether it
+passed or not; a *forced* candidate (``promote.json`` with
+``{"force": true}``) records failing checks but promotes anyway — the
+operator override that also powers the auto-rollback CI drill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.query_engine import QueryEngine
+from repro.utils.logging import NULL_LOGGER
+from repro.utils.metrics import MetricsRegistry
+
+__all__ = ["PromotionGate", "GateDecision"]
+
+#: Rows sampled for the finiteness / norm checks (bounds gate latency on
+#: multi-million-row bundles; sampling is deterministic: evenly strided).
+_SAMPLE_ROWS = 4096
+
+
+def _sample_rows(matrix) -> np.ndarray:
+    """An evenly-strided sample of up to ``_SAMPLE_ROWS`` rows."""
+    n = matrix.shape[0]
+    if n <= _SAMPLE_ROWS:
+        return np.asarray(matrix, dtype=np.float64)
+    stride = max(1, n // _SAMPLE_ROWS)
+    return np.asarray(matrix[::stride], dtype=np.float64)
+
+
+@dataclass
+class GateDecision:
+    """Outcome of one :meth:`PromotionGate.evaluate` run."""
+
+    #: Candidate epoch under evaluation.
+    epoch: int
+    #: ``"promote"`` or ``"veto"``.
+    verdict: str
+    #: Whether a failing candidate was promoted anyway (operator force).
+    forced: bool
+    #: Individual checks: ``{"name", "ok", "detail"}`` dicts.
+    checks: list = field(default_factory=list)
+    #: Probe MRR measured on the candidate (None if no probe set).
+    candidate_mrr: float | None = None
+    #: Reference (serving baseline) probe MRR the candidate was held to.
+    reference_mrr: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether every check passed (ignoring any force override)."""
+        return all(check["ok"] for check in self.checks)
+
+    def failures(self) -> list[str]:
+        """Names of the checks that failed."""
+        return [check["name"] for check in self.checks if not check["ok"]]
+
+    def to_payload(self) -> dict:
+        """JSON-safe form for ``decisions.jsonl`` and ``/varz``."""
+        return {
+            "epoch": self.epoch,
+            "verdict": self.verdict,
+            "forced": self.forced,
+            "checks": self.checks,
+            "candidate_mrr": self.candidate_mrr,
+            "reference_mrr": self.reference_mrr,
+        }
+
+
+class PromotionGate:
+    """Evaluate candidate bundles against the serving baseline.
+
+    Parameters
+    ----------
+    probe_queries:
+        Frozen :class:`~repro.eval.mrr.PredictionQuery` list for the
+        probe-MRR check; ``None`` skips that check (structural checks
+        still run).
+    mrr_drop:
+        Relative probe-MRR regression that vetoes: ``0.2`` vetoes a
+        candidate scoring below 80% of the reference MRR.
+    norm_ratio:
+        Allowed mean-row-norm ratio band vs the reference, both ways:
+        candidate mean norm outside ``[ref/r, ref*r]`` fails.
+    metrics / logger:
+        Shared registry (``lifecycle.gate_pass`` / ``lifecycle.gate_fail``
+        counters, ``lifecycle.candidate_mrr`` gauge) and logger.
+    """
+
+    def __init__(
+        self,
+        *,
+        probe_queries=None,
+        mrr_drop: float = 0.2,
+        norm_ratio: float = 4.0,
+        metrics: MetricsRegistry | None = None,
+        logger=None,
+    ) -> None:
+        if not 0.0 <= mrr_drop < 1.0:
+            raise ValueError(f"mrr_drop must be in [0, 1), got {mrr_drop}")
+        if norm_ratio < 1.0:
+            raise ValueError(f"norm_ratio must be >= 1, got {norm_ratio}")
+        self.probe_queries = probe_queries
+        self.mrr_drop = float(mrr_drop)
+        self.norm_ratio = float(norm_ratio)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.logger = logger if logger is not None else NULL_LOGGER
+
+    def probe_mrr(self, model) -> float | None:
+        """Probe-set MRR of ``model`` via a private engine (no metrics).
+
+        Returns ``None`` when no probe set is configured or the probe
+        set cannot be scored against this model's registry.
+        """
+        if self.probe_queries is None or not len(self.probe_queries):
+            return None
+        engine = QueryEngine(model, metrics=MetricsRegistry())
+        try:
+            return float(engine.mean_reciprocal_rank(self.probe_queries))
+        except (KeyError, ValueError, IndexError):
+            return None
+
+    def evaluate(
+        self,
+        candidate_model,
+        *,
+        epoch: int,
+        reference_model=None,
+        reference_mrr: float | None = None,
+        force: bool = False,
+    ) -> GateDecision:
+        """Run every check; returns the promote/veto :class:`GateDecision`.
+
+        ``reference_mrr`` (the serving baseline, maintained by the
+        :class:`~repro.lifecycle.manager.LifecycleManager` across swaps)
+        takes precedence over re-probing ``reference_model``.
+        """
+        checks: list[dict] = []
+
+        center = candidate_model.center
+        sample_c = _sample_rows(center)
+        sample_x = _sample_rows(candidate_model.context)
+        finite = bool(np.isfinite(sample_c).all() and np.isfinite(sample_x).all())
+        checks.append(
+            {
+                "name": "finite_embeddings",
+                "ok": finite,
+                "detail": f"sampled {sample_c.shape[0]} rows",
+            }
+        )
+
+        if reference_model is not None:
+            dim_ok = center.shape[1] == reference_model.center.shape[1]
+            checks.append(
+                {
+                    "name": "dim_match",
+                    "ok": dim_ok,
+                    "detail": (
+                        f"candidate dim {center.shape[1]} vs "
+                        f"reference {reference_model.center.shape[1]}"
+                    ),
+                }
+            )
+            if finite and dim_ok:
+                cand_norm = float(
+                    np.linalg.norm(sample_c, axis=1).mean()
+                )
+                ref_norm = float(
+                    np.linalg.norm(
+                        _sample_rows(reference_model.center), axis=1
+                    ).mean()
+                )
+                band_ok = (
+                    ref_norm / self.norm_ratio
+                    <= cand_norm
+                    <= ref_norm * self.norm_ratio
+                    if ref_norm > 0
+                    else cand_norm == 0
+                )
+                checks.append(
+                    {
+                        "name": "norm_ratio",
+                        "ok": bool(band_ok),
+                        "detail": (
+                            f"candidate mean norm {cand_norm:.4f} vs "
+                            f"reference {ref_norm:.4f} "
+                            f"(allowed ratio {self.norm_ratio})"
+                        ),
+                    }
+                )
+
+        candidate_mrr = self.probe_mrr(candidate_model) if finite else None
+        if self.probe_queries is not None and len(self.probe_queries):
+            if candidate_mrr is None:
+                checks.append(
+                    {
+                        "name": "probe_scoreable",
+                        "ok": False,
+                        "detail": "probe set could not be scored on candidate",
+                    }
+                )
+            else:
+                self.metrics.gauge("lifecycle.candidate_mrr").set(
+                    candidate_mrr
+                )
+                if reference_mrr is None and reference_model is not None:
+                    reference_mrr = self.probe_mrr(reference_model)
+                if reference_mrr is not None:
+                    floor = reference_mrr * (1.0 - self.mrr_drop)
+                    checks.append(
+                        {
+                            "name": "probe_mrr",
+                            "ok": bool(candidate_mrr >= floor),
+                            "detail": (
+                                f"candidate MRR {candidate_mrr:.4f} vs "
+                                f"floor {floor:.4f} "
+                                f"(reference {reference_mrr:.4f}, "
+                                f"allowed drop {self.mrr_drop:.0%})"
+                            ),
+                        }
+                    )
+
+        ok = all(check["ok"] for check in checks)
+        verdict = "promote" if ok or force else "veto"
+        decision = GateDecision(
+            epoch=epoch,
+            verdict=verdict,
+            forced=bool(force and not ok),
+            checks=checks,
+            candidate_mrr=candidate_mrr,
+            reference_mrr=reference_mrr,
+        )
+        self.metrics.counter(
+            "lifecycle.gate_pass" if ok else "lifecycle.gate_fail"
+        ).inc()
+        self.logger.info(
+            "lifecycle.gate",
+            epoch=epoch,
+            verdict=verdict,
+            forced=decision.forced,
+            failures=decision.failures(),
+        )
+        return decision

@@ -1,0 +1,138 @@
+"""Bundle-root discovery: the read side of the model lifecycle.
+
+:class:`BundleWatcher` polls a bundle root (see
+:mod:`repro.lifecycle.publisher` for the directory protocol) and answers
+three questions for the serving-side :class:`~repro.lifecycle.manager
+.LifecycleManager`:
+
+* is there a *candidate* — a published epoch newer than what's serving,
+  not previously vetoed?
+* has an operator requested a rollback (``ROLLBACK`` marker file,
+  written by ``repro rollback``)?
+* which epoch should a cold-starting server load (``CURRENT`` pointer,
+  falling back to the newest non-vetoed epoch)?
+
+Verdicts flow the other way: :meth:`BundleWatcher.veto` drops a
+``VETOED`` marker into an epoch directory so the candidate is never
+offered again — neither to this server nor to any replica watching the
+same root.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lifecycle.publisher import (
+    CURRENT_POINTER,
+    list_epochs,
+    read_pointer,
+)
+
+__all__ = ["BundleWatcher", "CandidateBundle"]
+
+ROLLBACK_MARKER = "ROLLBACK"
+VETO_MARKER = "VETOED"
+
+
+@dataclass(frozen=True)
+class CandidateBundle:
+    """One promotable epoch discovered in the bundle root."""
+
+    #: Epoch number (monotonically increasing across publishes).
+    epoch: int
+    #: The epoch's bundle directory.
+    path: Path
+    #: Publisher requested a forced promotion (gate checks are recorded
+    #: but do not veto).
+    force: bool
+
+
+class BundleWatcher:
+    """Discover candidates, rollback requests and verdicts in a root."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------ discovery
+
+    def candidate(self, *, after: int | None = None) -> CandidateBundle | None:
+        """Newest promotable epoch strictly newer than ``after``.
+
+        Skips vetoed epochs.  Intermediate epochs older than the newest
+        candidate are implicitly superseded — promotion always targets
+        the most recent publish, matching a trainer that exports faster
+        than the gate can evaluate.
+        """
+        for epoch, path in reversed(list_epochs(self.root)):
+            if after is not None and epoch <= after:
+                return None
+            if self.vetoed(epoch):
+                continue
+            return CandidateBundle(
+                epoch=epoch, path=path, force=self._force_requested(path)
+            )
+        return None
+
+    def serving_epoch(self) -> int | None:
+        """Epoch a cold-starting server should load.
+
+        The ``CURRENT`` pointer if set (and not dangling), else the
+        newest non-vetoed epoch, else ``None`` (empty root).
+        """
+        current = read_pointer(self.root, CURRENT_POINTER)
+        if current is not None and not self.vetoed(current):
+            return current
+        for epoch, _path in reversed(list_epochs(self.root)):
+            if not self.vetoed(epoch):
+                return epoch
+        return None
+
+    def epoch_path(self, epoch: int) -> Path:
+        """Directory of ``epoch`` (not checked for existence)."""
+        from repro.lifecycle.publisher import epoch_name
+
+        return self.root / epoch_name(epoch)
+
+    def _force_requested(self, path: Path) -> bool:
+        """Whether the publisher flagged this epoch for forced promotion."""
+        promote = path / "promote.json"
+        if not promote.exists():
+            return False
+        try:
+            return bool(json.loads(promote.read_text()).get("force", False))
+        except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+            return False
+
+    # ------------------------------------------------------------- verdicts
+
+    def vetoed(self, epoch: int) -> bool:
+        """Whether ``epoch`` carries a veto marker."""
+        return (self.epoch_path(epoch) / VETO_MARKER).exists()
+
+    def veto(self, epoch: int, reason: str = "") -> None:
+        """Mark ``epoch`` as never-promote (gate failure or rollback)."""
+        path = self.epoch_path(epoch)
+        if path.is_dir():
+            (path / VETO_MARKER).write_text(reason + "\n")
+
+    # ------------------------------------------------------------- rollback
+
+    def rollback_requested(self) -> bool:
+        """Whether an operator dropped a ``ROLLBACK`` marker in the root."""
+        return (self.root / ROLLBACK_MARKER).exists()
+
+    def request_rollback(self, reason: str = "operator") -> None:
+        """Ask the serving side to revert to its last-good generation."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / ROLLBACK_MARKER).write_text(reason + "\n")
+
+    def clear_rollback(self) -> str:
+        """Consume the rollback marker; returns the recorded reason."""
+        marker = self.root / ROLLBACK_MARKER
+        reason = ""
+        if marker.exists():
+            reason = marker.read_text().strip()
+            marker.unlink()
+        return reason

@@ -222,22 +222,13 @@ class QueryServer:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.logger = logger if logger is not None else NULL_LOGGER
         self.ann = bool(ann)
+        self.ann_nlist = int(ann_nlist)
+        self.ann_nprobe = int(ann_nprobe)
+        self.model = model
+        engine = self.build_engine(model)
         if self.ann:
-            from repro.ann import IndexedQueryEngine
-
-            engine = IndexedQueryEngine(
-                model,
-                nlist=ann_nlist,
-                nprobe=ann_nprobe,
-                metrics=self.metrics,
-                logger=self.logger,
-            )
             self.metrics.gauge("ann.nlist").set(ann_nlist)
             self.metrics.gauge("ann.nprobe").set(ann_nprobe)
-        else:
-            engine = QueryEngine(
-                model, metrics=self.metrics, logger=self.logger
-            )
         self.engine = engine
         self.service = QueryService(
             model, engine=engine, metrics=self.metrics, logger=self.logger
@@ -269,19 +260,16 @@ class QueryServer:
         if self._httpd is not None:
             raise RuntimeError("query server already started")
         if self.coalesce:
+            # The batcher gets the trampoline, not a bound dispatch:
+            # reading self.service per batch is what lets swap_model
+            # retarget in-flight coalescing without restarting it.
             self.batcher = RequestBatcher(
-                self.service.dispatch,
+                self._dispatch_batch,
                 max_batch=self.max_batch,
                 max_wait_ms=self.batch_window_ms,
                 metrics=self.metrics,
             )
-        if self.ann:
-            # Build every modality index up front (at bundle load for
-            # mmap serving) so the first neighbor query never pays the
-            # build; empty modalities fall back to the exact scan.
-            for modality in self.engine.ann_modalities:
-                if self.engine.model.modality_cache(modality).keys:
-                    self.engine.index_for(modality)
+        self.warm_engine(self.engine)
         handler = type("BoundServeHandler", (_ServeHandler,), {"server_ref": self})
         self._httpd = _QueryHTTPServer(
             (self.host, self.requested_port), handler
@@ -357,7 +345,70 @@ class QueryServer:
         """Base URL of the running server."""
         return f"http://{self.host}:{self.port}"
 
+    # ------------------------------------------------------------ generations
+
+    def build_engine(self, model):
+        """A query engine over ``model`` matching this server's config.
+
+        ANN servers get an :class:`~repro.ann.engine.IndexedQueryEngine`
+        with the same ``(nlist, nprobe)`` shape; the lifecycle layer uses
+        this to open green candidate bundles identically to the blue one.
+        """
+        if self.ann:
+            from repro.ann import IndexedQueryEngine
+
+            return IndexedQueryEngine(
+                model,
+                nlist=self.ann_nlist,
+                nprobe=self.ann_nprobe,
+                metrics=self.metrics,
+                logger=self.logger,
+            )
+        return QueryEngine(model, metrics=self.metrics, logger=self.logger)
+
+    def warm_engine(self, engine) -> None:
+        """Build every ANN modality index of ``engine`` up front.
+
+        Runs at :meth:`start` (bundle load for mmap serving) and again
+        for each green candidate the lifecycle layer opens — always off
+        the serving path, so the first neighbor query (and the atomic
+        swap) never pays an index build.  Empty modalities fall back to
+        the exact scan; non-ANN servers are a no-op.
+        """
+        if not self.ann:
+            return
+        for modality in engine.ann_modalities:
+            if engine.model.modality_cache(modality).keys:
+                engine.index_for(modality)
+
+    def swap_model(self, model, engine, service) -> None:
+        """Atomically retarget serving onto a new model generation.
+
+        The single ``self.service`` rebind is the linearization point:
+        the batcher trampoline and the direct path read it exactly once
+        per dispatch (atomic under the GIL), so every batch executes
+        entirely against one generation — no torn reads.  ``model`` /
+        ``engine`` attrs and the slow-query log follow for telemetry and
+        later swaps; requests already validated against the old service
+        dispatch fine on the new one (validation is model-independent).
+        """
+        self.service = service
+        self.model = model
+        self.engine = engine
+        self.telemetry.slow_queries = engine.slow_queries
+        self.logger.info("serve.model_swapped")
+
     # -------------------------------------------------------------- execution
+
+    def _dispatch_batch(self, requests):
+        """Batcher trampoline: dispatch on the *current* service.
+
+        Reads ``self.service`` once per batch so a concurrent
+        :meth:`swap_model` either lands before this batch (all requests
+        see the new generation) or after it (all see the old) — never
+        mid-batch.
+        """
+        return self.service.dispatch(requests)
 
     def execute(self, request) -> dict:
         """Run one typed request through the coalesced (or direct) path."""

@@ -1,0 +1,156 @@
+"""PromotionGate: structural checks, probe MRR, force semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import load_bundle, save_bundle
+from repro.core.drift import make_probe_queries
+from repro.lifecycle import PromotionGate
+from repro.utils.metrics import MetricsRegistry
+
+
+from tests.lifecycle.conftest import scrambled_center
+
+
+@pytest.fixture(scope="module")
+def probe_queries(dataset):
+    return make_probe_queries(dataset.test, max_queries=64, seed=0)
+
+
+@pytest.fixture()
+def mutable_copy(tmp_path, tiny_actor):
+    """An eager, independently-mutable copy of the tiny actor."""
+    save_bundle(tiny_actor, tmp_path / "copy")
+    return load_bundle(tmp_path / "copy")
+
+
+def _check(decision, name):
+    for check in decision.checks:
+        if check["name"] == name:
+            return check
+    raise AssertionError(
+        f"no check named {name!r}; ran {[c['name'] for c in decision.checks]}"
+    )
+
+
+class TestStructuralChecks:
+    def test_identical_candidate_promotes(self, tiny_actor, probe_queries):
+        gate = PromotionGate(probe_queries=probe_queries)
+        decision = gate.evaluate(
+            tiny_actor, epoch=2, reference_model=tiny_actor
+        )
+        assert decision.verdict == "promote"
+        assert decision.ok
+        assert not decision.forced
+        assert decision.candidate_mrr == pytest.approx(
+            decision.reference_mrr
+        )
+        payload = decision.to_payload()
+        assert payload["epoch"] == 2
+        assert payload["verdict"] == "promote"
+
+    def test_nan_embeddings_veto(self, tiny_actor, mutable_copy):
+        center = np.array(mutable_copy.center)
+        center[0, 0] = np.nan
+        mutable_copy.center = center
+        gate = PromotionGate()
+        decision = gate.evaluate(
+            mutable_copy, epoch=2, reference_model=tiny_actor
+        )
+        assert decision.verdict == "veto"
+        assert not _check(decision, "finite_embeddings")["ok"]
+
+    def test_dim_mismatch_vetoes(self, tiny_actor, mutable_copy):
+        mutable_copy.center = np.array(mutable_copy.center)[:, :8]
+        mutable_copy.context = np.array(mutable_copy.context)[:, :8]
+        gate = PromotionGate()
+        decision = gate.evaluate(
+            mutable_copy, epoch=2, reference_model=tiny_actor
+        )
+        assert decision.verdict == "veto"
+        assert not _check(decision, "dim_match")["ok"]
+
+    def test_norm_blowup_vetoes(self, tiny_actor, mutable_copy):
+        mutable_copy.center = np.array(mutable_copy.center) * 100.0
+        gate = PromotionGate(norm_ratio=4.0)
+        decision = gate.evaluate(
+            mutable_copy, epoch=2, reference_model=tiny_actor
+        )
+        assert decision.verdict == "veto"
+        assert not _check(decision, "norm_ratio")["ok"]
+
+
+class TestProbeMrr:
+    def test_scrambled_candidate_fails_probe_mrr(
+        self, tiny_actor, mutable_copy, probe_queries
+    ):
+        mutable_copy.center = scrambled_center(tiny_actor.center)
+        gate = PromotionGate(probe_queries=probe_queries, mrr_drop=0.2)
+        decision = gate.evaluate(
+            mutable_copy, epoch=3, reference_model=tiny_actor
+        )
+        assert decision.verdict == "veto"
+        assert _check(decision, "norm_ratio")["ok"]
+        assert not _check(decision, "probe_mrr")["ok"]
+
+    def test_explicit_reference_mrr_is_the_bar(
+        self, tiny_actor, probe_queries
+    ):
+        gate = PromotionGate(probe_queries=probe_queries, mrr_drop=0.2)
+        actual = gate.probe_mrr(tiny_actor)
+        # Baseline far above what the candidate scores: must veto even
+        # though candidate and reference models are identical.
+        decision = gate.evaluate(
+            tiny_actor,
+            epoch=2,
+            reference_model=tiny_actor,
+            reference_mrr=actual * 10.0,
+        )
+        assert decision.verdict == "veto"
+
+    def test_no_probes_skips_mrr_check(self, tiny_actor):
+        gate = PromotionGate()
+        decision = gate.evaluate(
+            tiny_actor, epoch=2, reference_model=tiny_actor
+        )
+        assert decision.verdict == "promote"
+        assert decision.candidate_mrr is None
+        names = [check["name"] for check in decision.checks]
+        assert "probe_mrr" not in names
+
+
+class TestForce:
+    def test_force_promotes_failing_candidate(
+        self, tiny_actor, mutable_copy, probe_queries
+    ):
+        mutable_copy.center = scrambled_center(tiny_actor.center)
+        metrics = MetricsRegistry()
+        gate = PromotionGate(probe_queries=probe_queries, metrics=metrics)
+        decision = gate.evaluate(
+            mutable_copy, epoch=3, reference_model=tiny_actor, force=True
+        )
+        assert decision.verdict == "promote"
+        assert decision.forced
+        assert not decision.ok  # failures still recorded
+        assert decision.failures()
+        assert metrics.counter("lifecycle.gate_fail").value == 1
+
+    def test_force_on_passing_candidate_is_not_flagged(
+        self, tiny_actor, probe_queries
+    ):
+        gate = PromotionGate(probe_queries=probe_queries)
+        decision = gate.evaluate(
+            tiny_actor, epoch=2, reference_model=tiny_actor, force=True
+        )
+        assert decision.verdict == "promote"
+        assert not decision.forced
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PromotionGate(mrr_drop=1.0)
+        with pytest.raises(ValueError):
+            PromotionGate(norm_ratio=0.5)

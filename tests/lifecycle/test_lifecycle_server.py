@@ -1,0 +1,216 @@
+"""LifecycleManager driving a live QueryServer: promote, veto, rollback."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core import load_bundle, save_bundle
+from repro.core.drift import make_probe_queries
+from repro.lifecycle import (
+    BundlePublisher,
+    BundleWatcher,
+    LifecycleManager,
+    read_pointer,
+)
+from repro.serving import QueryServer
+from repro.serving.service import QueryService
+from repro.utils.metrics import MetricsRegistry
+
+from tests.lifecycle.conftest import scrambled_center
+
+PREDICT_BODY = {
+    "target": "time",
+    "candidates": [2.0, 9.5, 13.0, 21.5],
+    "words": ["common_000"],
+    "location": [1.0, 2.0],
+}
+
+
+def _post(url: str, body: dict):
+    data = json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get_varz(server):
+    with urllib.request.urlopen(server.url + "/varz", timeout=10.0) as resp:
+        return json.loads(resp.read())
+
+
+@pytest.fixture()
+def stack(bundles_root, tiny_actor, dataset):
+    """A publisher, a server on epoch 1, and a manager polling the root."""
+    publisher = BundlePublisher(bundles_root, retain=None)
+    first = publisher.publish(tiny_actor)
+    server = QueryServer(
+        load_bundle(first, mmap=True), port=0, metrics=MetricsRegistry()
+    ).start()
+    manager = LifecycleManager(
+        server,
+        bundles_root,
+        initial_epoch=1,
+        probe_queries=make_probe_queries(dataset.test, max_queries=64),
+        monitor_every=1,
+    )
+    try:
+        yield publisher, server, manager
+    finally:
+        server.stop()
+
+
+class TestPromotion:
+    def test_gated_promotion_under_traffic(self, stack, alt_actor):
+        publisher, server, manager = stack
+        status, before = _post(server.url + "/v1/predict", PREDICT_BODY)
+        assert status == 200
+
+        path = publisher.publish(alt_actor)
+        decision = manager.poll_once()
+        assert decision["action"] == "promote"
+        assert manager.swapper.active_epoch == 2
+        assert read_pointer(publisher.root) == 2
+        assert manager.swapper.last_good is not None
+        assert manager.swapper.last_good.epoch == 1
+
+        # Served responses now come from the new generation, and match a
+        # direct dispatch against the promoted bundle exactly.
+        status, after = _post(server.url + "/v1/predict", PREDICT_BODY)
+        assert status == 200
+        direct = QueryService(load_bundle(path), metrics=MetricsRegistry())
+        expected = direct.dispatch([direct.validate_predict(PREDICT_BODY)])[0]
+        assert after == expected
+        assert after != before
+
+        varz = _get_varz(server)
+        assert varz["lifecycle"]["active_epoch"] == 2
+        assert varz["lifecycle"]["last_decision"]["action"] == "promote"
+        assert server.metrics.gauge("lifecycle.active_epoch").value == 2
+        assert server.metrics.counter("lifecycle.promotions").value == 1
+
+    def test_idle_poll_is_a_noop(self, stack):
+        _publisher, _server, manager = stack
+        manager._polls_since_monitor = -10  # keep the monitor quiet
+        assert manager.poll_once() is None
+        assert manager.swapper.active_epoch == 1
+
+
+class TestVeto:
+    def test_degraded_candidate_is_vetoed(self, stack, tiny_actor, tmp_path):
+        publisher, server, manager = stack
+        save_bundle(tiny_actor, tmp_path / "bad")
+        bad = load_bundle(tmp_path / "bad")
+        bad.center = scrambled_center(tiny_actor.center)
+        path = publisher.publish(bad)
+
+        decision = manager.poll_once()
+        assert decision["action"] == "veto"
+        assert "probe_mrr" in [
+            c["name"] for c in decision["checks"] if not c["ok"]
+        ]
+        assert manager.swapper.active_epoch == 1
+        assert BundleWatcher(publisher.root).vetoed(2)
+        assert (path / "VETOED").read_text().startswith("gate:")
+        assert server.metrics.counter("lifecycle.vetoes").value == 1
+        # The vetoed epoch is never offered again.
+        assert manager.poll_once() is None or (
+            manager.poll_once()["action"] != "promote"
+        )
+
+    def test_unloadable_candidate_is_vetoed(self, stack):
+        publisher, _server, manager = stack
+        epoch_dir = publisher.root / "000002"
+        epoch_dir.mkdir()
+        (epoch_dir / "manifest.json").write_text("{not json")
+        decision = manager.poll_once()
+        assert decision["action"] == "veto"
+        assert "unloadable" in decision["reason"]
+        assert manager.swapper.active_epoch == 1
+
+
+class TestRollback:
+    def test_operator_rollback(self, stack, alt_actor):
+        publisher, server, manager = stack
+        publisher.publish(alt_actor)
+        assert manager.poll_once()["action"] == "promote"
+
+        BundleWatcher(publisher.root).request_rollback("drill")
+        decision = manager.poll_once()
+        assert decision["action"] == "rollback"
+        assert decision["reason"] == "drill"
+        assert decision["restored_epoch"] == 1
+        assert manager.swapper.active_epoch == 1
+        assert read_pointer(publisher.root) == 1
+        assert BundleWatcher(publisher.root).vetoed(2)
+        assert server.metrics.counter("lifecycle.rollbacks").value == 1
+        status, _ = _post(server.url + "/v1/predict", PREDICT_BODY)
+        assert status == 200
+
+    def test_rollback_without_last_good_fails_safely(self, stack):
+        _publisher, _server, manager = stack
+        BundleWatcher(manager.watcher.root).request_rollback("too early")
+        decision = manager.poll_once()
+        assert decision["action"] == "rollback_failed"
+        assert manager.swapper.active_epoch == 1
+
+    def test_forced_promotion_then_auto_rollback(
+        self, stack, tiny_actor, tmp_path
+    ):
+        publisher, server, manager = stack
+        baseline = manager.baseline_mrr
+        save_bundle(tiny_actor, tmp_path / "bad")
+        bad = load_bundle(tmp_path / "bad")
+        bad.center = scrambled_center(tiny_actor.center)
+        publisher.publish(bad, force=True)
+
+        decision = manager.poll_once()
+        assert decision["action"] == "promote"
+        assert decision["forced"] is True
+        assert manager.swapper.active_epoch == 2
+        # Forced promotion must not move the quality baseline.
+        assert manager.baseline_mrr == baseline
+
+        # monitor_every=1: the next idle poll probes the active model,
+        # sees the regression, and auto-rolls back to last-good.
+        decision = manager.poll_once()
+        assert decision["action"] == "rollback"
+        assert "fell below floor" in decision["reason"]
+        assert manager.swapper.active_epoch == 1
+        assert read_pointer(publisher.root) == 1
+        varz = _get_varz(server)
+        assert varz["lifecycle"]["active_epoch"] == 1
+        assert varz["lifecycle"]["last_decision"]["action"] == "rollback"
+
+        log = (publisher.root / "decisions.jsonl").read_text().splitlines()
+        actions = [json.loads(line)["action"] for line in log]
+        assert actions == ["promote", "rollback"]
+
+
+class TestBackgroundThread:
+    def test_start_stop_and_background_promotion(self, stack, alt_actor):
+        import time
+
+        publisher, _server, manager = stack
+        manager.poll_interval = 0.05
+        manager.start()
+        with pytest.raises(RuntimeError):
+            manager.start()
+        try:
+            publisher.publish(alt_actor)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if manager.swapper.active_epoch == 2:
+                    break
+                time.sleep(0.05)
+            assert manager.swapper.active_epoch == 2
+        finally:
+            manager.stop()
+        manager.stop()  # idempotent

@@ -1,0 +1,180 @@
+"""Publisher + watcher: epochs, pointers, retention, markers."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineActor, load_bundle, save_bundle
+from repro.lifecycle import (
+    BundlePublisher,
+    BundleWatcher,
+    epoch_name,
+    list_epochs,
+    parse_epoch,
+    read_pointer,
+    write_pointer,
+)
+
+
+class TestEpochNames:
+    def test_round_trip(self):
+        assert epoch_name(3) == "000003"
+        assert parse_epoch("000003") == 3
+        assert parse_epoch(epoch_name(123456)) == 123456
+
+    def test_non_epoch_entries_rejected(self):
+        assert parse_epoch("CURRENT") is None
+        assert parse_epoch("0003") is None
+        assert parse_epoch(".tmp-000003-99") is None
+        assert parse_epoch("0000030") is None
+
+    def test_negative_epoch_raises(self):
+        with pytest.raises(ValueError):
+            epoch_name(-1)
+
+
+class TestPublish:
+    def test_sequential_epochs_and_latest_pointer(self, publisher, tiny_actor):
+        first = publisher.publish(tiny_actor)
+        second = publisher.publish(tiny_actor)
+        assert first.name == "000001"
+        assert second.name == "000002"
+        assert [e for e, _ in list_epochs(publisher.root)] == [1, 2]
+        assert read_pointer(publisher.root, "LATEST") == 2
+        assert publisher.next_epoch() == 3
+
+    def test_promote_json_records_force(self, publisher, tiny_actor):
+        plain = publisher.publish(tiny_actor)
+        forced = publisher.publish(tiny_actor, force=True)
+        assert json.loads((plain / "promote.json").read_text()) == {
+            "force": False
+        }
+        assert json.loads((forced / "promote.json").read_text()) == {
+            "force": True
+        }
+
+    def test_published_bundle_loads(self, publisher, tiny_actor):
+        path = publisher.publish(tiny_actor)
+        model = load_bundle(path, mmap=True)
+        np.testing.assert_array_equal(
+            np.asarray(model.center), np.asarray(tiny_actor.center)
+        )
+
+    def test_list_epochs_ignores_partial_and_foreign_entries(
+        self, publisher, tiny_actor
+    ):
+        publisher.publish(tiny_actor)
+        (publisher.root / ".tmp-000009-123").mkdir()
+        (publisher.root / "000005").mkdir()  # no manifest: still publishing
+        (publisher.root / "notes.txt").write_text("hi")
+        assert [e for e, _ in list_epochs(publisher.root)] == [1]
+
+    def test_streamed_model_publishes_extra_nodes(
+        self, publisher, stream_actor
+    ):
+        base, records = stream_actor
+        online = OnlineActor(base, seed=7)
+        online.partial_fit(records)
+        assert online._extra_nodes, "stream should have grown new nodes"
+        path = publisher.publish(online)
+        model = load_bundle(path)
+        assert model.center.shape == np.asarray(online.center).shape
+        nodes = json.loads((path / "nodes.json").read_text())
+        assert len(nodes) == online.center.shape[0]
+
+    def test_save_bundle_refuses_inconsistent_extra_rows(
+        self, tmp_path, stream_actor
+    ):
+        base, records = stream_actor
+        online = OnlineActor(base, seed=7)
+        online.partial_fit(records)
+        broken = dict(online._extra_nodes)
+        # Skip a row so the registry no longer tiles the matrix.
+        key = next(iter(broken))
+        broken[key] = broken[key] + 1_000
+        online._extra_nodes = broken
+        with pytest.raises(ValueError):
+            save_bundle(online, tmp_path / "bundle")
+
+
+class TestRetention:
+    def test_prunes_oldest_unpinned(self, bundles_root, tiny_actor):
+        publisher = BundlePublisher(bundles_root, retain=2)
+        for _ in range(4):
+            publisher.publish(tiny_actor)
+        assert [e for e, _ in list_epochs(bundles_root)] == [3, 4]
+
+    def test_current_pointer_pins_its_epoch(self, bundles_root, tiny_actor):
+        publisher = BundlePublisher(bundles_root, retain=2)
+        publisher.publish(tiny_actor)
+        write_pointer(bundles_root, 1, "CURRENT")
+        for _ in range(3):
+            publisher.publish(tiny_actor)
+        kept = [e for e, _ in list_epochs(bundles_root)]
+        assert 1 in kept, "the serving epoch must never be pruned"
+        assert kept[-1] == 4
+
+    def test_retain_validation(self, bundles_root):
+        with pytest.raises(ValueError):
+            BundlePublisher(bundles_root, retain=0)
+
+
+class TestPointers:
+    def test_unset_and_dangling_pointers_read_none(
+        self, bundles_root, publisher, tiny_actor
+    ):
+        assert read_pointer(bundles_root) is None
+        write_pointer(bundles_root, 42)  # no such epoch on disk
+        assert read_pointer(bundles_root) is None
+
+    def test_write_is_replace(self, publisher, tiny_actor):
+        publisher.publish(tiny_actor)
+        publisher.publish(tiny_actor)
+        write_pointer(publisher.root, 1)
+        write_pointer(publisher.root, 2)
+        assert read_pointer(publisher.root) == 2
+
+
+class TestWatcher:
+    def test_candidate_and_veto(self, publisher, tiny_actor):
+        publisher.publish(tiny_actor)
+        publisher.publish(tiny_actor, force=True)
+        watcher = BundleWatcher(publisher.root)
+        candidate = watcher.candidate(after=1)
+        assert candidate is not None
+        assert candidate.epoch == 2
+        assert candidate.force is True
+        assert watcher.candidate(after=2) is None
+
+        watcher.veto(2, "probe MRR regression")
+        assert watcher.vetoed(2)
+        assert watcher.candidate(after=1) is None
+        # A newer publish is offered even over the vetoed one.
+        publisher.publish(tiny_actor)
+        assert watcher.candidate(after=1).epoch == 3
+
+    def test_serving_epoch_prefers_current(self, publisher, tiny_actor):
+        publisher.publish(tiny_actor)
+        publisher.publish(tiny_actor)
+        watcher = BundleWatcher(publisher.root)
+        assert watcher.serving_epoch() == 2  # newest, no pointer yet
+        write_pointer(publisher.root, 1)
+        assert watcher.serving_epoch() == 1
+        watcher.veto(1, "bad")
+        assert watcher.serving_epoch() == 2  # pointer target vetoed
+
+    def test_rollback_marker_round_trip(self, bundles_root):
+        watcher = BundleWatcher(bundles_root)
+        assert not watcher.rollback_requested()
+        watcher.request_rollback("drill")
+        assert watcher.rollback_requested()
+        assert watcher.clear_rollback() == "drill"
+        assert not watcher.rollback_requested()
+
+    def test_empty_root(self, bundles_root):
+        watcher = BundleWatcher(bundles_root)
+        assert watcher.candidate() is None
+        assert watcher.serving_epoch() is None

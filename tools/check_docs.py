@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Docs-consistency gate for the CI docs job (stdlib-only).
+
+Three families of rot this catches before a reader does:
+
+* **Broken intra-docs links** — every relative markdown link in
+  ``docs/*.md`` and ``README.md`` must point at a file that exists, and
+  a ``#fragment`` must match a heading anchor in the target file
+  (GitHub's slug rules: lowercase, punctuation dropped, spaces to
+  hyphens).
+* **Undocumented packages** — every ``src/repro/<pkg>/__init__.py``
+  package must be mentioned as ``repro.<pkg>`` in
+  ``docs/architecture.md``; a new subsystem cannot land without an
+  architecture chapter noticing it.
+* **README marker blocks** — the ``<!-- quickstart:begin/end -->``
+  markers must pair up and every fenced ``python`` block in the README
+  must at least byte-compile (the quickstart is additionally *executed*
+  by ``tests/test_readme_quickstart.py``).
+
+Usage::
+
+    python tools/check_docs.py [--root PATH]
+
+Exit code 1 when any check fails; every problem is listed, none is
+fatal to the scan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+_LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE_RE = re.compile(r"^(```|~~~)")
+_PY_FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading.
+
+    Inline code/emphasis markers are stripped, punctuation (anything
+    that is not alphanumeric, space or hyphen) is dropped, spaces become
+    hyphens: ``"Live scraping (--serve-metrics)"`` →
+    ``"live-scraping---serve-metrics"``.
+    """
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links → text
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """All anchor slugs a markdown file exposes (fences excluded)."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield every non-image markdown link target in ``path``."""
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        yield from _LINK_RE.findall(line)
+
+
+def check_links(doc_files: list[Path], root: Path) -> list[str]:
+    """Broken relative links / dangling anchors across ``doc_files``."""
+    problems: list[str] = []
+    for doc in doc_files:
+        for target in iter_links(doc):
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            rel, _, fragment = target.partition("#")
+            dest = doc if not rel else (doc.parent / rel).resolve()
+            if not dest.exists():
+                problems.append(
+                    f"{doc.relative_to(root)}: broken link '{target}' "
+                    f"(no such file {rel})"
+                )
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in heading_anchors(dest):
+                    problems.append(
+                        f"{doc.relative_to(root)}: link '{target}' points "
+                        f"at a heading anchor missing from {rel or doc.name}"
+                    )
+    return problems
+
+
+def check_package_mentions(root: Path) -> list[str]:
+    """Every src/repro package must appear in docs/architecture.md."""
+    architecture = root / "docs" / "architecture.md"
+    if not architecture.exists():
+        return ["docs/architecture.md is missing"]
+    text = architecture.read_text(encoding="utf-8")
+    problems: list[str] = []
+    for init in sorted((root / "src" / "repro").glob("*/__init__.py")):
+        package = f"repro.{init.parent.name}"
+        if package not in text:
+            problems.append(
+                f"docs/architecture.md never mentions '{package}' — new "
+                "packages need an architecture chapter (or at least a "
+                "layer-diagram entry)"
+            )
+    return problems
+
+
+def check_readme_markers(root: Path) -> list[str]:
+    """Quickstart markers pair up; python fences byte-compile."""
+    readme = root / "README.md"
+    if not readme.exists():
+        return ["README.md is missing"]
+    text = readme.read_text(encoding="utf-8")
+    problems: list[str] = []
+    begin = text.find("<!-- quickstart:begin -->")
+    end = text.find("<!-- quickstart:end -->")
+    if begin == -1 or end == -1:
+        problems.append("README.md quickstart begin/end markers are missing")
+    elif end < begin:
+        problems.append("README.md quickstart markers are out of order")
+    elif "```python" not in text[begin:end]:
+        problems.append(
+            "README.md quickstart markers wrap no ```python fence"
+        )
+    for i, block in enumerate(_PY_FENCE_RE.findall(text), start=1):
+        try:
+            compile(block, f"README.md (python block {i})", "exec")
+        except SyntaxError as exc:
+            problems.append(
+                f"README.md python block {i} does not compile: {exc}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    """Run every docs check; print problems; exit 1 when any fail."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: this script's grandparent)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+
+    doc_files = sorted((root / "docs").glob("*.md")) + [root / "README.md"]
+    doc_files = [p for p in doc_files if p.exists()]
+
+    problems = (
+        check_links(doc_files, root)
+        + check_package_mentions(root)
+        + check_readme_markers(root)
+    )
+    for problem in problems:
+        print(f"FAIL {problem}")
+    checked = len(doc_files)
+    if problems:
+        print(f"{len(problems)} docs problem(s) across {checked} file(s)")
+        return 1
+    print(f"docs OK: {checked} file(s), links + packages + README markers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,214 @@
+#!/usr/bin/env bash
+# CI drill for the zero-downtime model lifecycle: train two models,
+# serve the first from a bundle root with `--watch-bundles`, then — all
+# against the live server, with loadgen traffic overlapping the swap —
+#
+#   1. promote the second model and watch the gate promote it (zero 5xx
+#      during the flip; p99 within 1.5x the steady-state burst);
+#   2. publish a deliberately scrambled (norm-preserving, MRR-destroying)
+#      candidate and watch the gate veto it;
+#   3. publish the same junk with --force and watch the health monitor
+#      auto-roll back to last-good within a few polls;
+#   4. SIGTERM: the server must drain cleanly.
+#
+# Every verdict is asserted out of bundles/decisions.jsonl (uploaded as
+# a workflow artifact).  This is the executable form of the runbook in
+# docs/operations.md §7.
+#
+# Usage: bash tools/ci_lifecycle.sh  (from the repo root)
+set -euo pipefail
+
+export PYTHONPATH=src
+PORT="${LIFECYCLE_SMOKE_PORT:-8976}"
+WORK="${LIFECYCLE_SMOKE_DIR:-/tmp/lifecycle_smoke}"
+BASE="http://127.0.0.1:${PORT}"
+ROOT="$WORK/bundles"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# Seeds 5/13 are a measured pair: both score within the default 20%
+# probe-MRR gate of each other on this corpus, so the honest promotion
+# in step 1 passes an honest gate.
+python -m repro generate --preset utgeo2011 --n-records 1200 --seed 3 \
+  --out "$WORK/corpus.jsonl"
+python -m repro train --corpus "$WORK/corpus.jsonl" \
+  --out "$WORK/model_a.pkl" --dim 16 --epochs 3 --seed 5
+python -m repro train --corpus "$WORK/corpus.jsonl" \
+  --out "$WORK/model_b.pkl" --dim 16 --epochs 3 --seed 13
+
+python -m repro promote --model "$WORK/model_a.pkl" --bundles "$ROOT"
+
+python -m repro serve --watch-bundles "$ROOT" \
+  --probe-corpus "$WORK/corpus.jsonl" \
+  --port "$PORT" --poll-interval 0.5 --monitor-every 4 \
+  --max-seconds 300 >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+up=0
+for _ in $(seq 1 240); do
+  if curl -sf "$BASE/healthz" -o /dev/null; then
+    up=1
+    break
+  fi
+  sleep 0.25
+done
+if [ "$up" != 1 ]; then
+  echo "FAIL: lifecycle server never came up" >&2
+  cat "$WORK/serve.log" >&2 || true
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+
+# varz_lifecycle FIELD -> prints /varz lifecycle.FIELD (or "null").
+varz_lifecycle() {
+  curl -sf "$BASE/varz" | python -c "
+import json, sys
+print(json.load(sys.stdin)['lifecycle'].get('$1'))"
+}
+
+# wait_for_decision ACTION EPOCH TRIES -> waits for a decisions.jsonl
+# line with that action+epoch; fails the job if it never lands.
+wait_for_decision() {
+  for _ in $(seq 1 "$3"); do
+    if [ -f "$ROOT/decisions.jsonl" ] && python - "$ROOT" "$1" "$2" <<'EOF'
+import json, sys
+from pathlib import Path
+root, action, epoch = sys.argv[1], sys.argv[2], int(sys.argv[3])
+for line in (Path(root) / "decisions.jsonl").read_text().splitlines():
+    decision = json.loads(line)
+    if decision["action"] == action and decision.get("epoch") == epoch:
+        sys.exit(0)
+sys.exit(1)
+EOF
+    then
+      return 0
+    fi
+    sleep 0.25
+  done
+  echo "FAIL: no '$1' decision for epoch $2 in decisions.jsonl" >&2
+  cat "$ROOT/decisions.jsonl" >&2 || true
+  return 1
+}
+
+[ "$(varz_lifecycle active_epoch)" = 1 ]
+
+# --- steady-state reference burst (epoch 1 serving) --------------------
+python -m repro loadgen --url "$BASE" --preset utgeo2011 \
+  --n-queries 120 --duration 2 --concurrency 8 \
+  --fail-on-server-error --json >"$WORK/loadgen_steady.json"
+
+# --- 1. gated promotion under live traffic -----------------------------
+python -m repro promote --model "$WORK/model_b.pkl" --bundles "$ROOT"
+# The burst overlaps the watcher's poll + gate + flip (poll every 0.5s,
+# burst runs ~2s), so requests cross the swap boundary.
+python -m repro loadgen --url "$BASE" --preset utgeo2011 \
+  --n-queries 120 --duration 2 --concurrency 8 \
+  --fail-on-server-error --json >"$WORK/loadgen_swap.json"
+wait_for_decision promote 2 40
+[ "$(varz_lifecycle active_epoch)" = 2 ]
+[ "$(varz_lifecycle last_good_epoch)" = 1 ]
+
+python - "$WORK" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+work = Path(sys.argv[1])
+steady = json.loads((work / "loadgen_steady.json").read_text())
+swap = json.loads((work / "loadgen_swap.json").read_text())
+for name, report in (("steady", steady), ("swap", swap)):
+    assert report["server_errors"] == 0, (name, report)
+    assert report["transport_errors"] == 0, (name, report)
+# Zero-downtime latency gate: the swap burst's p99 must stay within
+# 1.5x steady-state (with an absolute floor so CI-runner noise on a
+# sub-millisecond baseline cannot flake the job).
+limit = max(1.5 * steady["p99_ms"], 250.0)
+assert swap["p99_ms"] <= limit, (
+    f"p99 during swap {swap['p99_ms']:.1f}ms exceeds {limit:.1f}ms "
+    f"(steady {steady['p99_ms']:.1f}ms)"
+)
+print(f"swap p99 {swap['p99_ms']:.1f}ms vs steady {steady['p99_ms']:.1f}ms")
+EOF
+
+# --- 2. degraded candidate is vetoed -----------------------------------
+# Norm-preserving scramble: random rows rescaled to the reference's mean
+# row norm, so the structural checks pass and the veto can only come
+# from the probe-MRR regression — the signal this drill injects.
+PYTHONPATH=src python - "$ROOT" "$WORK" <<'EOF'
+import sys
+import numpy as np
+from pathlib import Path
+from repro.core import load_bundle, save_bundle
+
+root, work = Path(sys.argv[1]), Path(sys.argv[2])
+model = load_bundle(root / "000002")
+reference = np.asarray(model.center)
+rng = np.random.default_rng(0)
+rows = rng.normal(size=reference.shape)
+rows *= (
+    np.linalg.norm(reference, axis=1).mean()
+    / np.linalg.norm(rows, axis=1).mean()
+)
+model.center = rows
+save_bundle(model, work / "scrambled")
+EOF
+python -m repro promote --model "$WORK/scrambled" --bundles "$ROOT"
+wait_for_decision veto 3 40
+[ "$(varz_lifecycle active_epoch)" = 2 ]
+[ -f "$ROOT/000003/VETOED" ]
+
+# --- 3. forced promotion, then automatic rollback ----------------------
+python -m repro promote --model "$WORK/scrambled" --bundles "$ROOT" --force
+wait_for_decision promote 4 40
+# monitor_every=4 polls x 0.5s: the health monitor re-probes the active
+# (scrambled) model within ~2s, sees the MRR floor breach, and reverts.
+wait_for_decision rollback 4 60
+[ "$(varz_lifecycle active_epoch)" = 2 ]
+[ -f "$ROOT/000004/VETOED" ]
+
+# Traffic still clean after the whole drill.
+python -m repro loadgen --url "$BASE" --preset utgeo2011 \
+  --n-queries 60 --duration 1 --concurrency 4 \
+  --fail-on-server-error --json >"$WORK/loadgen_after.json"
+
+# --- decisions.jsonl is the audit trail --------------------------------
+python - "$ROOT" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+log = (Path(sys.argv[1]) / "decisions.jsonl").read_text().splitlines()
+decisions = [json.loads(line) for line in log]
+actions = [(d["action"], d.get("epoch")) for d in decisions]
+assert actions == [
+    ("promote", 2),
+    ("veto", 3),
+    ("promote", 4),
+    ("rollback", 4),
+], actions
+forced = [d for d in decisions if d["action"] == "promote" and d["epoch"] == 4]
+assert forced[0]["forced"] is True, forced
+vetoed = [d for d in decisions if d["action"] == "veto"][0]
+failed = [c["name"] for c in vetoed["checks"] if not c["ok"]]
+assert failed == ["probe_mrr"], failed
+rollback = [d for d in decisions if d["action"] == "rollback"][0]
+assert rollback["restored_epoch"] == 2, rollback
+assert "fell below floor" in rollback["reason"], rollback
+print("decisions:", json.dumps(actions))
+EOF
+
+# lifecycle.* metrics made it to the Prometheus surface.
+curl -sf "$BASE/metrics" -o "$WORK/metrics.prom"
+grep -q 'repro_lifecycle_promotions_total 2' "$WORK/metrics.prom"
+grep -q 'repro_lifecycle_vetoes_total' "$WORK/metrics.prom"
+grep -q 'repro_lifecycle_rollbacks_total 1' "$WORK/metrics.prom"
+grep -q 'repro_lifecycle_active_epoch 2' "$WORK/metrics.prom"
+
+# --- graceful drain ----------------------------------------------------
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q 'server drained and stopped' "$WORK/serve.log"
+echo "--- serve output ---"
+cat "$WORK/serve.log"
+echo "lifecycle smoke: OK"
