@@ -24,6 +24,11 @@ things:
    ``==`` against a direct single-request dispatch on a private
    service; Python's shortest-round-trip float printing makes this a
    bit-exactness check of every score.
+4. **Tracing overhead** — the saturated dispatch phase re-runs through
+   two live servers, one with request tracing on and one with it off,
+   as interleaved trial pairs; gates the traced/untraced qps ratio
+   (``--max-trace-overhead``, default <5% drop) so the observability
+   layer can never quietly tax the serving path.
 
 Emits ``BENCH_serve_latency.json``.  Run standalone::
 
@@ -53,6 +58,9 @@ from repro.utils.metrics import MetricsRegistry
 # runs may enforce a relaxed --min-speedup but the JSON always records
 # this default next to the threshold actually enforced.
 DEFAULT_MIN_SPEEDUP = 3.0
+# The documented full-scale tracing-overhead ceiling: request tracing
+# may cost at most this fraction of saturated dispatch throughput.
+DEFAULT_MAX_TRACE_OVERHEAD = 0.05
 
 
 def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
@@ -100,6 +108,12 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         "--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
         help="gate: coalesced vs per-request dispatch qps ratio floor "
         f"(documented full-scale default: {DEFAULT_MIN_SPEEDUP}x)",
+    )
+    parser.add_argument(
+        "--max-trace-overhead", type=float,
+        default=DEFAULT_MAX_TRACE_OVERHEAD,
+        help="gate: max fractional qps drop with request tracing on "
+        f"(documented full-scale default: {DEFAULT_MAX_TRACE_OVERHEAD})",
     )
     parser.add_argument(
         "--out", type=Path, default=Path("BENCH_serve_latency.json")
@@ -260,13 +274,70 @@ def main(argv: list[str] | None = None) -> int:
             t.start()
         for t in threads:
             t.join()
-    for (status, payload), want in zip(results, expected):
+    for (status, payload, _info), want in zip(results, expected):
         if status != 200 or payload != want:
             mismatches += 1
     report["parity"] = {
         "n_checked": len(sample),
         "mismatches": mismatches,
         "exact": mismatches == 0,
+    }
+
+    # ---- Phase 4: request-tracing overhead, saturated -------------------
+    # Same saturation harness, through the server's own execute path (the
+    # context creation, batch stamping, stage collection and ring append
+    # the HTTP handler would do), traced vs untraced.  Interleaved pairs
+    # with a best-of ratio, like Phase 2: whole-machine noise cancels.
+    def _server_executor(server):
+        """A per-request closure running the full traced request path."""
+
+        def execute(request) -> None:
+            ctx = server.new_request_context("/bench", None)
+            start = time.perf_counter()
+            server.execute(request, ctx)
+            server.finalize_request(
+                ctx, 200, seconds=time.perf_counter() - start
+            )
+
+        return execute
+
+    trace_pairs: list[tuple[float, float]] = []
+    with QueryServer(
+        model,
+        port=0,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+    ) as traced_server, QueryServer(
+        model,
+        port=0,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+        trace_requests=False,
+    ) as untraced_server:
+        traced_execute = _server_executor(traced_server)
+        untraced_execute = _server_executor(untraced_server)
+        for _ in range(args.throughput_trials):
+            untraced = _saturate(
+                args.saturation_threads, typed, untraced_execute
+            )
+            traced = _saturate(
+                args.saturation_threads, typed, traced_execute
+            )
+            trace_pairs.append((untraced, traced))
+    best_ratio = max(tr / un for un, tr in trace_pairs)
+    overhead = 1.0 - best_ratio
+    report["tracing"] = {
+        "untraced_qps": round(max(un for un, _ in trace_pairs), 2),
+        "traced_qps": round(max(tr for _, tr in trace_pairs), 2),
+        "overhead": round(overhead, 4),
+        "trials": [
+            {
+                "untraced_qps": round(un, 2),
+                "traced_qps": round(tr, 2),
+                "overhead": round(1.0 - tr / un, 4),
+            }
+            for un, tr in trace_pairs
+        ],
     }
 
     # ---- Gates ---------------------------------------------------------
@@ -299,6 +370,13 @@ def main(argv: list[str] | None = None) -> int:
             "value": mismatches,
             "pass": mismatches == 0,
         },
+        "tracing_overhead": {
+            "value": round(overhead, 4),
+            "max": args.max_trace_overhead,
+            "default_max": DEFAULT_MAX_TRACE_OVERHEAD,
+            "relaxed": args.max_trace_overhead > DEFAULT_MAX_TRACE_OVERHEAD,
+            "pass": overhead <= args.max_trace_overhead,
+        },
     }
     report["gates"] = gates
     args.out.write_text(json.dumps(report, indent=2) + "\n")
@@ -312,6 +390,17 @@ def main(argv: list[str] | None = None) -> int:
         f"coalesced={coalesced_qps:.0f}qps speedup={speedup:.2f}x"
     )
     print(f"parity: {len(sample) - mismatches}/{len(sample)} exact")
+    print(
+        f"tracing: untraced={report['tracing']['untraced_qps']:.0f}qps "
+        f"traced={report['tracing']['traced_qps']:.0f}qps "
+        f"overhead={overhead * 100:.2f}%"
+    )
+    if args.max_trace_overhead > DEFAULT_MAX_TRACE_OVERHEAD:
+        print(
+            f"note: tracing-overhead gate enforced at a relaxed "
+            f"{args.max_trace_overhead} (documented default "
+            f"{DEFAULT_MAX_TRACE_OVERHEAD}; recorded in the JSON)"
+        )
     if args.min_speedup < DEFAULT_MIN_SPEEDUP:
         print(
             f"note: coalescing gate enforced at a relaxed "

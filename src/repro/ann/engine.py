@@ -186,12 +186,16 @@ class IndexedQueryEngine(QueryEngine):
         queries = normalize_rows(
             np.asarray(query_vectors, dtype=float).reshape(-1, index.dim)
         )
+        start = time.perf_counter()
         with self.tracer.span(
             "ann.search", modality=modality, n_queries=queries.shape[0]
-        ):
+        ) as span:
             rows_list, scores_list, stats = index.search(
                 queries, k, nprobe=nprobe
             )
+            span.set(probed_fraction=stats.probed_fraction)
+        self._observe_stage("ann_search", time.perf_counter() - start)
+        self._note_stage_value("ann.probed_fraction", stats.probed_fraction)
         self.metrics.counter("ann.searches").inc(stats.n_queries)
         self.metrics.histogram("ann.probed_fraction").observe(
             stats.probed_fraction

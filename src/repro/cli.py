@@ -22,6 +22,8 @@ Usage (also available as ``python -m repro``)::
     repro telemetry --dir tel/                       # inspect a telemetry dump
     repro serve    --model bundle/ --mmap --port 8099  # HTTP query serving
     repro loadgen  --url http://127.0.0.1:8099 --concurrency 8
+    repro tail     --url http://127.0.0.1:8099       # live tail attribution
+    repro tail     --trace tel/requests.jsonl        # post-mortem from disk
     repro stream   --model model.pkl --corpus live.jsonl \
                    --publish-bundles bundles/ --publish-every 5
     repro serve    --watch-bundles bundles/ --probe-corpus probe.jsonl \
@@ -46,6 +48,7 @@ plain text to stdout; exit code 0 on success, 2 on argument errors
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import threading
 from collections.abc import Sequence
@@ -392,6 +395,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--monitor-every", type=int, default=5, metavar="N",
         help="re-probe the active model every N idle polls (default: 5)",
     )
+    serve.add_argument(
+        "--no-request-trace", action="store_true",
+        help="disable per-request tracing (the /debug/requests ring and "
+        "stage attribution); request-id headers and SLO accounting stay on",
+    )
+    serve.add_argument(
+        "--trace-ring-size", type=int, default=256, metavar="N",
+        help="finished requests retained in the /debug/requests ring "
+        "(default: 256)",
+    )
+    serve.add_argument(
+        "--slow-request-ms", type=float, default=100.0, metavar="MS",
+        help="duration above which a request counts as slow in the "
+        "trace ring's snapshot (default: 100)",
+    )
+    serve.add_argument(
+        "--slo-availability-target", type=float, default=0.999,
+        metavar="FRACTION",
+        help="availability SLO: fraction of responses that must be "
+        "non-5xx (default: 0.999)",
+    )
+    serve.add_argument(
+        "--slo-latency-target", type=float, default=0.99, metavar="FRACTION",
+        help="latency SLO: fraction of requests that must finish under "
+        "the latency threshold (default: 0.99)",
+    )
+    serve.add_argument(
+        "--slo-latency-threshold-ms", type=float, default=250.0,
+        metavar="MS",
+        help="latency SLO threshold in milliseconds (default: 250)",
+    )
 
     promote = sub.add_parser(
         "promote",
@@ -479,6 +513,35 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument(
         "--fail-on-server-error", action="store_true",
         help="exit 1 if any request drew a 5xx or a transport error",
+    )
+
+    tail = sub.add_parser(
+        "tail",
+        help="tail-latency attribution: which stages the slow requests "
+        "spent their time in, from a live server or a trace export",
+    )
+    tail_source = tail.add_mutually_exclusive_group(required=True)
+    tail_source.add_argument(
+        "--url", metavar="BASE",
+        help="base URL of a running 'repro serve'; reads its live "
+        "/debug/requests ring",
+    )
+    tail_source.add_argument(
+        "--trace", metavar="PATH",
+        help="requests.jsonl file exported by 'repro serve "
+        "--telemetry-dir' (or TraceRing.export_jsonl)",
+    )
+    tail.add_argument(
+        "--q", type=float, default=99.0, metavar="PCT",
+        help="percentile defining the tail set (default: 99)",
+    )
+    tail.add_argument(
+        "--slowest", type=int, default=8, metavar="N",
+        help="slowest exemplar requests to print (default: 8)",
+    )
+    tail.add_argument(
+        "--json", action="store_true",
+        help="print the raw attribution summary as JSON",
     )
 
     q = sub.add_parser("query", help="neighbor search around one unit")
@@ -886,6 +949,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ann=args.ann,
         ann_nlist=args.ann_nlist,
         ann_nprobe=args.ann_nprobe,
+        trace_requests=not args.no_request_trace,
+        trace_ring_size=args.trace_ring_size,
+        slow_request_ms=args.slow_request_ms,
+        slo_availability_target=args.slo_availability_target,
+        slo_latency_target=args.slo_latency_target,
+        slo_latency_threshold_ms=args.slo_latency_threshold_ms,
     )
     server.start()
     manager = None
@@ -924,7 +993,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     print(
         f"serving {model_desc} on {server.url} ({mode}; "
-        "POST /v1/predict /v1/neighbors, GET /metrics /healthz /varz)",
+        "POST /v1/predict /v1/neighbors, GET /metrics /healthz /varz "
+        "/debug/requests)",
         flush=True,
     )
     stop_event = threading.Event()
@@ -951,7 +1021,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             manager.stop()
         server.stop()
         if args.telemetry_dir:
-            written = write_telemetry(args.telemetry_dir, server.metrics, None)
+            requests = None
+            if server.trace_ring is not None:
+                # Requests first, then the batch spans they link to —
+                # the same order TraceRing.export_jsonl writes.
+                requests = (
+                    server.trace_ring.entries()
+                    + server.trace_ring.batch_entries()
+                )
+            written = write_telemetry(
+                args.telemetry_dir,
+                server.metrics,
+                None,
+                requests=requests,
+            )
             print(f"wrote telemetry to {', '.join(sorted(written))}")
         if logger is not None:
             logger.close()
@@ -1028,6 +1111,40 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             ["transport errors", report["transport_errors"]],
         ]
         print(format_table(["metric", "value"], rows, title=args.url))
+        if report["failures"]:
+            failure_rows = [
+                [
+                    sample["status"],
+                    sample["endpoint"],
+                    sample.get("request_id", "-"),
+                    sample.get("error", "-"),
+                ]
+                for sample in report["failures"]
+            ]
+            print(
+                format_table(
+                    ["status", "endpoint", "request id", "error"],
+                    failure_rows,
+                    title="failures (look ids up at /debug/requests)",
+                )
+            )
+        if report["slowest"]:
+            slow_rows = [
+                [
+                    sample["latency_ms"],
+                    sample["endpoint"],
+                    sample.get("queue_wait_ms", "-"),
+                    sample.get("request_id", "-"),
+                ]
+                for sample in report["slowest"][:5]
+            ]
+            print(
+                format_table(
+                    ["latency ms", "endpoint", "queue wait ms", "request id"],
+                    slow_rows,
+                    title="slowest requests",
+                )
+            )
     if args.fail_on_server_error and (
         report["server_errors"] or report["transport_errors"]
     ):
@@ -1100,6 +1217,51 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tail(args: argparse.Namespace) -> int:
+    import json as json_module
+    import urllib.request
+
+    from repro.serving.reqtrace import (
+        load_request_trace,
+        render_tail_summary,
+        summarize_tail,
+    )
+
+    if args.url:
+        url = args.url.rstrip("/") + "/debug/requests"
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                snapshot = json_module.loads(response.read())
+        except OSError as exc:
+            print(f"could not read {url}: {exc}", file=sys.stderr)
+            return 2
+        # The snapshot's sections overlap (a slow request is usually
+        # also recent); dedup by id so each request counts once.
+        requests, seen = [], set()
+        for section in ("recent", "slowest", "errors"):
+            for entry in snapshot.get(section, []):
+                if entry.get("id") not in seen:
+                    seen.add(entry.get("id"))
+                    requests.append(entry)
+        source = url
+    else:
+        try:
+            requests, _batches = load_request_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"could not read {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        source = args.trace
+    if not requests:
+        print(f"no request traces in {source}", file=sys.stderr)
+        return 2
+    summary = summarize_tail(requests, q=args.q, slowest=args.slowest)
+    if args.json:
+        print(json_module.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_tail_summary(summary, title=source))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -1113,6 +1275,7 @@ _COMMANDS = {
     "rollback": _cmd_rollback,
     "loadgen": _cmd_loadgen,
     "telemetry": _cmd_telemetry,
+    "tail": _cmd_tail,
 }
 
 
@@ -1120,7 +1283,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pipe closed early (`repro tail | head`); redirect
+        # stdout at the descriptor level so the interpreter's shutdown
+        # flush doesn't raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -30,9 +30,12 @@ far more than the last-ulp noise between matrix-product shapes.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from collections.abc import Hashable, Sequence
+from contextlib import contextmanager
+from typing import Iterator
 
 import numpy as np
 
@@ -137,11 +140,59 @@ class QueryEngine:
             )
         self.slow_query_threshold = slow_query_threshold
         self.slow_queries: deque[dict] = deque(maxlen=int(slow_query_log_size))
+        self._stage_local = threading.local()
+
+    def __getstate__(self) -> dict:
+        """Pickle support: the thread-local stage sink is dropped (models
+        cache their engine, so ``Actor.save`` pickles it along)."""
+        state = self.__dict__.copy()
+        del state["_stage_local"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Pickle support: a fresh thread-local sink is created on load."""
+        self.__dict__.update(state)
+        self._stage_local = threading.local()
 
     @property
     def dim(self) -> int:
         """Embedding dimension of the underlying model."""
         return self.model.dim
+
+    # -------------------------------------------------------- stage collection
+
+    @contextmanager
+    def collect_stages(self) -> Iterator[dict]:
+        """Collect this thread's per-stage timings for one dispatch.
+
+        Yields a dict that accumulates ``{"snap": seconds, "gather": ...,
+        "score": ...}`` (plus non-duration observations under a
+        ``values`` sub-dict, e.g. the ANN probed fraction) for every
+        engine call made by the *calling thread* inside the block.  The
+        sink is thread-local, so concurrent dispatches — the coalescing
+        dispatcher and a non-coalesced handler — never mix stages.
+        Nests safely: the previous sink is restored on exit.
+        """
+        sink: dict = {}
+        previous = getattr(self._stage_local, "sink", None)
+        self._stage_local.sink = sink
+        try:
+            yield sink
+        finally:
+            self._stage_local.sink = previous
+
+    def _observe_stage(self, name: str, seconds: float) -> None:
+        """Observe ``query.<name>_seconds`` + feed the active stage sink."""
+        self.metrics.histogram(f"query.{name}_seconds").observe(seconds)
+        sink = getattr(self._stage_local, "sink", None)
+        if sink is not None:
+            sink[name] = sink.get(name, 0.0) + seconds
+
+    def _note_stage_value(self, key: str, value: float) -> None:
+        """Record a non-duration observation on the active stage sink."""
+        sink = getattr(self._stage_local, "sink", None)
+        if sink is not None:
+            sink.setdefault("values", {})[key] = value
 
     # ------------------------------------------------------------ unit level
 
@@ -163,9 +214,7 @@ class QueryEngine:
             found = positions >= 0
             vectors = np.zeros((values.shape[0], self.dim))
             vectors[found] = cache.matrix[positions[found]]
-            self.metrics.histogram("query.snap_seconds").observe(
-                time.perf_counter() - start
-            )
+            self._observe_stage("snap", time.perf_counter() - start)
         return vectors, found
 
     def embed_locations(
@@ -181,9 +230,7 @@ class QueryEngine:
             found = positions >= 0
             vectors = np.zeros((coords.shape[0], self.dim))
             vectors[found] = cache.matrix[positions[found]]
-            self.metrics.histogram("query.snap_seconds").observe(
-                time.perf_counter() - start
-            )
+            self._observe_stage("snap", time.perf_counter() - start)
         return vectors, found
 
     def embed_word_bags(self, bags: Sequence[Sequence[str]]) -> np.ndarray:
@@ -199,9 +246,7 @@ class QueryEngine:
             try:
                 return self._embed_word_bags(bags)
             finally:
-                self.metrics.histogram("query.gather_seconds").observe(
-                    time.perf_counter() - start
-                )
+                self._observe_stage("gather", time.perf_counter() - start)
 
     def _embed_word_bags(self, bags: Sequence[Sequence[str]]) -> np.ndarray:
         """Uninstrumented body of :meth:`embed_word_bags`."""
@@ -345,9 +390,7 @@ class QueryEngine:
             ):
                 score_start = time.perf_counter()
                 block = queries @ cands.T
-                self.metrics.histogram("query.score_seconds").observe(
-                    time.perf_counter() - score_start
-                )
+                self._observe_stage("score", time.perf_counter() - score_start)
             self.metrics.counter("query.queries").inc(queries.shape[0])
             n = int(queries.shape[0])
             self._record_batch(
@@ -428,9 +471,7 @@ class QueryEngine:
                 scores = np.einsum(
                     "nd,nd->n", cand_mat, np.repeat(query_mat, counts, axis=0)
                 )
-                self.metrics.histogram("query.score_seconds").observe(
-                    time.perf_counter() - score_start
-                )
+                self._observe_stage("score", time.perf_counter() - score_start)
             self.metrics.counter("query.queries").inc(len(candidates))
             splits = np.cumsum(counts[:-1])
             out = [np.asarray(block) for block in np.split(scores, splits)]
@@ -565,9 +606,7 @@ class QueryEngine:
                 & (position < np.repeat(truth_pos, counts))
             )
             ranks = 1 + np.add.reduceat(beats.astype(np.int64), starts)
-            self.metrics.histogram("query.score_seconds").observe(
-                time.perf_counter() - score_start
-            )
+            self._observe_stage("score", time.perf_counter() - score_start)
         self.metrics.counter("query.queries").inc(len(queries))
         return ranks
 

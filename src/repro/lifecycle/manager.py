@@ -129,6 +129,11 @@ class LifecycleManager:
                 self.baseline_mrr
             )
         server.telemetry.add_status_provider(self.status)
+        # Request traces stamp the lifecycle state (swap-in-progress) so
+        # a tail spike is attributable to a promotion or rollback.
+        bind = getattr(server, "bind_lifecycle", None)
+        if bind is not None:
+            bind(lambda: self.state)
 
     # -------------------------------------------------------------- lifecycle
 
@@ -307,8 +312,14 @@ class LifecycleManager:
         return decision
 
     def status(self) -> dict:
-        """Status-provider payload merged into ``/varz`` and ``/healthz``."""
-        return {
+        """Status-provider payload merged into ``/varz`` and ``/healthz``.
+
+        Includes the server's SLO evaluation (when it runs one) so an
+        operator reading the lifecycle state also sees whether the
+        active generation is burning error budget — the pair of facts a
+        promote/rollback decision actually needs.
+        """
+        payload = {
             "lifecycle": {
                 "state": self.state,
                 "active_epoch": self.swapper.active_epoch,
@@ -321,3 +332,8 @@ class LifecycleManager:
                 "last_decision": self.last_decision,
             }
         }
+        slo_engine = getattr(self.server, "slo_engine", None)
+        if slo_engine is not None:
+            evaluation = slo_engine.evaluate()
+            payload["lifecycle"]["slo_status"] = evaluation["status"]
+        return payload

@@ -101,6 +101,7 @@ class ModelSwapper:
             service=self.server.service,
         )
         self.metrics.gauge("lifecycle.active_epoch").set(epoch)
+        self.server.active_epoch = epoch
         return self.active
 
     def open_candidate(self, path: str | Path, epoch: int) -> Generation:
@@ -146,6 +147,7 @@ class ModelSwapper:
         if dropped is not None and dropped is not generation:
             dropped.close()
         self.metrics.gauge("lifecycle.active_epoch").set(generation.epoch)
+        self.server.active_epoch = generation.epoch
         self.metrics.counter("lifecycle.swaps").inc()
         self.logger.info(
             "lifecycle.swapped",
@@ -171,6 +173,7 @@ class ModelSwapper:
         if bad is not None:
             bad.close()
         self.metrics.gauge("lifecycle.active_epoch").set(target.epoch)
+        self.server.active_epoch = target.epoch
         self.metrics.counter("lifecycle.swaps").inc()
         self.logger.warning(
             "lifecycle.rolled_back",

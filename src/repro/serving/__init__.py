@@ -5,21 +5,36 @@ The serving layer turns a fitted model (usually a read-only
 
 * :class:`~repro.serving.http_server.QueryServer` — the ``repro serve``
   daemon: ``POST /v1/predict`` + ``POST /v1/neighbors`` plus the live
-  ``/metrics`` / ``/healthz`` / ``/varz`` observability surface;
+  ``/metrics`` / ``/healthz`` / ``/varz`` / ``/debug/requests``
+  observability surface;
 * :class:`~repro.serving.batcher.RequestBatcher` — coalesces concurrent
   single queries into the engine's vectorized batch path with exact
   per-request parity;
 * :class:`~repro.serving.service.QueryService` — validation
   (:class:`~repro.serving.service.BadRequest` → structured 400s) and
   batched dispatch;
+* :class:`~repro.serving.reqtrace.RequestContext` /
+  :class:`~repro.serving.reqtrace.TraceRing` — request-scoped tracing:
+  per-request ids (inbound ``X-Request-Id`` honored and echoed), stage
+  timings, span links through coalesced batches, and the bounded
+  in-memory ring behind ``/debug/requests`` and ``repro tail``;
 * :class:`~repro.serving.loadgen.LoadGenerator` — ``repro loadgen``:
   replays :meth:`~repro.data.synthetic.CityModel.generate_query_stream`
-  traffic and reports p50/p99 latency + queries/sec.
+  traffic and reports p50/p99 latency, queries/sec, queue waits and the
+  request ids of slow/failed exemplars.
 """
 
 from repro.serving.batcher import BatcherClosed, RequestBatcher
 from repro.serving.http_server import QueryServer
 from repro.serving.loadgen import LoadGenerator, http_transport
+from repro.serving.reqtrace import (
+    QUEUE_WAIT_HEADER,
+    REQUEST_ID_HEADER,
+    RequestContext,
+    TraceRing,
+    load_request_trace,
+    request_id_from_header,
+)
 from repro.serving.service import (
     BadRequest,
     NeighborsRequest,
@@ -33,8 +48,14 @@ __all__ = [
     "LoadGenerator",
     "NeighborsRequest",
     "PredictRequest",
+    "QUEUE_WAIT_HEADER",
     "QueryServer",
     "QueryService",
+    "REQUEST_ID_HEADER",
     "RequestBatcher",
+    "RequestContext",
+    "TraceRing",
     "http_transport",
+    "load_request_trace",
+    "request_id_from_header",
 ]

@@ -38,14 +38,22 @@ class BatcherClosed(RuntimeError):
 
 
 class _Slot:
-    """One caller's result slot: an event plus the outcome."""
+    """One caller's result slot: an event, the outcome and trace state.
 
-    __slots__ = ("event", "result", "error")
+    ``ctx`` is the caller's optional
+    :class:`~repro.serving.reqtrace.RequestContext`; ``enqueued`` is the
+    submission timestamp the dispatcher diffs to compute the per-item
+    queue wait.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("event", "result", "error", "ctx", "enqueued")
+
+    def __init__(self, ctx=None) -> None:
         self.event = threading.Event()
         self.result = None
         self.error: BaseException | None = None
+        self.ctx = ctx
+        self.enqueued = time.perf_counter()
 
 
 class RequestBatcher:
@@ -95,6 +103,8 @@ class RequestBatcher:
         self._queue: list[tuple[object, _Slot]] = []
         self._closed = False
         self.dispatched = 0
+        self._batch_seq = 0
+        self._dispatch_ctxs: list = []
         self._thread = threading.Thread(
             target=self._run, name=f"repro-batcher-{name}", daemon=True
         )
@@ -102,15 +112,21 @@ class RequestBatcher:
 
     # ------------------------------------------------------------- caller side
 
-    def submit(self, request, *, timeout: float | None = 30.0):
+    def submit(self, request, *, ctx=None, timeout: float | None = 30.0):
         """Block until ``request``'s batch executed; return its result.
+
+        ``ctx`` (optional) is a
+        :class:`~repro.serving.reqtrace.RequestContext`: the dispatcher
+        stamps it with the batch id/size, this item's queue wait and its
+        fan-back time, linking the request's trace entry to the batch
+        span it rode.
 
         Raises :class:`BatcherClosed` when the batcher is already closed,
         :class:`TimeoutError` if no result arrived within ``timeout``
         seconds, and re-raises whatever exception the dispatch produced
         for this item or its batch.
         """
-        slot = _Slot()
+        slot = _Slot(ctx)
         with self._arrived:
             if self._closed:
                 raise BatcherClosed("batcher is closed")
@@ -129,6 +145,18 @@ class RequestBatcher:
         """Requests currently queued and awaiting dispatch."""
         with self._lock:
             return len(self._queue)
+
+    @property
+    def dispatching_contexts(self) -> list:
+        """The request contexts of the batch currently being dispatched.
+
+        Only meaningful when read from *inside* ``dispatch_fn`` (which
+        runs on the dispatcher thread that just set it); the server's
+        trampoline uses it to attach engine-stage timings and the batch
+        trace entry to the requests of the batch it is executing.
+        Entries are ``None`` for items submitted without a context.
+        """
+        return self._dispatch_ctxs
 
     # --------------------------------------------------------- dispatcher side
 
@@ -162,6 +190,20 @@ class RequestBatcher:
                 return
             start = time.perf_counter()
             requests = [request for request, _slot in batch]
+            # Stamp the coalescing link before dispatch: batch identity
+            # plus each item's measured queue wait.  ``dispatch_fn`` can
+            # read the same contexts via ``dispatching_contexts`` to
+            # attach engine-stage timings.
+            self._batch_seq += 1
+            batch_id = f"b{self._batch_seq}"
+            self._dispatch_ctxs = [slot.ctx for _request, slot in batch]
+            for _request, slot in batch:
+                if slot.ctx is not None:
+                    slot.ctx.begin_batch(
+                        batch_id,
+                        len(batch),
+                        queue_wait=start - slot.enqueued,
+                    )
             try:
                 results = self._dispatch_fn(requests)
                 if len(results) != len(batch):
@@ -170,8 +212,13 @@ class RequestBatcher:
                         f"{len(batch)} requests"
                     )
             except Exception as exc:  # noqa: BLE001 - delivered to callers
+                fanback_start = time.perf_counter()
                 for _request, slot in batch:
                     slot.error = exc
+                    if slot.ctx is not None:
+                        slot.ctx.stage(
+                            "fanback", time.perf_counter() - fanback_start
+                        )
                     slot.event.set()
                 continue
             finally:
@@ -183,11 +230,19 @@ class RequestBatcher:
                 self.metrics.histogram("serve.batch_wait_seconds").observe(
                     time.perf_counter() - start
                 )
+                self._dispatch_ctxs = []
+            fanback_start = time.perf_counter()
             for (_request, slot), result in zip(batch, results):
                 if isinstance(result, Exception):
                     slot.error = result
                 else:
                     slot.result = result
+                if slot.ctx is not None:
+                    # Per-item fan-back: how long this item waited behind
+                    # earlier items of its batch to have its slot set.
+                    slot.ctx.stage(
+                        "fanback", time.perf_counter() - fanback_start
+                    )
                 slot.event.set()
 
     # ---------------------------------------------------------------- lifecycle

@@ -12,10 +12,20 @@ for its observability surface):
   ``ranking``;
 * ``POST /v1/neighbors`` — per-modality nearest-neighbor search around a
   composed query vector;
-* ``GET /metrics`` / ``/healthz`` / ``/varz`` — the live telemetry
-  endpoints, rendered by the embedded
+* ``GET /metrics`` / ``/healthz`` / ``/varz`` / ``/debug/requests`` —
+  the live telemetry endpoints, rendered by the embedded
   :class:`~repro.utils.telemetry_server.TelemetryServer` on *this*
   socket (no second port).
+
+Every request is traced (``trace_requests=True``): an id from the
+inbound ``X-Request-Id`` header (or freshly generated) is echoed back in
+the response headers, the request's stage timings — validation, batcher
+queue wait, engine snap/gather/score, ANN probe, fan-back — land in a
+bounded :class:`~repro.serving.reqtrace.TraceRing` served at
+``/debug/requests``, and each entry links to the coalesced batch span it
+rode plus the lifecycle epoch it executed against.  An
+:class:`~repro.utils.slo.SLOEngine` evaluates availability and latency
+burn rates on every health scrape.
 
 Concurrent single-query requests are coalesced: handler threads park in
 the :class:`~repro.serving.batcher.RequestBatcher` for up to
@@ -32,15 +42,30 @@ and joins the batcher.
 
 from __future__ import annotations
 
+import itertools
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.core.query_engine import QueryEngine
 from repro.serving.batcher import BatcherClosed, RequestBatcher
+from repro.serving.reqtrace import (
+    QUEUE_WAIT_HEADER,
+    REQUEST_ID_HEADER,
+    RequestContext,
+    TraceRing,
+    request_id_from_header,
+)
 from repro.serving.service import BadRequest, QueryService
 from repro.utils.logging import NULL_LOGGER
 from repro.utils.metrics import MetricsRegistry
+from repro.utils.slo import (
+    SLObjective,
+    SLOEngine,
+    availability_source,
+    latency_source,
+)
 from repro.utils.telemetry_server import TelemetryServer
 
 __all__ = ["QueryServer"]
@@ -78,7 +103,16 @@ class _ServeHandler(BaseHTTPRequestHandler):
         self._respond(status, body, content_type)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        """Route ``/v1/predict`` and ``/v1/neighbors``."""
+        """Route ``/v1/predict`` and ``/v1/neighbors``.
+
+        Admitted requests get a :class:`~repro.serving.reqtrace
+        .RequestContext` (honoring an inbound ``X-Request-Id``); the id
+        and measured queue wait are echoed as response headers, non-200
+        payloads additionally name the id so clients can quote it, and
+        the finished context lands in the server's trace ring *before*
+        the response bytes go out (a client can always find its own
+        request at ``/debug/requests`` afterwards).
+        """
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         server = self.server_ref
         if path not in ("/v1/predict", "/v1/neighbors"):
@@ -87,18 +121,42 @@ class _ServeHandler(BaseHTTPRequestHandler):
         if not server.accepting:
             self._respond_json(503, {"error": "server is draining"})
             return
+        ctx = server.new_request_context(
+            path, self.headers.get(REQUEST_ID_HEADER)
+        )
+        started = time.perf_counter()
         server._enter_request()
         try:
-            status, payload = self._handle_query(path)
+            status, payload = self._handle_query(path, ctx)
         finally:
             server._exit_request()
-        self._respond_json(status, payload)
+        headers = None
+        if ctx is not None:
+            if status != 200:
+                payload = dict(payload)
+                payload.setdefault("request_id", ctx.request_id)
+            headers = {
+                REQUEST_ID_HEADER: ctx.request_id,
+                QUEUE_WAIT_HEADER: (
+                    f"{ctx.queue_wait_seconds * 1e3:.3f}"
+                ),
+            }
+        server.finalize_request(
+            ctx,
+            status,
+            seconds=time.perf_counter() - started,
+            error=payload.get("error") if status != 200 else None,
+        )
+        self._respond_json(status, payload, headers=headers)
 
-    def _handle_query(self, path: str) -> tuple[int, dict]:
+    def _handle_query(
+        self, path: str, ctx: RequestContext | None
+    ) -> tuple[int, dict]:
         """Validate, dispatch and shape one query request."""
         server = self.server_ref
         metrics = server.metrics
         with metrics.time("serve.request"):
+            validate_start = time.perf_counter()
             try:
                 body = self._read_json_body()
                 if path == "/v1/predict":
@@ -111,8 +169,13 @@ class _ServeHandler(BaseHTTPRequestHandler):
                     "serve.bad_request", path=path, error=str(exc)
                 )
                 return 400, exc.to_payload()
+            finally:
+                if ctx is not None:
+                    ctx.stage(
+                        "validate", time.perf_counter() - validate_start
+                    )
             try:
-                result = server.execute(request)
+                result = server.execute(request, ctx)
             except BatcherClosed:
                 return 503, {"error": "server is draining"}
             except Exception as exc:  # noqa: BLE001 - must not kill thread
@@ -120,6 +183,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 server.logger.error(
                     "serve.internal_error",
                     path=path,
+                    request_id=ctx.request_id if ctx is not None else None,
                     error=f"{type(exc).__name__}: {exc}",
                 )
                 return 500, {"error": "internal server error"}
@@ -144,18 +208,31 @@ class _ServeHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise BadRequest(f"request body is not valid JSON: {exc}") from None
 
-    def _respond(self, status: int, body: bytes, content_type: str) -> None:
-        """Send one complete response."""
+    def _respond(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict | None = None,
+    ) -> None:
+        """Send one complete response (plus optional extra headers)."""
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if headers:
+            for name, value in headers.items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _respond_json(self, status: int, payload: dict) -> None:
+    def _respond_json(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
         """Send ``payload`` as a JSON response."""
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self._respond(status, body, "application/json; charset=utf-8")
+        self._respond(
+            status, body, "application/json; charset=utf-8", headers
+        )
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Route access logs to the structured logger instead of stderr."""
@@ -201,6 +278,29 @@ class QueryServer:
         Shared registry, structured logger, and ``/healthz`` staleness
         threshold (see :class:`~repro.utils.telemetry_server
         .TelemetryServer`).
+    trace_requests:
+        ``True`` (default) assigns every request an id, records its
+        stage-timing breakdown in the trace ring behind
+        ``/debug/requests`` and echoes ``X-Request-Id`` /
+        ``X-Queue-Wait-Ms`` response headers.  ``False`` turns the whole
+        request-scoped layer off (the tracing-overhead bench's
+        baseline); aggregate metrics and the SLO engine keep working.
+    trace_ring_size:
+        Retained request entries in the trace ring.
+    slow_request_ms:
+        Advisory slow threshold stamped on ``/debug/requests`` payloads
+        (``repro tail`` uses it to label exemplars).
+    slo:
+        ``True`` (default) attaches an :class:`~repro.utils.slo
+        .SLOEngine` with an availability and a latency objective,
+        evaluated on every ``/healthz`` / ``/varz`` scrape and exported
+        as ``slo.*`` metrics.
+    slo_availability_target:
+        Required non-5xx fraction (default 99.9%).
+    slo_latency_target / slo_latency_threshold_ms:
+        Required fraction of requests (default 99%) served within the
+        threshold (default 250ms), read from the ``serve.request_seconds``
+        log-spaced histogram.
     """
 
     def __init__(
@@ -218,6 +318,13 @@ class QueryServer:
         metrics: MetricsRegistry | None = None,
         logger=None,
         stale_after: float | None = None,
+        trace_requests: bool = True,
+        trace_ring_size: int = 256,
+        slow_request_ms: float = 100.0,
+        slo: bool = True,
+        slo_availability_target: float = 0.999,
+        slo_latency_target: float = 0.99,
+        slo_latency_threshold_ms: float = 250.0,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.logger = logger if logger is not None else NULL_LOGGER
@@ -237,14 +344,49 @@ class QueryServer:
         self.max_batch = int(max_batch)
         self.batch_window_ms = float(batch_window_ms)
         self.batcher: RequestBatcher | None = None
+        self.trace_ring = (
+            TraceRing(int(trace_ring_size), slow_ms=float(slow_request_ms))
+            if trace_requests
+            else None
+        )
+        self.slo_engine: SLOEngine | None = None
+        if slo:
+            self.slo_engine = SLOEngine(self.metrics)
+            self.slo_engine.add_objective(
+                SLObjective(
+                    "availability",
+                    target=slo_availability_target,
+                    description="non-5xx fraction of admitted requests",
+                ),
+                availability_source(self.metrics),
+            )
+            threshold = float(slo_latency_threshold_ms) / 1e3
+            self.slo_engine.add_objective(
+                SLObjective(
+                    "latency",
+                    target=slo_latency_target,
+                    threshold=threshold,
+                    description=(
+                        f"requests served within "
+                        f"{slo_latency_threshold_ms:g}ms"
+                    ),
+                ),
+                latency_source(self.metrics, threshold=threshold),
+            )
+        self.active_epoch = 0
+        self._lifecycle_state = None
+        self._direct_ids = itertools.count(1)
         self.telemetry = TelemetryServer(
             self.metrics,
             host=host,
             slow_queries=engine.slow_queries,
             logger=logger,
             stale_after=stale_after,
+            trace_ring=self.trace_ring,
         )
         self.telemetry.add_status_provider(self._serving_status)
+        if self.slo_engine is not None:
+            self.telemetry.add_status_provider(self.slo_engine.status)
         self.requested_port = int(port)
         self.host = host
         self._httpd: ThreadingHTTPServer | None = None
@@ -398,6 +540,68 @@ class QueryServer:
         self.telemetry.slow_queries = engine.slow_queries
         self.logger.info("serve.model_swapped")
 
+    # ----------------------------------------------------------- request trace
+
+    def new_request_context(self, endpoint: str, header_value: str | None):
+        """A :class:`~repro.serving.reqtrace.RequestContext` for one
+        admitted request — or ``None`` when request tracing is off.
+
+        ``header_value`` is the raw inbound ``X-Request-Id`` (honored
+        when usable, replaced by a generated id otherwise).
+        """
+        if self.trace_ring is None:
+            return None
+        return RequestContext(
+            request_id_from_header(header_value), endpoint
+        )
+
+    def lifecycle_info(self) -> dict:
+        """The lifecycle context stamped on trace entries.
+
+        ``epoch`` is the generation currently serving (0 before any
+        lifecycle management); ``swap_in_progress`` is true while the
+        bound :class:`~repro.lifecycle.manager.LifecycleManager` is
+        mid-decision (gating / promoting / rolling back), which is
+        exactly when a tail spike should be attributed to the lifecycle
+        rather than to traffic.
+        """
+        state_fn = self._lifecycle_state
+        state = state_fn() if state_fn is not None else "idle"
+        return {
+            "epoch": self.active_epoch,
+            "state": state,
+            "swap_in_progress": state != "idle",
+        }
+
+    def bind_lifecycle(self, state_fn) -> None:
+        """Register the lifecycle manager's state callable (see
+        :meth:`lifecycle_info`); called by ``LifecycleManager``."""
+        self._lifecycle_state = state_fn
+
+    def finalize_request(
+        self,
+        ctx,
+        status: int,
+        *,
+        seconds: float,
+        error: str | None = None,
+    ) -> None:
+        """Account one finished request: SLO counters + trace ring entry.
+
+        Runs for every admitted request whether or not it was traced
+        (``ctx`` may be ``None``), so the SLO sources see identical
+        traffic with tracing on or off.
+        """
+        self.metrics.counter("serve.responses").inc()
+        if status >= 500:
+            self.metrics.counter("serve.responses_5xx").inc()
+        self.metrics.histogram("serve.request_seconds").observe(seconds)
+        if ctx is None or self.trace_ring is None:
+            return
+        ctx.lifecycle = self.lifecycle_info()
+        ctx.finish(status, error=error)
+        self.trace_ring.record(ctx.to_entry())
+
     # -------------------------------------------------------------- execution
 
     def _dispatch_batch(self, requests):
@@ -408,13 +612,83 @@ class QueryServer:
         see the new generation) or after it (all see the old) — never
         mid-batch.
         """
-        return self.service.dispatch(requests)
+        service = self.service
+        batcher = self.batcher
+        ctxs = (
+            batcher.dispatching_contexts if batcher is not None else []
+        )
+        if self.trace_ring is None or not any(
+            ctx is not None for ctx in ctxs
+        ):
+            return service.dispatch(requests)
+        return self._traced_dispatch(service, requests, ctxs)
 
-    def execute(self, request) -> dict:
-        """Run one typed request through the coalesced (or direct) path."""
+    def _traced_dispatch(self, service, requests, ctxs):
+        """Dispatch with engine-stage collection and a batch trace entry.
+
+        Wraps the service dispatch in the engine's
+        :meth:`~repro.core.query_engine.QueryEngine.collect_stages` sink,
+        then fans the measured snap / gather / score / ANN timings out to
+        every linked request context and records one batch entry in the
+        trace ring — ``links`` lists the request ids it served.  The
+        entry is recorded even when the dispatch raises (with the error
+        attached), so errored requests still resolve to their batch.
+        """
+        engine = service.engine
+        start = time.perf_counter()
+        error = None
+        stages: dict = {}
+        try:
+            with engine.collect_stages() as stages:
+                return service.dispatch(requests)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            seconds = time.perf_counter() - start
+            values = stages.pop("values", {})
+            linked = [ctx for ctx in ctxs if ctx is not None]
+            for ctx in linked:
+                ctx.dispatch_seconds = seconds
+                for name, stage_seconds in stages.items():
+                    ctx.stage(name, stage_seconds)
+                for key, value in values.items():
+                    ctx.note(key, value)
+            entry = {
+                "kind": "batch",
+                "id": linked[0].batch_id if linked else None,
+                "ts": time.time(),
+                "size": len(requests),
+                "coalesced": len(requests) > 1,
+                "dispatch_ms": round(seconds * 1e3, 3),
+                "stages_ms": {
+                    name: round(stage_seconds * 1e3, 3)
+                    for name, stage_seconds in sorted(stages.items())
+                },
+                "links": [ctx.request_id for ctx in linked],
+            }
+            if values:
+                entry["values"] = values
+            if error is not None:
+                entry["error"] = error
+            self.trace_ring.record_batch(entry)
+
+    def execute(self, request, ctx=None) -> dict:
+        """Run one typed request through the coalesced (or direct) path.
+
+        ``ctx`` (optional) is the request's trace context: the coalesced
+        path hands it to the batcher, the direct path stamps a
+        synthetic batch-of-one (``d<n>`` ids, zero queue wait) so trace
+        entries link to exactly one batch span either way.
+        """
         batcher = self.batcher
         if batcher is not None:
-            return batcher.submit(request)
+            return batcher.submit(request, ctx=ctx)
+        if ctx is not None and self.trace_ring is not None:
+            ctx.begin_batch(
+                f"d{next(self._direct_ids)}", 1, queue_wait=0.0
+            )
+            return self._traced_dispatch(self.service, [request], [ctx])[0]
         return self.service.dispatch([request])[0]
 
     def _enter_request(self) -> None:
@@ -431,6 +705,7 @@ class QueryServer:
     def _serving_status(self) -> dict:
         """Status-provider payload merged into ``/healthz`` and ``/varz``."""
         batcher = self.batcher
+        ring = self.trace_ring
         status = {
             "serving": {
                 "accepting": self._accepting,
@@ -438,6 +713,9 @@ class QueryServer:
                 "coalesce": self.coalesce,
                 "ann": self.ann,
                 "batcher_depth": batcher.depth if batcher is not None else 0,
+                "trace_requests": ring is not None,
+                "traced_requests": ring.recorded if ring is not None else 0,
+                "active_epoch": self.active_epoch,
             }
         }
         if self.ann:

@@ -12,11 +12,18 @@ Every request's wall latency and HTTP status are recorded; :meth:`
 LoadGenerator.run` returns a report with per-endpoint counts, error
 tallies, latency percentiles (p50/p90/p99) and achieved queries/sec —
 the numbers ``bench_serve_latency.py`` gates and the serving runbook's
-SLO tables read.
+SLO tables read.  When the transport also reports per-request metadata
+(the server's ``X-Request-Id`` / ``X-Queue-Wait-Ms`` response headers),
+the report additionally carries per-endpoint queue-wait percentiles, a
+``slowest`` exemplar list and a ``failures`` list naming the server-side
+request id of every non-200 response — the handles ``repro tail`` and
+``/debug/requests`` resolve to full stage breakdowns.
 
-The transport is injectable (any ``callable(endpoint, body_dict) ->
-(status_code, response_dict)``); the default POSTs JSON over urllib to
-the target base URL, needing nothing outside the stdlib.
+The transport is injectable: any ``callable(endpoint, body_dict)``
+returning ``(status_code, response_dict)`` or ``(status_code,
+response_dict, info_dict)`` where ``info_dict`` may carry
+``request_id`` and ``queue_wait_ms``.  The default POSTs JSON over
+urllib to the target base URL, needing nothing outside the stdlib.
 """
 
 from __future__ import annotations
@@ -45,19 +52,44 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
     return float(sorted_values[max(0, min(rank, len(sorted_values) - 1))])
 
 
+def _header_info(headers) -> dict:
+    """Tracing metadata from a response's headers (empty when absent).
+
+    Picks out the server's ``X-Request-Id`` and ``X-Queue-Wait-Ms``
+    response headers (see :mod:`repro.serving.reqtrace`); tolerates any
+    mapping-like object exposing ``get`` as well as ``None``.
+    """
+    if headers is None:
+        return {}
+    info: dict = {}
+    request_id = headers.get("X-Request-Id")
+    if request_id:
+        info["request_id"] = request_id
+    queue_wait = headers.get("X-Queue-Wait-Ms")
+    if queue_wait:
+        try:
+            info["queue_wait_ms"] = float(queue_wait)
+        except ValueError:
+            pass
+    return info
+
+
 def http_transport(
     base_url: str, *, timeout: float = 30.0
-) -> Callable[[str, dict], tuple[int, dict]]:
+) -> Callable[[str, dict], tuple[int, dict, dict]]:
     """A stdlib-urllib JSON POST transport bound to ``base_url``.
 
-    Returns ``(status_code, parsed_body)``; HTTP error statuses (4xx/5xx)
-    are returned, not raised, so the load generator can tally them.
-    Transport-level failures (connection refused, timeout) are reported
-    as status ``0`` with the error text in the body.
+    Returns ``(status_code, parsed_body, info)`` where ``info`` carries
+    the server's per-request tracing metadata (``request_id``,
+    ``queue_wait_ms``) when the response headers supply it; HTTP error
+    statuses (4xx/5xx) are returned, not raised, so the load generator
+    can tally them.  Transport-level failures (connection refused,
+    timeout) are reported as status ``0`` with the error text in the
+    body and empty info.
     """
     base = base_url.rstrip("/")
 
-    def transport(endpoint: str, body: dict) -> tuple[int, dict]:
+    def transport(endpoint: str, body: dict) -> tuple[int, dict, dict]:
         """POST one request body to ``endpoint`` under the base URL."""
         data = json.dumps(body).encode("utf-8")
         request = urllib.request.Request(
@@ -68,15 +100,19 @@ def http_transport(
         )
         try:
             with urllib.request.urlopen(request, timeout=timeout) as response:
-                return response.status, json.loads(response.read())
+                return (
+                    response.status,
+                    json.loads(response.read()),
+                    _header_info(response.headers),
+                )
         except urllib.error.HTTPError as err:
             try:
                 payload = json.loads(err.read())
             except (ValueError, OSError):
                 payload = {"error": str(err)}
-            return err.code, payload
+            return err.code, payload, _header_info(err.headers)
         except (urllib.error.URLError, OSError, TimeoutError) as err:
-            return 0, {"error": str(err)}
+            return 0, {"error": str(err)}, {}
 
     return transport
 
@@ -91,9 +127,14 @@ class LoadGenerator:
         in arrival order, each no earlier than its ``offset`` (scaled by
         ``speedup``).
     transport:
-        ``callable(endpoint, body) -> (status, response)``; build one
-        with :func:`http_transport`, or inject an in-process callable in
-        tests.
+        ``callable(endpoint, body) -> (status, response)`` or
+        ``-> (status, response, info)``; build one with
+        :func:`http_transport`, or inject an in-process callable in
+        tests.  The optional third element is a dict whose
+        ``request_id`` / ``queue_wait_ms`` keys feed the report's
+        queue-wait stats, ``failures`` and ``slowest`` lists.
+    max_exemplars:
+        Cap on the ``failures`` and ``slowest`` lists in the report.
     concurrency:
         Number of worker threads issuing requests.
     speedup:
@@ -108,20 +149,28 @@ class LoadGenerator:
         *,
         concurrency: int = 8,
         speedup: float = 1.0,
+        max_exemplars: int = 16,
     ) -> None:
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
         if speedup <= 0:
             raise ValueError(f"speedup must be > 0, got {speedup}")
+        if max_exemplars < 0:
+            raise ValueError(
+                f"max_exemplars must be >= 0, got {max_exemplars}"
+            )
         self.events = list(events)
         self.transport = transport
         self.concurrency = int(concurrency)
         self.speedup = float(speedup)
+        self.max_exemplars = int(max_exemplars)
         self._cursor = 0
         self._cursor_lock = threading.Lock()
         self._results_lock = threading.Lock()
         self._latencies: dict[str, list[float]] = {}
         self._statuses: dict[int, int] = {}
+        self._queue_waits: dict[str, list[float]] = {}
+        self._samples: list[dict] = []
 
     def _next_event(self):
         """Claim the next unreplayed event, or ``None`` when exhausted."""
@@ -143,11 +192,39 @@ class LoadGenerator:
             if delay > 0:
                 time.sleep(delay)
             sent = time.perf_counter()
-            status, _response = self.transport(event.endpoint, event.body)
+            outcome = self.transport(event.endpoint, event.body)
             latency = time.perf_counter() - sent
+            status, response = outcome[0], outcome[1]
+            info = outcome[2] if len(outcome) > 2 else {}
+            sample = {
+                "endpoint": event.endpoint,
+                "status": status,
+                "latency_ms": round(latency * 1e3, 3),
+            }
+            # Prefer the header-reported id; fall back to the request_id
+            # the server embeds in non-200 payloads.
+            request_id = info.get("request_id") or (
+                response.get("request_id")
+                if isinstance(response, dict)
+                else None
+            )
+            if request_id is not None:
+                sample["request_id"] = request_id
+            queue_wait = info.get("queue_wait_ms")
+            if queue_wait is not None:
+                sample["queue_wait_ms"] = round(float(queue_wait), 3)
+            if status != 200 and isinstance(response, dict):
+                error = response.get("error")
+                if error is not None:
+                    sample["error"] = str(error)
             with self._results_lock:
                 self._statuses[status] = self._statuses.get(status, 0) + 1
                 self._latencies.setdefault(event.endpoint, []).append(latency)
+                if queue_wait is not None:
+                    self._queue_waits.setdefault(event.endpoint, []).append(
+                        float(queue_wait)
+                    )
+                self._samples.append(sample)
 
     def run(self) -> dict:
         """Replay every event; returns the traffic report dict."""
@@ -169,7 +246,15 @@ class LoadGenerator:
         return self._report(wall)
 
     def _report(self, wall_seconds: float) -> dict:
-        """Summarize statuses, latency percentiles and throughput."""
+        """Summarize statuses, latency percentiles and throughput.
+
+        Beyond the aggregate percentiles, exposes the tracing handles
+        gathered from transport info: per-endpoint queue-wait
+        percentiles (when the server reported them), the ``slowest``
+        requests by wall latency, and every non-200 outcome (capped at
+        ``max_exemplars``) with its server-side request id so the
+        operator can look it up at ``/debug/requests``.
+        """
         all_latencies = sorted(
             latency
             for latencies in self._latencies.values()
@@ -184,6 +269,22 @@ class LoadGenerator:
                 "p90_ms": round(percentile(ordered, 90) * 1e3, 3),
                 "p99_ms": round(percentile(ordered, 99) * 1e3, 3),
             }
+            waits = sorted(self._queue_waits.get(endpoint, []))
+            if waits:
+                endpoints[endpoint]["queue_wait_p50_ms"] = round(
+                    percentile(waits, 50), 3
+                )
+                endpoints[endpoint]["queue_wait_p99_ms"] = round(
+                    percentile(waits, 99), 3
+                )
+        slowest = sorted(
+            self._samples,
+            key=lambda sample: sample["latency_ms"],
+            reverse=True,
+        )[: self.max_exemplars]
+        failures = [
+            sample for sample in self._samples if sample["status"] != 200
+        ][: self.max_exemplars]
         n = len(all_latencies)
         server_errors = sum(
             count for status, count in self._statuses.items() if status >= 500
@@ -210,4 +311,6 @@ class LoadGenerator:
             "client_errors": client_errors,
             "transport_errors": transport_errors,
             "endpoints": endpoints,
+            "slowest": slowest,
+            "failures": failures,
         }

@@ -210,6 +210,28 @@ class Histogram:
         """Estimated 99th percentile."""
         return self.quantile(0.99)
 
+    def count_below(self, value: float) -> float:
+        """Estimated observations ``<= value`` (possibly fractional).
+
+        Exact at bucket bounds, linearly interpolated inside the
+        containing bucket — the same estimate :meth:`quantile` inverts.
+        This is what turns a log-spaced latency histogram into the
+        good-event count of a threshold SLO (see :mod:`repro.utils.slo`):
+        ``count_below(0.25)`` is "requests served in <= 250ms so far".
+        """
+        if self.count == 0 or value < 0.0:
+            return 0.0
+        if value >= self.max:
+            return float(self.count)
+        index = bisect_left(self.bounds, value)
+        running = float(sum(self.bucket_counts[:index]))
+        lower = self.bounds[index - 1] if index > 0 else 0.0
+        upper = self.bounds[index] if index < len(self.bounds) else self.max
+        if upper <= lower:
+            return running
+        fraction = (value - lower) / (upper - lower)
+        return running + fraction * self.bucket_counts[index]
+
     def cumulative_counts(self) -> list[int]:
         """Cumulative count per bound (Prometheus ``le`` buckets),
         excluding the overflow bucket — ``count`` is the ``+Inf`` value."""

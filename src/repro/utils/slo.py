@@ -1,0 +1,332 @@
+"""SLO objectives and multi-window burn-rate evaluation.
+
+An SLO ("99.9% of requests succeed", "99% of requests finish in 250ms")
+turns raw metrics into an error *budget*: at a 99.9% availability
+target, 0.1% of requests may fail before the objective is broken.  The
+**burn rate** is how fast that budget is being consumed — a burn of 1.0
+spends exactly the budget over the objective window; a burn of 14.4
+exhausts a 30-day budget in ~2 days.  Following the multi-window
+pattern from the SRE workbook, :class:`SLOEngine` evaluates each
+objective over a *fast* and a *slow* window and alerts only when **both**
+burn above their thresholds: the slow window keeps a brief blip from
+paging, the fast window ends the alert quickly once the bleeding stops.
+
+The engine is source-agnostic: each objective reads a ``(good, total)``
+cumulative pair from a callable.  Two factories cover the serving
+stack — :func:`availability_source` diffs response counters, and
+:func:`latency_source` reads the interpolated
+:meth:`~repro.utils.metrics.Histogram.count_below` of the existing
+log-spaced latency histogram.  Windowing over cumulative sources works
+by snapshotting: every :meth:`SLOEngine.evaluate` call appends a
+``(time, counts)`` snapshot and diffs against the oldest snapshot
+inside each window, so no per-request state is kept.
+
+Surfaced three ways: ``slo.*`` gauges/counters in the shared registry,
+a :meth:`SLOEngine.status` provider for ``/healthz`` (worst-wins
+``alerting`` when an objective burns hot), and the full per-window
+detail under ``/varz``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable
+
+from repro.utils.metrics import MetricsRegistry
+
+__all__ = [
+    "SLObjective",
+    "BurnWindow",
+    "SLOEngine",
+    "availability_source",
+    "latency_source",
+    "DEFAULT_WINDOWS",
+]
+
+
+class SLObjective:
+    """One objective: a name, a target fraction and (optionally) the
+    latency threshold the target applies to.
+
+    ``target`` is the required good/total fraction (e.g. ``0.999``);
+    the error budget is ``1 - target``.  ``threshold`` is informational
+    for latency objectives (the seconds bound the source encodes) and
+    ``None`` for availability.
+    """
+
+    __slots__ = ("name", "target", "threshold", "description")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        target: float,
+        threshold: float | None = None,
+        description: str = "",
+    ) -> None:
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {target}")
+        self.name = name
+        self.target = float(target)
+        self.threshold = threshold
+        self.description = description
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the bad fraction the target tolerates."""
+        return 1.0 - self.target
+
+
+class BurnWindow:
+    """One evaluation window: a lookback span and its alert threshold."""
+
+    __slots__ = ("name", "seconds", "max_burn")
+
+    def __init__(self, name: str, seconds: float, max_burn: float) -> None:
+        self.name = name
+        self.seconds = float(seconds)
+        self.max_burn = float(max_burn)
+
+
+#: SRE-workbook-style fast/slow pair: page when the 5-minute burn says
+#: "budget gone in hours" AND the 1-hour burn confirms it is sustained.
+DEFAULT_WINDOWS = (
+    BurnWindow("fast", 300.0, 14.4),
+    BurnWindow("slow", 3600.0, 6.0),
+)
+
+
+def availability_source(
+    metrics: MetricsRegistry,
+    *,
+    total: str = "serve.responses",
+    bad: str = "serve.responses_5xx",
+) -> Callable[[], tuple[float, float]]:
+    """``(good, total)`` from response counters: good = total - 5xx."""
+    total_counter = metrics.counter(total)
+    bad_counter = metrics.counter(bad)
+
+    def read() -> tuple[float, float]:
+        """Current cumulative (good, total) response counts."""
+        all_responses = total_counter.value
+        return all_responses - bad_counter.value, all_responses
+
+    return read
+
+
+def latency_source(
+    metrics: MetricsRegistry,
+    *,
+    histogram: str = "serve.request_seconds",
+    threshold: float,
+) -> Callable[[], tuple[float, float]]:
+    """``(good, total)`` from a latency histogram: good = obs <= threshold.
+
+    Uses the interpolated :meth:`~repro.utils.metrics.Histogram
+    .count_below`, so the estimate error is bounded by one log-spaced
+    bucket — the same accuracy contract as the exported quantiles.
+    """
+    hist = metrics.histogram(histogram)
+
+    def read() -> tuple[float, float]:
+        """Current cumulative (fast-enough, total) observation counts."""
+        return hist.count_below(threshold), float(hist.count)
+
+    return read
+
+
+class _Tracked:
+    """An objective plus its source and last alert edge state."""
+
+    __slots__ = ("objective", "source", "alerting")
+
+    def __init__(self, objective: SLObjective, source) -> None:
+        self.objective = objective
+        self.source = source
+        self.alerting = False
+
+
+class SLOEngine:
+    """Evaluates SLO burn rates over snapshots of cumulative sources.
+
+    Parameters
+    ----------
+    metrics:
+        Registry receiving ``slo.<name>.burn_<window>`` /
+        ``slo.<name>.compliance`` gauges and the ``slo.breaches``
+        counter (incremented once per ok->alerting edge).
+    windows:
+        The multi-window burn thresholds (default: 5m/14.4x + 1h/6x).
+    min_interval:
+        Snapshot resolution in seconds — evaluations closer together
+        than this reuse the last snapshot instead of appending.
+    min_requests:
+        Windows with fewer than this many new requests report burn 0
+        (a single failed request out of two must not page).
+    clock:
+        Injectable monotonic clock for tests.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        *,
+        windows: tuple[BurnWindow, ...] = DEFAULT_WINDOWS,
+        min_interval: float = 1.0,
+        min_requests: int = 10,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not windows:
+            raise ValueError("SLOEngine needs at least one burn window")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.windows = tuple(windows)
+        self.min_interval = float(min_interval)
+        self.min_requests = int(min_requests)
+        self._clock = clock
+        self._tracked: list[_Tracked] = []
+        self._snapshots: deque[tuple[float, dict[str, tuple[float, float]]]]
+        self._snapshots = deque()
+        self._lock = threading.Lock()
+        self._horizon = max(w.seconds for w in self.windows) * 1.25
+
+    def add_objective(
+        self,
+        objective: SLObjective,
+        source: Callable[[], tuple[float, float]],
+    ) -> SLObjective:
+        """Track ``objective`` fed by ``source`` (a (good, total) callable)."""
+        with self._lock:
+            if any(
+                t.objective.name == objective.name for t in self._tracked
+            ):
+                raise ValueError(
+                    f"objective {objective.name!r} already registered"
+                )
+            self._tracked.append(_Tracked(objective, source))
+        return objective
+
+    @property
+    def objectives(self) -> list[SLObjective]:
+        """The registered objectives, in registration order."""
+        with self._lock:
+            return [t.objective for t in self._tracked]
+
+    def _take_snapshot(self, now: float) -> dict[str, tuple[float, float]]:
+        """Append (and prune) a snapshot; returns the current counts."""
+        counts = {
+            t.objective.name: t.source() for t in self._tracked
+        }
+        if (
+            not self._snapshots
+            or now - self._snapshots[-1][0] >= self.min_interval
+        ):
+            self._snapshots.append((now, counts))
+            while (
+                len(self._snapshots) > 2
+                and now - self._snapshots[0][0] > self._horizon
+            ):
+                self._snapshots.popleft()
+        return counts
+
+    def _window_burn(
+        self,
+        name: str,
+        window: BurnWindow,
+        now: float,
+        current: tuple[float, float],
+        budget: float,
+    ) -> dict:
+        """Burn rate of one objective over one window (vs. its baseline).
+
+        The baseline is the newest snapshot at or beyond the window's
+        far edge (falling back to the oldest retained snapshot when the
+        engine is younger than the window), so the diff approximates
+        "what happened in the last ``window.seconds``".
+        """
+        baseline: tuple[float, float] | None = None
+        for ts, counts in self._snapshots:
+            if now - ts >= window.seconds:
+                baseline = counts.get(name, (0.0, 0.0))
+            else:
+                if baseline is None:
+                    baseline = counts.get(name, (0.0, 0.0))
+                break
+        if baseline is None:
+            baseline = (0.0, 0.0)
+        d_good = current[0] - baseline[0]
+        d_total = current[1] - baseline[1]
+        if d_total >= self.min_requests and d_total > 0:
+            bad_fraction = max(0.0, (d_total - d_good) / d_total)
+            burn = bad_fraction / budget if budget > 0 else 0.0
+        else:
+            bad_fraction = 0.0
+            burn = 0.0
+        return {
+            "window_seconds": window.seconds,
+            "requests": d_total,
+            "bad_fraction": bad_fraction,
+            "burn": burn,
+            "max_burn": window.max_burn,
+            "burning": burn > window.max_burn,
+        }
+
+    def evaluate(self) -> dict:
+        """Evaluate every objective; updates ``slo.*`` metrics.
+
+        Returns ``{"status": ..., "objectives": {name: {...}}}`` where
+        an objective is ``alerting`` only when *every* window burns
+        above its threshold (the multi-window AND), and the engine
+        status is the worst objective status.
+        """
+        with self._lock:
+            now = self._clock()
+            current = self._take_snapshot(now)
+            result: dict = {"status": "ok", "objectives": {}}
+            for tracked in self._tracked:
+                objective = tracked.objective
+                good, total = current[objective.name]
+                compliance = good / total if total > 0 else 1.0
+                windows = {
+                    w.name: self._window_burn(
+                        objective.name, w, now,
+                        current[objective.name], objective.budget,
+                    )
+                    for w in self.windows
+                }
+                alerting = all(w["burning"] for w in windows.values())
+                if alerting and not tracked.alerting:
+                    self.metrics.counter("slo.breaches").inc()
+                tracked.alerting = alerting
+                prefix = f"slo.{objective.name}"
+                self.metrics.gauge(f"{prefix}.compliance").set(compliance)
+                for wname, wdata in windows.items():
+                    self.metrics.gauge(f"{prefix}.burn_{wname}").set(
+                        wdata["burn"]
+                    )
+                detail = {
+                    "target": objective.target,
+                    "threshold": objective.threshold,
+                    "compliance": compliance,
+                    "requests": total,
+                    "windows": windows,
+                    "status": "alerting" if alerting else "ok",
+                }
+                result["objectives"][objective.name] = detail
+                if alerting:
+                    result["status"] = "alerting"
+            return result
+
+    def status(self) -> dict:
+        """Telemetry status provider: ``/healthz`` + ``/varz`` surface.
+
+        The top-level ``status`` key participates in the telemetry
+        server's worst-wins merge, so a burning objective flips
+        ``/healthz`` to 503/``alerting`` without any extra wiring.
+        """
+        evaluation = self.evaluate()
+        return {
+            "status": evaluation["status"],
+            "slo": evaluation["objectives"],
+        }

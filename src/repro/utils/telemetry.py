@@ -11,8 +11,9 @@ monitoring stack can consume:
   classic cumulative ``_bucket{le=...}`` series;
 * :func:`write_telemetry` dumps a whole telemetry directory —
   ``metrics.prom``, ``trace.jsonl``, ``slow_queries.jsonl``,
-  ``alerts.jsonl`` — which is what the CLI's ``--telemetry-dir`` flags
-  produce and the ``repro telemetry`` subcommand reads back;
+  ``alerts.jsonl``, ``requests.jsonl`` (the serving trace ring) — which
+  is what the CLI's ``--telemetry-dir`` flags produce and the ``repro
+  telemetry`` / ``repro tail`` subcommands read back;
 * :func:`summarize_trace` / :func:`render_trace_summary` aggregate a span
   forest into a per-name latency table for operator eyeballs.
 
@@ -43,12 +44,14 @@ __all__ = [
     "TRACE_FILENAME",
     "SLOW_QUERY_FILENAME",
     "ALERTS_FILENAME",
+    "REQUESTS_FILENAME",
 ]
 
 METRICS_FILENAME = "metrics.prom"
 TRACE_FILENAME = "trace.jsonl"
 SLOW_QUERY_FILENAME = "slow_queries.jsonl"
 ALERTS_FILENAME = "alerts.jsonl"
+REQUESTS_FILENAME = "requests.jsonl"
 
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -135,18 +138,21 @@ def write_telemetry(
     slow_queries: list[dict] | None = None,
     *,
     alerts: list[dict] | None = None,
+    requests: list[dict] | None = None,
     namespace: str = "repro",
 ) -> dict[str, Path]:
     """Dump a telemetry directory; returns the paths actually written.
 
     Writes ``metrics.prom`` when a registry is given, ``trace.jsonl``
     when a (real, recording) tracer is given, ``slow_queries.jsonl`` when
-    a non-empty slow-query log is given, and ``alerts.jsonl`` when a
-    non-empty drift-alert list is given.  The directory is created as
-    needed; existing files are overwritten — and files for sections
-    *absent from this call* are deleted, so one directory always tracks
-    exactly the latest run (a run with an empty slow-query log must not
-    leave a previous run's ``slow_queries.jsonl`` behind).
+    a non-empty slow-query log is given, ``alerts.jsonl`` when a
+    non-empty drift-alert list is given, and ``requests.jsonl`` when a
+    non-empty request-trace list (ring entries from
+    :class:`~repro.serving.reqtrace.TraceRing`) is given.  The directory
+    is created as needed; existing files are overwritten — and files for
+    sections *absent from this call* are deleted, so one directory
+    always tracks exactly the latest run (a run with an empty slow-query
+    log must not leave a previous run's ``slow_queries.jsonl`` behind).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -173,6 +179,12 @@ def write_telemetry(
         written["alerts"] = _write_jsonl(directory / ALERTS_FILENAME, alerts)
     else:
         (directory / ALERTS_FILENAME).unlink(missing_ok=True)
+    if requests:
+        written["requests"] = _write_jsonl(
+            directory / REQUESTS_FILENAME, requests
+        )
+    else:
+        (directory / REQUESTS_FILENAME).unlink(missing_ok=True)
     return written
 
 
@@ -193,10 +205,10 @@ def read_telemetry(directory: str | Path) -> dict:
     """Load whatever a telemetry directory contains.
 
     Returns a dict with ``metrics_text`` (raw Prometheus text or None),
-    ``spans`` (list of root :class:`Span` trees), ``slow_queries`` and
-    ``alerts`` (lists of dicts); missing files yield empty values rather
-    than errors, so partially populated directories (e.g. train runs,
-    which have no slow-query log) read cleanly.
+    ``spans`` (list of root :class:`Span` trees), ``slow_queries``,
+    ``alerts`` and ``requests`` (lists of dicts); missing files yield
+    empty values rather than errors, so partially populated directories
+    (e.g. train runs, which have no slow-query log) read cleanly.
     """
     directory = Path(directory)
     metrics_path = directory / METRICS_FILENAME
@@ -212,6 +224,7 @@ def read_telemetry(directory: str | Path) -> dict:
         "spans": spans,
         "slow_queries": _read_jsonl(directory / SLOW_QUERY_FILENAME),
         "alerts": _read_jsonl(directory / ALERTS_FILENAME),
+        "requests": _read_jsonl(directory / REQUESTS_FILENAME),
     }
 
 

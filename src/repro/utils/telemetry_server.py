@@ -117,6 +117,11 @@ class TelemetryServer:
     namespace:
         Prometheus metric namespace (see
         :func:`~repro.utils.telemetry.prometheus_name`).
+    trace_ring:
+        Optional :class:`~repro.serving.reqtrace.TraceRing`; when set, a
+        fourth endpoint ``GET /debug/requests`` serves its snapshot —
+        recent / slowest / errored request entries with full stage
+        breakdowns plus the batch spans they link to.
     """
 
     def __init__(
@@ -129,6 +134,7 @@ class TelemetryServer:
         logger=None,
         stale_after: float | None = None,
         namespace: str = "repro",
+        trace_ring=None,
     ) -> None:
         if stale_after is not None and stale_after <= 0:
             raise ValueError(f"stale_after must be > 0, got {stale_after}")
@@ -139,6 +145,7 @@ class TelemetryServer:
         self.logger = logger
         self.stale_after = stale_after
         self.namespace = namespace
+        self.trace_ring = trace_ring
         self._status_providers: list = []
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
@@ -289,6 +296,13 @@ class TelemetryServer:
             return (
                 200,
                 json.dumps(self.varz(), sort_keys=True).encode("utf-8"),
+                "application/json; charset=utf-8",
+            )
+        if path == "/debug/requests" and self.trace_ring is not None:
+            payload = self.trace_ring.snapshot()
+            return (
+                200,
+                json.dumps(payload, sort_keys=True).encode("utf-8"),
                 "application/json; charset=utf-8",
             )
         return None

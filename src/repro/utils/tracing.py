@@ -21,6 +21,7 @@ see ``repro telemetry`` and :mod:`repro.utils.telemetry`.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager, nullcontext
 from pathlib import Path
@@ -112,6 +113,16 @@ class Span:
 class Tracer:
     """Collects span trees; spans nest via a context-manager stack.
 
+    Safe for concurrent use: the active-span stack lives in
+    ``threading.local`` storage, so spans opened on one thread nest only
+    under spans opened by that *same* thread — interleaved requests on
+    independent handler threads each produce their own root tree instead
+    of corrupting each other's nesting.  ``roots`` (and
+    :meth:`export_jsonl`) merge every thread's finished trees; root
+    appends and span-id allocation are lock-protected, while child
+    appends stay lock-free (a span's parent is always owned by the
+    appending thread).
+
     Usage::
 
         tracer = Tracer()
@@ -124,9 +135,34 @@ class Tracer:
 
     def __init__(self) -> None:
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._epoch = time.perf_counter()
         self._next_id = 0
+
+    def __getstate__(self) -> dict:
+        """Pickle support: thread-local stacks and the lock are dropped
+        (instrumented models may carry their tracer through ``save``)."""
+        state = self.__dict__.copy()
+        del state["_local"]
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Pickle support: fresh thread-local storage and lock on load."""
+        self.__dict__.update(state)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's private stack of open spans."""
+        try:
+            return self._local.stack
+        except AttributeError:
+            stack: list[Span] = []
+            self._local.stack = stack
+            return stack
 
     @property
     def enabled(self) -> bool:
@@ -135,8 +171,9 @@ class Tracer:
 
     @property
     def current_span(self) -> Span | None:
-        """The innermost open span, or ``None`` outside any ``span()``."""
-        return self._stack[-1] if self._stack else None
+        """The calling thread's innermost open span, or ``None``."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     @property
     def current_span_id(self) -> str | None:
@@ -148,43 +185,53 @@ class Tracer:
     def span(self, name: str, **attributes) -> Iterator[Span]:
         """Open a span; nested calls become children of the innermost open
         span.  The span's duration is stamped on exit (also on exception)."""
-        self._next_id += 1
+        with self._lock:
+            self._next_id += 1
+            span_id = f"s{self._next_id}"
         span = Span(
             name,
             time.perf_counter() - self._epoch,
             None,
             attributes,
-            span_id=f"s{self._next_id}",
+            span_id=span_id,
         )
-        if self._stack:
-            self._stack[-1].children.append(span)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.roots.append(span)
-        self._stack.append(span)
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
         try:
             yield span
         finally:
             span.duration = (
                 time.perf_counter() - self._epoch - span.start
             )
-            self._stack.pop()
+            stack.pop()
 
     def total_seconds(self, name: str) -> float:
         """Summed duration of every *root* span named ``name``."""
-        return sum(r.duration or 0.0 for r in self.roots if r.name == name)
+        with self._lock:
+            roots = list(self.roots)
+        return sum(r.duration or 0.0 for r in roots if r.name == name)
 
     def export_jsonl(self, path: str | Path) -> Path:
-        """Write one JSON object per root span tree; returns the path."""
+        """Write one JSON object per root span tree (all threads merged,
+        in root-open order); returns the path."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            roots = list(self.roots)
         with path.open("w", encoding="utf-8") as handle:
-            for root in self.roots:
+            for root in roots:
                 handle.write(json.dumps(root.to_dict()) + "\n")
         return path
 
     def clear(self) -> None:
         """Drop every recorded root span (open spans keep nesting)."""
-        self.roots.clear()
+        with self._lock:
+            self.roots.clear()
 
 
 class NullTracer:

@@ -255,6 +255,21 @@ class TestMetricsWiring:
     def test_engine_accessor_is_cached(self, tiny_actor):
         assert tiny_actor.query_engine() is tiny_actor.query_engine()
 
+    def test_engine_pickles_after_stage_collection(self, tiny_actor, query_sets):
+        # Models cache their engine, so ``Actor.save`` pickles it along;
+        # the thread-local stage sink must not break that, even after
+        # it has been exercised on this thread.
+        import pickle
+
+        engine = tiny_actor.query_engine()
+        with engine.collect_stages() as stages:
+            engine.rank_batch(query_sets["location"][:4])
+        assert "score" in stages
+        loaded = pickle.loads(pickle.dumps(engine))
+        with loaded.collect_stages() as reloaded_stages:
+            loaded.rank_batch(query_sets["location"][:4])
+        assert "score" in reloaded_stages
+
 
 class TestCacheInvalidation:
     def test_cache_reused_while_version_stands_still(self, tiny_actor):

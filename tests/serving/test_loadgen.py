@@ -96,6 +96,59 @@ class TestReplay:
             LoadGenerator([], lambda e, b: (200, {}), concurrency=0)
         with pytest.raises(ValueError, match="speedup"):
             LoadGenerator([], lambda e, b: (200, {}), speedup=0.0)
+        with pytest.raises(ValueError, match="max_exemplars"):
+            LoadGenerator([], lambda e, b: (200, {}), max_exemplars=-1)
+
+    def test_three_tuple_transport_feeds_exemplars(self):
+        """Info-bearing transports populate queue waits + slowest list."""
+
+        def transport(endpoint, body):
+            i = body["i"]
+            return (
+                200,
+                {},
+                {"request_id": f"req-{i}", "queue_wait_ms": float(i)},
+            )
+
+        report = LoadGenerator(_events(8), transport, concurrency=2).run()
+        predict = report["endpoints"]["/v1/predict"]
+        assert predict["queue_wait_p50_ms"] >= 0.0
+        assert predict["queue_wait_p99_ms"] >= predict["queue_wait_p50_ms"]
+        assert len(report["slowest"]) == 8
+        top = report["slowest"][0]
+        assert top["request_id"].startswith("req-")
+        assert top["latency_ms"] >= report["slowest"][-1]["latency_ms"]
+        assert report["failures"] == []
+
+    def test_failures_name_server_request_ids(self):
+        """Non-200 responses surface the id the server assigned them."""
+
+        def transport(endpoint, body):
+            i = body["i"]
+            if i % 2 == 0:
+                return 500, {"error": "boom", "request_id": f"bad-{i}"}
+            return 200, {}, {"request_id": f"ok-{i}"}
+
+        report = LoadGenerator(_events(6), transport, concurrency=3).run()
+        failures = report["failures"]
+        assert len(failures) == 3
+        assert all(f["status"] == 500 for f in failures)
+        assert {f["request_id"] for f in failures} == {
+            "bad-0",
+            "bad-2",
+            "bad-4",
+        }
+        assert all(f["error"] == "boom" for f in failures)
+
+    def test_exemplar_lists_are_capped(self):
+        def transport(endpoint, body):
+            return 503, {"error": "down", "request_id": "x"}
+
+        report = LoadGenerator(
+            _events(10), transport, concurrency=2, max_exemplars=4
+        ).run()
+        assert len(report["failures"]) == 4
+        assert len(report["slowest"]) == 4
 
 
 class TestHTTPTransport:
@@ -119,6 +172,20 @@ class TestHTTPTransport:
 
     def test_transport_reports_connection_failure_as_status_zero(self):
         transport = http_transport("http://127.0.0.1:9", timeout=2.0)
-        status, payload = transport("/v1/predict", {})
+        status, payload, info = transport("/v1/predict", {})
         assert status == 0
         assert "error" in payload
+        assert info == {}
+
+    def test_transport_surfaces_request_id_and_queue_wait(
+        self, tiny_actor
+    ):
+        """The live server's tracing headers ride back in the info dict."""
+        with QueryServer(tiny_actor, port=0) as server:
+            transport = http_transport(server.url)
+            status, _payload, info = transport(
+                "/v1/neighbors", {"modality": "word", "time": 2.0, "k": 3}
+            )
+        assert status == 200
+        assert info["request_id"]
+        assert info["queue_wait_ms"] >= 0.0

@@ -753,11 +753,32 @@ class TestServeLoadgen:
         out = capsys.readouterr().out
         assert "qps" in out
         assert "server errors (5xx)  0" in out
+        # Live tail attribution against the still-running server.
+        assert main(["tail", "--url", url]) == 0
+        tail_out = capsys.readouterr().out
+        assert "stages by tail contribution" in tail_out
+        assert "slowest requests" in tail_out
         # The embedded server exits on its --max-seconds deadline.
         thread.join(timeout=30)
         assert outcome["code"] == 0
         assert (tel_dir / "metrics.prom").exists()
         assert (tel_dir / "events.jsonl").exists()
+        # The trace ring exported at shutdown replays through tail.  Drain
+        # the server thread's shutdown banner first so the captured stream
+        # holds nothing but the JSON summary.
+        assert (tel_dir / "requests.jsonl").exists()
+        capsys.readouterr()
+        assert main(
+            ["tail", "--trace", str(tel_dir / "requests.jsonl"), "--json"]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n"] > 0
+        assert summary["stages"]
+
+    def test_tail_reports_missing_trace(self, capsys):
+        code = main(["tail", "--trace", "/nonexistent/requests.jsonl"])
+        assert code == 2
+        assert "could not read" in capsys.readouterr().err
 
     def test_serve_mmap_requires_bundle(self, model_path, capsys):
         code = main(

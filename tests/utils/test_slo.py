@@ -1,0 +1,242 @@
+"""Tests for SLO objectives and multi-window burn-rate evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.metrics import MetricsRegistry
+from repro.utils.slo import (
+    BurnWindow,
+    SLObjective,
+    SLOEngine,
+    availability_source,
+    latency_source,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock for snapshot-window tests."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward."""
+        self.now += seconds
+
+
+def _engine(metrics=None, **kwargs):
+    """An availability-tracking engine over a fresh registry."""
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    clock = FakeClock()
+    engine = SLOEngine(metrics, clock=clock, **kwargs)
+    engine.add_objective(
+        SLObjective("availability", target=0.999),
+        availability_source(metrics),
+    )
+    return engine, metrics, clock
+
+
+class TestObjective:
+    def test_budget_is_one_minus_target(self):
+        assert SLObjective("a", target=0.999).budget == pytest.approx(0.001)
+
+    def test_rejects_out_of_range_target(self):
+        with pytest.raises(ValueError, match="target"):
+            SLObjective("a", target=1.0)
+        with pytest.raises(ValueError, match="target"):
+            SLObjective("a", target=0.0)
+
+    def test_duplicate_names_rejected(self):
+        engine, metrics, _clock = _engine()
+        with pytest.raises(ValueError, match="already registered"):
+            engine.add_objective(
+                SLObjective("availability", target=0.9),
+                availability_source(metrics),
+            )
+
+    def test_needs_at_least_one_window(self):
+        with pytest.raises(ValueError, match="window"):
+            SLOEngine(MetricsRegistry(), windows=())
+
+
+class TestBurnEvaluation:
+    def test_all_good_traffic_is_ok(self):
+        engine, metrics, clock = _engine()
+        engine.evaluate()
+        metrics.counter("serve.responses").inc(100)
+        clock.advance(10.0)
+        result = engine.evaluate()
+        detail = result["objectives"]["availability"]
+        assert result["status"] == "ok"
+        assert detail["compliance"] == pytest.approx(1.0)
+        assert not any(
+            w["burning"] for w in detail["windows"].values()
+        )
+
+    def test_sustained_errors_burn_both_windows(self):
+        engine, metrics, clock = _engine()
+        engine.evaluate()
+        # 10% 5xx against a 0.1% budget: burn 100x, far over both the
+        # 14.4x fast and 6x slow thresholds.
+        metrics.counter("serve.responses").inc(1000)
+        metrics.counter("serve.responses_5xx").inc(100)
+        clock.advance(10.0)
+        result = engine.evaluate()
+        detail = result["objectives"]["availability"]
+        assert result["status"] == "alerting"
+        assert detail["status"] == "alerting"
+        for window in detail["windows"].values():
+            assert window["burning"]
+            assert window["burn"] == pytest.approx(100.0, rel=1e-6)
+        assert metrics.counter("slo.breaches").value == 1
+
+    def test_breach_counter_is_edge_triggered(self):
+        engine, metrics, clock = _engine()
+        engine.evaluate()
+        metrics.counter("serve.responses").inc(1000)
+        metrics.counter("serve.responses_5xx").inc(100)
+        clock.advance(10.0)
+        engine.evaluate()
+        clock.advance(2.0)
+        engine.evaluate()  # still alerting: no second increment
+        assert metrics.counter("slo.breaches").value == 1
+
+    def test_recovery_clears_the_alert(self):
+        engine, metrics, clock = _engine()
+        engine.evaluate()
+        metrics.counter("serve.responses").inc(1000)
+        metrics.counter("serve.responses_5xx").inc(100)
+        clock.advance(10.0)
+        assert engine.evaluate()["status"] == "alerting"
+        # An hour of clean traffic pushes the bad burst past both
+        # windows' baselines.
+        clock.advance(4000.0)
+        metrics.counter("serve.responses").inc(10_000)
+        result = engine.evaluate()
+        assert result["status"] == "ok"
+        # A later re-breach increments the edge counter again.
+        metrics.counter("serve.responses").inc(1000)
+        metrics.counter("serve.responses_5xx").inc(1000)
+        clock.advance(10.0)
+        assert engine.evaluate()["status"] == "alerting"
+        assert metrics.counter("slo.breaches").value == 2
+
+    def test_min_requests_guard_suppresses_tiny_samples(self):
+        engine, metrics, clock = _engine()
+        engine.evaluate()
+        # 1 failure out of 2 requests: catastrophic fraction, but far
+        # below min_requests — must not page.
+        metrics.counter("serve.responses").inc(2)
+        metrics.counter("serve.responses_5xx").inc(1)
+        clock.advance(10.0)
+        result = engine.evaluate()
+        assert result["status"] == "ok"
+        windows = result["objectives"]["availability"]["windows"]
+        assert all(w["burn"] == 0.0 for w in windows.values())
+
+    def test_window_uses_recent_baseline_not_all_time(self):
+        """Old errors outside the window must not keep the burn high."""
+        engine, metrics, clock = _engine(
+            windows=(BurnWindow("fast", 60.0, 2.0),)
+        )
+        engine.evaluate()
+        metrics.counter("serve.responses").inc(100)
+        metrics.counter("serve.responses_5xx").inc(50)
+        clock.advance(5.0)
+        assert engine.evaluate()["status"] == "alerting"
+        # 120s later (two windows), clean traffic only: the baseline
+        # snapshot already contains the old errors, so burn is 0.
+        clock.advance(120.0)
+        metrics.counter("serve.responses").inc(100)
+        result = engine.evaluate()
+        window = result["objectives"]["availability"]["windows"]["fast"]
+        assert window["burn"] == 0.0
+        assert result["status"] == "ok"
+
+    def test_gauges_exported(self):
+        engine, metrics, clock = _engine()
+        engine.evaluate()
+        metrics.counter("serve.responses").inc(100)
+        clock.advance(10.0)
+        engine.evaluate()
+        assert metrics.gauge(
+            "slo.availability.compliance"
+        ).value == pytest.approx(1.0)
+        assert metrics.gauge("slo.availability.burn_fast").value == 0.0
+        assert metrics.gauge("slo.availability.burn_slow").value == 0.0
+
+
+class TestLatencySource:
+    def test_counts_observations_under_threshold(self):
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("serve.request_seconds")
+        for _ in range(9):
+            hist.observe(0.01)
+        hist.observe(10.0)
+        source = latency_source(metrics, threshold=0.25)
+        good, total = source()
+        assert total == 10.0
+        assert good == pytest.approx(9.0, abs=0.5)
+
+    def test_latency_objective_alerts_on_slow_traffic(self):
+        metrics = MetricsRegistry()
+        clock = FakeClock()
+        engine = SLOEngine(metrics, clock=clock)
+        engine.add_objective(
+            SLObjective("latency", target=0.99, threshold=0.25),
+            latency_source(metrics, threshold=0.25),
+        )
+        engine.evaluate()
+        hist = metrics.histogram("serve.request_seconds")
+        for _ in range(50):
+            hist.observe(5.0)  # every request catastrophically slow
+        clock.advance(10.0)
+        result = engine.evaluate()
+        assert result["status"] == "alerting"
+        assert result["objectives"]["latency"]["threshold"] == 0.25
+
+
+class TestHistogramCountBelow:
+    def test_empty_histogram_is_zero(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.count_below(1.0) == 0.0
+
+    def test_above_max_is_total_count(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (0.1, 0.2, 0.3):
+            hist.observe(value)
+        assert hist.count_below(1e9) == 3.0
+
+    def test_negative_value_is_zero(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(0.5)
+        assert hist.count_below(-1.0) == 0.0
+
+    def test_monotonic_in_value(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (0.001, 0.01, 0.1, 1.0, 10.0):
+            hist.observe(value)
+        counts = [hist.count_below(v) for v in (0.005, 0.05, 0.5, 5.0, 50.0)]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5.0
+
+
+class TestStatusProvider:
+    def test_status_shape_merges_into_healthz(self):
+        engine, metrics, clock = _engine()
+        metrics.counter("serve.responses").inc(100)
+        payload = engine.status()
+        assert payload["status"] == "ok"
+        assert "availability" in payload["slo"]
+
+    def test_alerting_status_propagates(self):
+        engine, metrics, clock = _engine()
+        engine.evaluate()
+        metrics.counter("serve.responses").inc(1000)
+        metrics.counter("serve.responses_5xx").inc(500)
+        clock.advance(10.0)
+        assert engine.status()["status"] == "alerting"

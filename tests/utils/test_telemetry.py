@@ -8,6 +8,7 @@ from repro.utils.metrics import MetricsRegistry
 from repro.utils.telemetry import (
     ALERTS_FILENAME,
     METRICS_FILENAME,
+    REQUESTS_FILENAME,
     SLOW_QUERY_FILENAME,
     TRACE_FILENAME,
     prometheus_name,
@@ -112,6 +113,17 @@ class TestWriteRead:
         assert written["alerts"].name == ALERTS_FILENAME
         assert read_telemetry(tmp_path)["alerts"] == alerts
 
+    def test_requests_round_trip(self, tmp_path):
+        requests = [
+            {"kind": "request", "id": "r1", "duration_ms": 3.5},
+            {"kind": "batch", "id": "b1", "links": ["r1"]},
+        ]
+        written = write_telemetry(
+            tmp_path, _golden_registry(), requests=requests
+        )
+        assert written["requests"].name == REQUESTS_FILENAME
+        assert read_telemetry(tmp_path)["requests"] == requests
+
     def test_rewrite_deletes_stale_sections(self, tmp_path):
         # Run 1: everything present.
         tracer = Tracer()
@@ -123,6 +135,7 @@ class TestWriteRead:
             tracer,
             slow_queries=[{"op": "rank_batch"}],
             alerts=[{"kind": "spatial_psi"}],
+            requests=[{"kind": "request", "id": "r1"}],
         )
         # Run 2 into the same directory: clean run, no slow queries, no
         # alerts, no tracer.  The stale files must not survive — an
@@ -134,9 +147,11 @@ class TestWriteRead:
         assert dump["slow_queries"] == []
         assert dump["alerts"] == []
         assert dump["spans"] == []
+        assert dump["requests"] == []
         assert not (tmp_path / SLOW_QUERY_FILENAME).exists()
         assert not (tmp_path / ALERTS_FILENAME).exists()
         assert not (tmp_path / TRACE_FILENAME).exists()
+        assert not (tmp_path / REQUESTS_FILENAME).exists()
 
     def test_reading_an_empty_directory_is_tolerant(self, tmp_path):
         dump = read_telemetry(tmp_path)
@@ -145,6 +160,7 @@ class TestWriteRead:
             "spans": [],
             "slow_queries": [],
             "alerts": [],
+            "requests": [],
         }
 
 

@@ -1,5 +1,7 @@
 """Tests for span tracing: nesting, attributes, JSONL round-trip."""
 
+import threading
+
 import pytest
 
 from repro.utils.tracing import (
@@ -56,6 +58,68 @@ class TestNesting:
         )
 
 
+class TestConcurrentNesting:
+    def test_threads_keep_private_stacks(self):
+        """Regression: spans from concurrent handler threads must nest
+        under their own thread's root, never under another thread's open
+        span (the stack used to be a shared instance list)."""
+        tracer = Tracer()
+        n_threads, per_thread = 8, 25
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid):
+            barrier.wait()
+            for i in range(per_thread):
+                with tracer.span(f"req-{tid}", i=i):
+                    with tracer.span("inner"):
+                        with tracer.span("leaf"):
+                            pass
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Every request became its own root with the exact 3-deep chain.
+        assert len(tracer.roots) == n_threads * per_thread
+        for root in tracer.roots:
+            assert root.name.startswith("req-")
+            assert [c.name for c in root.children] == ["inner"]
+            (inner,) = root.children
+            assert [c.name for c in inner.children] == ["leaf"]
+            assert root.duration is not None
+        # Span ids stayed unique across threads.
+        seen = set()
+        for _depth, span in walk_spans(tracer.roots):
+            assert span.span_id not in seen
+            seen.add(span.span_id)
+
+    def test_current_span_is_per_thread(self):
+        tracer = Tracer()
+        observed = {}
+
+        def worker():
+            with tracer.span("other-thread"):
+                observed["inner"] = tracer.current_span.name
+            observed["outer"] = tracer.current_span
+
+        with tracer.span("main-thread"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            # The worker never saw main's open span, and vice versa.
+            assert tracer.current_span.name == "main-thread"
+        assert observed == {"inner": "other-thread", "outer": None}
+        assert sorted(s.name for s in tracer.roots) == [
+            "main-thread",
+            "other-thread",
+        ]
+
+
 class TestAttributes:
     def test_kwargs_and_set(self):
         tracer = Tracer()
@@ -103,6 +167,21 @@ class TestRoundTrip:
             pass
         tracer.clear()
         assert tracer.roots == []
+
+    def test_pickle_round_trip_drops_thread_state(self):
+        # Instrumented models may carry their tracer through ``save``;
+        # the thread-local stack and the lock must not end up in the
+        # pickle, and a loaded tracer must keep recording.
+        import pickle
+
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        loaded = pickle.loads(pickle.dumps(tracer))
+        assert [s.name for s in loaded.roots] == ["before"]
+        with loaded.span("after"):
+            pass
+        assert [s.name for s in loaded.roots] == ["before", "after"]
 
 
 class TestWalk:

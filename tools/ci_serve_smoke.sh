@@ -51,20 +51,34 @@ python -m repro loadgen --url "$BASE" --preset utgeo2011 \
   --n-queries 150 --duration 2 --concurrency 8 \
   --fail-on-server-error --json >"$WORK/loadgen.json"
 
-# A malformed body must come back as a structured 400, never a 500.
-BAD_STATUS=$(curl -s -o "$WORK/bad.json" -w '%{http_code}' \
+# A malformed body must come back as a structured 400, never a 500 —
+# and it must echo the request id we sent, in the header and the body.
+BAD_STATUS=$(curl -s -o "$WORK/bad.json" -D "$WORK/bad_headers.txt" \
+  -w '%{http_code}' \
   -X POST "$BASE/v1/predict" -H 'Content-Type: application/json' \
+  -H 'X-Request-Id: smoke-bad-1' \
   -d '{"target": "venue"}')
 if [ "$BAD_STATUS" != 400 ]; then
   echo "FAIL: malformed request returned HTTP $BAD_STATUS, wanted 400" >&2
   exit 1
 fi
+grep -qi '^X-Request-Id: smoke-bad-1' "$WORK/bad_headers.txt"
 
+# Mid-load observability scrape: the trace ring must hold well-formed
+# attribution entries for the traffic we just sent.
+curl -sf "$BASE/debug/requests" -o "$WORK/debug_requests.json"
 curl -sf "$BASE/healthz" -o "$WORK/healthz.json"
+curl -sf "$BASE/varz" -o "$WORK/varz.json"
 curl -sf "$BASE/metrics" -o "$WORK/metrics.prom"
 
 grep -q 'repro_serve_requests_total' "$WORK/metrics.prom"
 grep -q 'repro_serve_bad_requests_total' "$WORK/metrics.prom"
+grep -q 'repro_serve_responses_total' "$WORK/metrics.prom"
+grep -q 'repro_slo_availability_compliance' "$WORK/metrics.prom"
+
+# Live tail-latency attribution against the running server.
+python -m repro tail --url "$BASE" >"$WORK/tail_live.txt"
+grep -q 'stages by tail contribution' "$WORK/tail_live.txt"
 
 python - "$WORK" <<'EOF'
 import json
@@ -82,10 +96,38 @@ health = json.loads((work / "healthz.json").read_text())
 assert health["status"] == "ok", health
 assert health["serving"]["accepting"] is True, health
 assert health["serving"]["coalesce"] is True, health
+assert health["serving"]["trace_requests"] is True, health
+assert "availability" in health["slo"], health
+assert "latency" in health["slo"], health
 bad = json.loads((work / "bad.json").read_text())
 assert bad["field"] == "target", bad
+assert bad["request_id"] == "smoke-bad-1", bad
+# The loadgen report carries the server-side tracing handles.
+predict = report["endpoints"].get("/v1/predict", {})
+assert "queue_wait_p99_ms" in predict, predict
+assert report["slowest"], report
+assert all("request_id" in s for s in report["slowest"]), report["slowest"]
+# Mid-load trace-ring scrape: every entry is a well-formed attribution
+# record, and every coalesced request links to a recorded batch span.
+debug = json.loads((work / "debug_requests.json").read_text())
+assert debug["recorded"] >= 150, debug["recorded"]
+batches = {b["id"]: b for b in debug["batches"]}
+for entry in debug["recent"]:
+    assert entry["kind"] == "request", entry
+    assert entry["id"], entry
+    assert entry["status"] in (200, 400), entry
+    assert entry["duration_ms"] >= 0, entry
+    assert sum(entry["stages_ms"].values()) <= entry["duration_ms"] + 0.1, entry
+    assert entry["lifecycle"]["epoch"] == 0, entry
+    if entry["status"] == 200:
+        assert entry["batch"] is not None, entry
+        batch = batches.get(entry["batch"]["id"])
+        if batch is not None:
+            assert entry["id"] in batch["links"], (entry, batch)
 print("loadgen:", json.dumps({k: report[k] for k in
     ("n_requests", "qps", "p50_ms", "p99_ms", "statuses")}, indent=2))
+print("trace ring:", debug["recorded"], "requests,",
+      debug["recorded_batches"], "batches")
 EOF
 
 # Graceful shutdown: SIGTERM must drain and exit 0 before the deadline.
@@ -95,11 +137,19 @@ grep -q 'server drained and stopped' "$WORK/serve.log"
 echo "--- serve output ---"
 cat "$WORK/serve.log"
 
+# The shutdown telemetry dump includes the trace ring; post-mortem tail
+# attribution must work from the exported file alone.
+test -f "$WORK/tel/requests.jsonl"
+python -m repro tail --trace "$WORK/tel/requests.jsonl" \
+  >"$WORK/tail_post.txt"
+grep -q 'slowest requests' "$WORK/tail_post.txt"
+
 # Smoke-scale latency bench; acceptance-scale gates are relaxed because
 # shared CI runners are neither quiet nor multi-core enough to hold them.
 python benchmarks/bench_serve_latency.py \
   --records 900 --dim 16 --epochs 2 --line-samples 5000 \
   --n-queries 150 --duration 1.0 --parity-sample 40 \
   --max-p99-ms 2000 --min-qps 5 --min-speedup 1.1 \
+  --max-trace-overhead 0.5 \
   --out BENCH_serve_latency.json
 echo "serve smoke: OK"
