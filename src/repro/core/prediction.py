@@ -451,7 +451,10 @@ class GraphEmbeddingModel:
         query = np.asarray(query_vec, dtype=float)
         norm = np.linalg.norm(query)
         if norm > 0:
-            scores = cache.normalized @ (query / norm)
+            # einsum, not gemv: per-row accumulation order is independent
+            # of row position, so a shard-local gather scores bit-equal
+            # to this full scan (the scatter-gather parity contract).
+            scores = np.einsum("nd,d->n", cache.normalized, query / norm)
         else:
             scores = np.zeros(cache.matrix.shape[0])
         order = top_k(scores, k)

@@ -16,13 +16,30 @@ bundle/
   vocab.json        retained keywords in id order
 ```
 
-Format **v2** (current) stores the embeddings as raw ``.npy`` sidecars so
-:func:`load_bundle` can memory-map them (``mmap=True``): startup becomes
-an ``mmap(2)`` call, pages fault in as queries touch rows, and models
-larger than RAM serve fine.  Format **v1** bundles (compressed
-``embeddings.npz``) still load — only eagerly, since zip members can't be
-mapped.  Malformed bundles of either version raise
-:class:`BundleFormatError` naming the offending field and format version.
+Format **v2** (the default) stores the embeddings as raw ``.npy``
+sidecars so :func:`load_bundle` can memory-map them (``mmap=True``):
+startup becomes an ``mmap(2)`` call, pages fault in as queries touch
+rows, and models larger than RAM serve fine.  Format **v1** bundles
+(compressed ``embeddings.npz``) still load — only eagerly, since zip
+members can't be mapped.
+
+Format **v3** (``save_bundle(..., shards=K)``) hash-partitions the
+matrices over per-shard sidecar directories::
+
+    bundle/
+      manifest.json       format_version 3 + {"sharding": {...}}
+      shards/00/center.npy  shard 0's rows, ascending global id
+      shards/00/context.npy
+      shards/01/...
+      hotspots.npz nodes.json vocab.json   (as v2)
+
+Row placement is the deterministic splitmix64 vertex hash of
+:class:`~repro.sharding.HashPartitioner` — nothing but the shard count
+is recorded, and :func:`load_bundle` re-derives the layout and wraps the
+shards in a :class:`~repro.sharding.ShardedStore` (each shard
+memory-mapped read-only under ``mmap=True``).  Malformed bundles of any
+version raise :class:`BundleFormatError` naming the offending field and
+format version.
 
 :func:`load_bundle` reconstructs a :class:`QueryModel` — the full
 :class:`~repro.core.prediction.GraphEmbeddingModel` query surface
@@ -47,7 +64,7 @@ from repro.graphs.builder import BuiltGraphs
 from repro.graphs.interaction_graph import UserInteractionGraph
 from repro.graphs.types import NodeType
 from repro.hotspots.detector import HotspotDetector
-from repro.storage import EmbeddingStore, MmapStore
+from repro.storage import DenseStore, EmbeddingStore, MmapStore
 
 __all__ = [
     "save_bundle",
@@ -55,6 +72,7 @@ __all__ = [
     "QueryModel",
     "BundleFormatError",
     "FORMAT_VERSION",
+    "SHARDED_FORMAT_VERSION",
     "SUPPORTED_FORMAT_VERSIONS",
     "save_online_checkpoint",
     "load_online_checkpoint",
@@ -62,7 +80,8 @@ __all__ = [
 ]
 
 FORMAT_VERSION = 2
-SUPPORTED_FORMAT_VERSIONS = (1, 2)
+SHARDED_FORMAT_VERSION = 3
+SUPPORTED_FORMAT_VERSIONS = (1, 2, 3)
 ONLINE_FORMAT_VERSION = 2
 SUPPORTED_ONLINE_FORMAT_VERSIONS = (1, 2)
 
@@ -169,12 +188,53 @@ class QueryModel(GraphEmbeddingModel):
             self.context = context
 
 
-def save_bundle(model: Actor | QueryModel, directory: str | Path) -> Path:
+def check_shard_plan(
+    shards: int, fleet_size: int | None = None
+) -> int:
+    """Validate an export shard count against the serving fleet.
+
+    ``shards`` must be >= 1, and when ``fleet_size`` is given every
+    serving replica must own a whole number of shards — i.e.
+    ``fleet_size`` must divide ``shards`` evenly.  Raises ``ValueError``
+    with the constraint spelled out (the CLI surfaces it as an exit-2
+    argument error, not a traceback).  Returns the validated count.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if fleet_size is not None:
+        if fleet_size < 1:
+            raise ValueError(
+                f"fleet size must be >= 1, got {fleet_size}"
+            )
+        if shards % fleet_size != 0:
+            raise ValueError(
+                f"shards={shards} does not divide evenly over a serving "
+                f"fleet of {fleet_size} replicas: each replica must own a "
+                f"whole number of shards, so pick a shard count that is a "
+                f"multiple of {fleet_size} (e.g. "
+                f"{max(1, shards // fleet_size) * fleet_size} or "
+                f"{(shards // fleet_size + 1) * fleet_size})"
+            )
+    return int(shards)
+
+
+def save_bundle(
+    model: Actor | QueryModel,
+    directory: str | Path,
+    *,
+    shards: int = 1,
+    fleet_size: int | None = None,
+) -> Path:
     """Write ``model``'s inference state to ``directory`` (created if needed).
 
     Embeddings go out as raw ``.npy`` sidecars (format v2) so the bundle
     can later be served zero-copy via ``load_bundle(..., mmap=True)``.
+    With ``shards=K > 1`` the matrices are hash-partitioned into
+    ``shards/NN`` sidecar directories (format v3) for scatter-gather
+    serving; ``fleet_size`` additionally enforces that the shard count
+    divides the serving fleet evenly (see :func:`check_shard_plan`).
     """
+    shards = check_shard_plan(shards, fleet_size)
     # QueryModel and OnlineActor are fitted by construction; a bare Actor
     # must have been trained.
     if not getattr(model, "is_fitted", True):
@@ -213,8 +273,22 @@ def save_bundle(model: Actor | QueryModel, directory: str | Path) -> Path:
             )
     detector = model.built.detector
 
-    np.save(directory / "center.npy", np.asarray(model.center, dtype=np.float64))
-    np.save(directory / "context.npy", np.asarray(model.context, dtype=np.float64))
+    center = np.asarray(model.center, dtype=np.float64)
+    context = np.asarray(model.context, dtype=np.float64)
+    if shards == 1:
+        np.save(directory / "center.npy", center)
+        np.save(directory / "context.npy", context)
+    else:
+        from repro.sharding import HashPartitioner, shard_subdir
+
+        _, _, shard_rows = HashPartitioner(shards).build_maps(
+            center.shape[0]
+        )
+        for s, rows in enumerate(shard_rows):
+            sdir = shard_subdir(directory, s)
+            sdir.mkdir(parents=True, exist_ok=True)
+            np.save(sdir / "center.npy", center[rows])
+            np.save(sdir / "context.npy", context[rows])
     np.savez_compressed(
         directory / "hotspots.npz",
         spatial=detector.spatial_hotspots,
@@ -226,12 +300,19 @@ def save_bundle(model: Actor | QueryModel, directory: str | Path) -> Path:
     )
     config = getattr(model, "config", None)
     manifest = {
-        "format_version": FORMAT_VERSION,
-        "dim": int(model.center.shape[1]),
-        "n_nodes": int(model.center.shape[0]),
+        "format_version": (
+            FORMAT_VERSION if shards == 1 else SHARDED_FORMAT_VERSION
+        ),
+        "dim": int(center.shape[1]),
+        "n_nodes": int(center.shape[0]),
         "period": float(getattr(detector, "period", 24.0)),
         "config": asdict(config) if config is not None else None,
     }
+    if shards > 1:
+        manifest["sharding"] = {
+            "n_shards": shards,
+            "partitioner": "splitmix64",
+        }
     (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
     return directory
 
@@ -239,12 +320,15 @@ def save_bundle(model: Actor | QueryModel, directory: str | Path) -> Path:
 def load_bundle(directory: str | Path, *, mmap: bool = False) -> QueryModel:
     """Reconstruct a :class:`QueryModel` from a bundle directory.
 
-    With ``mmap=True`` (format v2 bundles only) the embedding matrices
+    With ``mmap=True`` (format v2/v3 bundles) the embedding matrices
     are memory-mapped read-only straight from the bundle's ``.npy``
     sidecars — no copy, near-instant startup, identical query results.
     Format v1 bundles store compressed ``embeddings.npz`` archives, whose
     members cannot be mapped; re-export with :func:`save_bundle` to get
-    a mappable v2 bundle.
+    a mappable v2 bundle.  Format v3 bundles come back behind a
+    :class:`~repro.sharding.ShardedStore` over the per-shard sidecars
+    (each shard mapped read-only under ``mmap=True``), with the row
+    layout re-derived from the manifest's shard count.
     """
     directory = Path(directory)
     manifest = _read_manifest(directory / "manifest.json", kind="bundle")
@@ -252,8 +336,56 @@ def load_bundle(directory: str | Path, *, mmap: bool = False) -> QueryModel:
         manifest, SUPPORTED_FORMAT_VERSIONS, kind="bundle", directory=directory
     )
 
-    store: MmapStore | None = None
-    if version == 1:
+    store: EmbeddingStore | None = None
+    center = context = None
+    if version == 3:
+        from repro.sharding import ShardedStore, shard_subdir
+
+        sharding = _require(
+            manifest, "sharding", version=version, directory=directory
+        )
+        n_shards = sharding.get("n_shards")
+        if not isinstance(n_shards, int) or n_shards < 1:
+            raise BundleFormatError(
+                f"bundle at {directory} (format v3) declares invalid "
+                f"sharding.n_shards {n_shards!r}"
+            )
+        partitioner = sharding.get("partitioner")
+        if partitioner != "splitmix64":
+            raise BundleFormatError(
+                f"bundle at {directory} (format v3) uses unknown "
+                f"partitioner {partitioner!r}; this build reads 'splitmix64'"
+            )
+        children: list[EmbeddingStore] = []
+        for s in range(n_shards):
+            sdir = shard_subdir(directory, s)
+            if mmap:
+                if not (sdir / "center.npy").exists():
+                    raise BundleFormatError(
+                        f"bundle at {directory} (format v3) is missing "
+                        f"shard sidecar {sdir.name}/center.npy"
+                    )
+                children.append(MmapStore.open(sdir, mode="r"))
+            else:
+                children.append(
+                    DenseStore(
+                        _load_array(
+                            sdir / "center.npy", mmap=False,
+                            version=version, directory=directory,
+                        ),
+                        _load_array(
+                            sdir / "context.npy", mmap=False,
+                            version=version, directory=directory,
+                        ),
+                    )
+                )
+        try:
+            store = ShardedStore.from_children(children)
+        except ValueError as exc:
+            raise BundleFormatError(
+                f"bundle at {directory} (format v3) is mis-sharded: {exc}"
+            ) from exc
+    elif version == 1:
         if mmap:
             raise BundleFormatError(
                 f"bundle at {directory} is format v1 (compressed "
@@ -292,11 +424,12 @@ def load_bundle(directory: str | Path, *, mmap: bool = False) -> QueryModel:
             directory / "context.npy", mmap=False, version=version,
             directory=directory,
         )
-    if center.shape != context.shape:
+    if center is not None and center.shape != context.shape:
         raise BundleFormatError(
             f"bundle at {directory} (format v{version}) has mismatched "
             f"center {center.shape} vs context {context.shape} shapes"
         )
+    n_rows = store.n_rows if center is None else center.shape[0]
 
     period = _require(manifest, "period", version=version, directory=directory)
     n_nodes = _require(manifest, "n_nodes", version=version, directory=directory)
@@ -316,11 +449,11 @@ def load_bundle(directory: str | Path, *, mmap: bool = False) -> QueryModel:
         ) from exc
 
     nodes = json.loads((directory / "nodes.json").read_text())
-    if len(nodes) != n_nodes or center.shape[0] != len(nodes):
+    if len(nodes) != n_nodes or n_rows != len(nodes):
         raise BundleFormatError(
             f"bundle at {directory} (format v{version}) is inconsistent: "
             f"manifest n_nodes={n_nodes}, nodes.json holds {len(nodes)}, "
-            f"embeddings hold {center.shape[0]} rows"
+            f"embeddings hold {n_rows} rows"
         )
 
     activity = ActivityGraph()

@@ -1,0 +1,40 @@
+"""``repro.sharding`` — hash-partitioned embedding state, end to end.
+
+The package takes the reproduction from "one shared-memory machine" to
+"as many shards as the hardware allows" without changing a single
+caller-visible contract:
+
+* :class:`~repro.sharding.partitioner.HashPartitioner` — deterministic
+  splitmix64 vertex-hash assignment of global row ids onto ``K`` shards,
+  stable under vertex growth and re-derivable in every process;
+* :class:`~repro.sharding.store.ShardedStore` — an
+  :class:`~repro.storage.base.EmbeddingStore` whose rows live on ``K``
+  child backends (dense / shared / mmap per shard) behind an assembled
+  staging view and one composite version counter;
+* :class:`~repro.sharding.engine.ShardedQueryEngine` /
+  :class:`~repro.sharding.engine.ShardedIndexedQueryEngine` —
+  scatter-gather retrieval over per-shard replicas (exact, bit-equal to
+  the unsharded engine) and per-shard IVF indexes.
+
+Construction goes through the usual seams: ``make_store(...,
+n_shards=K)``, bundle format v3 (``shards/NN`` sidecars), and the
+``--shards`` flag on ``repro train/stream/serve/export``.
+"""
+
+from repro.sharding.engine import (
+    ShardedIndexedQueryEngine,
+    ShardedQueryEngine,
+    merge_topk,
+)
+from repro.sharding.partitioner import HashPartitioner, splitmix64
+from repro.sharding.store import ShardedStore, shard_subdir
+
+__all__ = [
+    "HashPartitioner",
+    "ShardedIndexedQueryEngine",
+    "ShardedQueryEngine",
+    "ShardedStore",
+    "merge_topk",
+    "shard_subdir",
+    "splitmix64",
+]

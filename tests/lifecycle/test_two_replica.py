@@ -1,0 +1,142 @@
+"""Two serving replicas on one bundle root: the marker protocol drill.
+
+A bundle root is a *shared* coordination surface: the ``CURRENT``
+pointer and per-epoch ``VETOED`` markers are how independently-polling
+replicas converge on the same serving epoch without talking to each
+other.  These tests run two live :class:`QueryServer` +
+:class:`LifecycleManager` stacks against one root and assert the
+convergence properties the fleet relies on — same epoch after a
+promote, same epoch after a veto, and zero 5xx responses while the
+promotion sweeps through the fleet (``tools/ci_lifecycle.sh`` runs the
+same drill as two OS processes).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core import load_bundle, save_bundle
+from repro.core.drift import make_probe_queries
+from repro.lifecycle import (
+    BundlePublisher,
+    BundleWatcher,
+    LifecycleManager,
+    read_pointer,
+)
+from repro.serving import QueryServer
+from repro.utils.metrics import MetricsRegistry
+
+from tests.lifecycle.conftest import scrambled_center
+
+PREDICT_BODY = {
+    "target": "time",
+    "candidates": [2.0, 9.5, 13.0, 21.5],
+    "words": ["common_000"],
+    "location": [1.0, 2.0],
+}
+
+
+def _post_predict(server) -> int:
+    data = json.dumps(PREDICT_BODY).encode("utf-8")
+    request = urllib.request.Request(
+        server.url + "/v1/predict",
+        data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.status
+    except urllib.error.HTTPError as exc:
+        return exc.code
+
+
+@pytest.fixture()
+def fleet(bundles_root, tiny_actor, dataset):
+    """Two independent server+manager stacks polling one bundle root."""
+    publisher = BundlePublisher(bundles_root, retain=None)
+    first = publisher.publish(tiny_actor)
+    probe = make_probe_queries(dataset.test, max_queries=64)
+    stacks = []
+    try:
+        for _ in range(2):
+            server = QueryServer(
+                load_bundle(first, mmap=True),
+                port=0,
+                metrics=MetricsRegistry(),
+            ).start()
+            manager = LifecycleManager(
+                server,
+                bundles_root,
+                initial_epoch=1,
+                probe_queries=probe,
+            )
+            stacks.append((server, manager))
+        yield publisher, stacks
+    finally:
+        for server, _manager in stacks:
+            server.stop()
+
+
+class TestPromotionConvergence:
+    def test_both_replicas_promote_with_zero_5xx(self, fleet, alt_actor):
+        publisher, stacks = fleet
+        statuses = [_post_predict(server) for server, _ in stacks]
+
+        publisher.publish(alt_actor)
+        # Replicas poll independently (no coordination beyond the root);
+        # traffic keeps flowing between every poll.
+        for server, manager in stacks:
+            decision = manager.poll_once()
+            assert decision["action"] == "promote"
+            statuses.extend(_post_predict(s) for s, _ in stacks)
+
+        for server, manager in stacks:
+            assert manager.swapper.active_epoch == 2
+            assert server.active_epoch == 2
+        assert read_pointer(publisher.root) == 2
+        statuses.extend(_post_predict(server) for server, _ in stacks)
+        assert all(status == 200 for status in statuses)
+        for server, _ in stacks:
+            assert (
+                server.metrics.counter("serve.responses_5xx").value == 0
+            )
+
+    def test_decision_log_carries_both_replicas(self, fleet, alt_actor):
+        publisher, stacks = fleet
+        publisher.publish(alt_actor)
+        for _server, manager in stacks:
+            manager.poll_once()
+        log = (publisher.root / "decisions.jsonl").read_text().splitlines()
+        actions = [json.loads(line)["action"] for line in log]
+        assert actions == ["promote", "promote"]
+
+
+class TestVetoConvergence:
+    def test_veto_marker_stops_the_second_replica(
+        self, fleet, tiny_actor, tmp_path
+    ):
+        publisher, stacks = fleet
+        save_bundle(tiny_actor, tmp_path / "bad")
+        bad = load_bundle(tmp_path / "bad")
+        bad.center = scrambled_center(tiny_actor.center)
+        publisher.publish(bad)
+
+        (first_server, first_manager), (second_server, second_manager) = (
+            stacks
+        )
+        decision = first_manager.poll_once()
+        assert decision["action"] == "veto"
+        assert BundleWatcher(publisher.root).vetoed(2)
+
+        # The second replica never re-gates the vetoed epoch: the marker
+        # in the shared root already carries the verdict.
+        second_manager._polls_since_monitor = -10  # keep its monitor quiet
+        assert second_manager.poll_once() is None
+        for server, manager in stacks:
+            assert manager.swapper.active_epoch == 1
+            assert server.active_epoch == 1
+        assert _post_predict(first_server) == 200
+        assert _post_predict(second_server) == 200

@@ -1,0 +1,142 @@
+"""Bundle format v3: sharded sidecars, back-compat, and the fleet guard."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import QueryEngine, load_bundle, save_bundle
+from repro.core.serialize import (
+    BundleFormatError,
+    SHARDED_FORMAT_VERSION,
+    check_shard_plan,
+)
+from repro.lifecycle import BundlePublisher
+from repro.sharding import ShardedStore, shard_subdir
+
+
+@pytest.fixture()
+def v3_root(tmp_path, tiny_actor):
+    root = tmp_path / "v3"
+    save_bundle(tiny_actor, root, shards=4)
+    return root
+
+
+class TestLayout:
+    def test_manifest_and_sidecars(self, v3_root):
+        manifest = json.loads((v3_root / "manifest.json").read_text())
+        assert manifest["format_version"] == SHARDED_FORMAT_VERSION
+        assert manifest["sharding"] == {
+            "n_shards": 4,
+            "partitioner": "splitmix64",
+        }
+        # Matrices live only in the per-shard sidecars.
+        assert not (v3_root / "center.npy").exists()
+        for s in range(4):
+            assert (shard_subdir(v3_root, s) / "center.npy").exists()
+            assert (shard_subdir(v3_root, s) / "context.npy").exists()
+
+    def test_unsharded_export_stays_v2(self, tmp_path, tiny_actor):
+        save_bundle(tiny_actor, tmp_path / "v2", shards=1)
+        manifest = json.loads(
+            (tmp_path / "v2" / "manifest.json").read_text()
+        )
+        assert manifest["format_version"] == 2
+        assert "sharding" not in manifest
+        assert (tmp_path / "v2" / "center.npy").exists()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_loads_sharded_and_matches_source(
+        self, v3_root, tiny_actor, mmap
+    ):
+        model = load_bundle(v3_root, mmap=mmap)
+        assert isinstance(model._store, ShardedStore)
+        assert model._store.n_shards == 4
+        np.testing.assert_array_equal(
+            np.asarray(model.center), np.asarray(tiny_actor.center)
+        )
+        np.testing.assert_array_equal(
+            np.asarray(model.context), np.asarray(tiny_actor.context)
+        )
+
+    def test_neighbors_parity_with_v2(self, v3_root, tmp_path, tiny_actor):
+        save_bundle(tiny_actor, tmp_path / "v2")
+        eager = QueryEngine(load_bundle(v3_root))
+        mapped = QueryEngine(load_bundle(v3_root, mmap=True))
+        flat = QueryEngine(load_bundle(tmp_path / "v2"))
+        rng = np.random.default_rng(21)
+        for modality in ("word", "time", "location", "user"):
+            query = rng.standard_normal(tiny_actor.dim)
+            want = flat.neighbors(query, modality, 10)
+            assert eager.neighbors(query, modality, 10) == want
+            assert mapped.neighbors(query, modality, 10) == want
+
+
+class TestValidation:
+    def test_missing_shard_sidecar_fails_loudly(self, v3_root):
+        target = shard_subdir(v3_root, 2) / "center.npy"
+        target.unlink()
+        with pytest.raises(BundleFormatError, match="shard sidecar"):
+            load_bundle(v3_root, mmap=True)
+        with pytest.raises(BundleFormatError, match="missing"):
+            load_bundle(v3_root)
+
+    def test_wrong_shard_count_is_mis_sharded(self, v3_root):
+        manifest = json.loads((v3_root / "manifest.json").read_text())
+        manifest["sharding"]["n_shards"] = 3
+        (v3_root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(BundleFormatError):
+            load_bundle(v3_root)
+
+    def test_unknown_partitioner_rejected(self, v3_root):
+        manifest = json.loads((v3_root / "manifest.json").read_text())
+        manifest["sharding"]["partitioner"] = "crc32"
+        (v3_root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(BundleFormatError, match="partitioner"):
+            load_bundle(v3_root)
+
+
+class TestFleetGuard:
+    def test_divisible_plans_pass(self):
+        check_shard_plan(1)
+        check_shard_plan(4, 2)
+        check_shard_plan(8, 8)
+
+    def test_indivisible_plan_names_the_constraint(self):
+        with pytest.raises(ValueError) as excinfo:
+            check_shard_plan(6, 4)
+        message = str(excinfo.value)
+        assert "does not divide evenly" in message
+        assert "fleet of 4" in message
+
+    def test_save_bundle_refuses_indivisible_plan(
+        self, tmp_path, tiny_actor
+    ):
+        with pytest.raises(ValueError, match="does not divide evenly"):
+            save_bundle(tiny_actor, tmp_path / "nope", shards=3, fleet_size=2)
+        assert not (tmp_path / "nope").exists()
+
+    def test_invalid_counts_rejected(self, tmp_path, tiny_actor):
+        with pytest.raises(ValueError):
+            check_shard_plan(0)
+        with pytest.raises(ValueError):
+            save_bundle(tiny_actor, tmp_path / "nope", shards=-1)
+
+
+class TestPublisher:
+    def test_publishes_sharded_epochs(self, tmp_path, tiny_actor):
+        publisher = BundlePublisher(tmp_path / "bundles", shards=2)
+        path = publisher.publish(tiny_actor)
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["format_version"] == SHARDED_FORMAT_VERSION
+        model = load_bundle(path, mmap=True)
+        assert isinstance(model._store, ShardedStore)
+        assert model._store.n_shards == 2
+
+    def test_rejects_bad_shard_count(self, tmp_path):
+        with pytest.raises(ValueError, match="shards"):
+            BundlePublisher(tmp_path / "bundles", shards=0)

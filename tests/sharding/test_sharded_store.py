@@ -1,0 +1,180 @@
+"""ShardedStore contract: parity with a single-shard store on every path."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.sharding import ShardedStore, shard_subdir
+from repro.storage import DenseStore, make_store
+
+
+@pytest.fixture()
+def matrices():
+    rng = np.random.default_rng(42)
+    return rng.normal(size=(37, 8)), rng.normal(size=(37, 8))
+
+
+def make_sharded(backend, tmp_path, center, context, n_shards=4):
+    directory = tmp_path / "store" if backend == "mmap" else None
+    store = make_store(
+        backend, center, context, directory=directory, n_shards=n_shards
+    )
+    assert isinstance(store, ShardedStore)
+    return store
+
+
+@pytest.mark.parametrize("backend", ["dense", "shared", "mmap"])
+class TestParity:
+    def test_round_trip_and_normalized(
+        self, backend, tmp_path, matrices
+    ):
+        center, context = matrices
+        store = make_sharded(backend, tmp_path, center, context)
+        reference = DenseStore(center, context)
+        try:
+            assert store.n_rows == 37 and store.dim == 8
+            np.testing.assert_array_equal(store.center, center)
+            np.testing.assert_array_equal(store.context, context)
+            for name in ("center", "context"):
+                np.testing.assert_array_equal(
+                    store.normalized(name), reference.normalized(name)
+                )
+            rows = np.array([0, 5, 17, 36, 5])
+            np.testing.assert_array_equal(
+                store.view(rows), reference.view(rows)
+            )
+            np.testing.assert_array_equal(
+                store.get_row(19), reference.get_row(19)
+            )
+        finally:
+            store.close()
+
+    def test_inplace_write_then_bump_reaches_children(
+        self, backend, tmp_path, matrices
+    ):
+        center, context = matrices
+        store = make_sharded(backend, tmp_path, center, context)
+        try:
+            before = store.version
+            view = store.center
+            view[3] += 1.0
+            store.bump()
+            assert store.version > before
+            # The children are authoritative again: a routed single-row
+            # read (no staging buffer involved on a fresh layout) and
+            # the re-derived normalized matrix both see the write.
+            shard = int(store.shard_for_rows(np.array([3]))[0])
+            local = int(np.flatnonzero(store.global_rows(shard) == 3)[0])
+            np.testing.assert_array_equal(
+                store.children[shard].get_row(local), view[3]
+            )
+            expected = DenseStore(np.asarray(view), context)
+            np.testing.assert_array_equal(
+                store.normalized(), expected.normalized()
+            )
+        finally:
+            store.close()
+
+    def test_put_row_routes_to_owner(self, backend, tmp_path, matrices):
+        center, context = matrices
+        store = make_sharded(backend, tmp_path, center, context)
+        try:
+            vector = np.full(8, 2.5)
+            store.put_row(11, vector)
+            np.testing.assert_array_equal(store.get_row(11), vector)
+            shard = int(store.shard_for_rows(np.array([11]))[0])
+            local = int(np.flatnonzero(store.global_rows(shard) == 11)[0])
+            np.testing.assert_array_equal(
+                store.children[shard].get_row(local), vector
+            )
+        finally:
+            store.close()
+
+    def test_grow_appends_on_hash_owners(self, backend, tmp_path, matrices):
+        center, context = matrices
+        store = make_sharded(backend, tmp_path, center, context)
+        rng = np.random.default_rng(3)
+        new_center = rng.normal(size=(9, 8))
+        new_context = rng.normal(size=(9, 8))
+        try:
+            first = store.grow(new_center, new_context)
+            assert first == 37
+            assert store.n_rows == 46
+            full_center = np.vstack([center, new_center])
+            np.testing.assert_array_equal(store.center, full_center)
+            # Incremental growth agrees with a from-scratch layout.
+            rebuilt = store.partitioner.build_maps(46)
+            for child, rows in zip(store.children, rebuilt[2]):
+                np.testing.assert_array_equal(
+                    child.as_array("center"), full_center[rows]
+                )
+        finally:
+            store.close()
+
+
+class TestShardedSpecifics:
+    def test_composite_version_counts_child_mutations(self, matrices):
+        center, context = matrices
+        store = ShardedStore(3)
+        store.set_matrix("center", center)
+        store.set_matrix("context", context)
+        before = store.version
+        store.children[1].bump()
+        assert store.version == before + 1
+
+    def test_mmap_children_live_in_shard_subdirs(self, tmp_path, matrices):
+        center, context = matrices
+        store = make_sharded("mmap", tmp_path, center, context)
+        try:
+            for s in range(4):
+                child_dir = shard_subdir(tmp_path / "store", s)
+                assert (child_dir / "center.npy").exists()
+                assert (child_dir / "context.npy").exists()
+        finally:
+            store.close()
+
+    def test_pickle_round_trip(self, matrices):
+        center, context = matrices
+        store = ShardedStore(4)
+        store.set_matrix("center", center)
+        store.set_matrix("context", context)
+        # Unflushed staged write must survive pickling.
+        store.center[5] = 9.0
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.n_shards == 4
+        np.testing.assert_array_equal(clone.center, store.center)
+        np.testing.assert_array_equal(clone.get_row(5), np.full(8, 9.0))
+        np.testing.assert_array_equal(
+            clone.normalized(), store.normalized()
+        )
+
+    def test_from_children_rejects_mis_sharded_counts(self, matrices):
+        center, context = matrices
+        good = ShardedStore(4)
+        good.set_matrix("center", center)
+        good.set_matrix("context", context)
+        good.flush()
+        children = list(good.children)
+        # 37 rows over 4 shards: at least two shards hold unequal counts,
+        # so swapping such a pair always violates the hash layout.
+        counts = [c.n_rows for c in children]
+        i, j = next(
+            (a, b)
+            for a in range(4)
+            for b in range(a + 1, 4)
+            if counts[a] != counts[b]
+        )
+        children[i], children[j] = children[j], children[i]
+        with pytest.raises(ValueError, match="do not match the hash layout"):
+            ShardedStore.from_children(children)
+
+    def test_factory_validations(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            make_store("dense", n_shards=0)
+        with pytest.raises(ValueError, match="directory"):
+            make_store("dense", directory="/tmp/x", n_shards=2)
+        with pytest.raises(ValueError, match="unknown store backend"):
+            make_store("bogus", n_shards=2)

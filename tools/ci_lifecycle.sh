@@ -211,4 +211,104 @@ wait "$SERVE_PID"
 grep -q 'server drained and stopped' "$WORK/serve.log"
 echo "--- serve output ---"
 cat "$WORK/serve.log"
+
+# --- 5. two-replica fleet on one bundle root ---------------------------
+# Two `serve --watch-bundles` processes poll the SAME root: the CURRENT
+# pointer and VETOED markers are the only coordination between them.
+# The drill asserts both replicas converge on the promoted epoch and
+# that traffic against either replica sees zero 5xx through the flip.
+FLEET="$WORK/fleet"
+FLEET_ROOT="$FLEET/bundles"
+PORT_A=$((PORT + 1))
+PORT_B=$((PORT + 2))
+BASE_A="http://127.0.0.1:${PORT_A}"
+BASE_B="http://127.0.0.1:${PORT_B}"
+mkdir -p "$FLEET"
+
+python -m repro promote --model "$WORK/model_a.pkl" --bundles "$FLEET_ROOT"
+
+python -m repro serve --watch-bundles "$FLEET_ROOT" \
+  --probe-corpus "$WORK/corpus.jsonl" \
+  --port "$PORT_A" --poll-interval 0.5 --monitor-every 4 \
+  --max-seconds 300 >"$FLEET/serve_a.log" 2>&1 &
+REPLICA_A=$!
+python -m repro serve --watch-bundles "$FLEET_ROOT" \
+  --probe-corpus "$WORK/corpus.jsonl" \
+  --port "$PORT_B" --poll-interval 0.5 --monitor-every 4 \
+  --max-seconds 300 >"$FLEET/serve_b.log" 2>&1 &
+REPLICA_B=$!
+
+for base in "$BASE_A" "$BASE_B"; do
+  up=0
+  for _ in $(seq 1 240); do
+    if curl -sf "$base/healthz" -o /dev/null; then
+      up=1
+      break
+    fi
+    sleep 0.25
+  done
+  if [ "$up" != 1 ]; then
+    echo "FAIL: fleet replica $base never came up" >&2
+    cat "$FLEET"/serve_*.log >&2 || true
+    kill "$REPLICA_A" "$REPLICA_B" 2>/dev/null || true
+    exit 1
+  fi
+done
+
+# varz_epoch BASE -> the replica's lifecycle.active_epoch (or "null").
+varz_epoch() {
+  curl -sf "$1/varz" | python -c "
+import json, sys
+print(json.load(sys.stdin)['lifecycle'].get('active_epoch'))"
+}
+
+# wait_for_epoch BASE EPOCH TRIES -> waits for a replica to converge.
+wait_for_epoch() {
+  for _ in $(seq 1 "$3"); do
+    if [ "$(varz_epoch "$1")" = "$2" ]; then
+      return 0
+    fi
+    sleep 0.25
+  done
+  echo "FAIL: replica $1 never reached epoch $2" >&2
+  cat "$FLEET"/serve_*.log >&2 || true
+  return 1
+}
+
+[ "$(varz_epoch "$BASE_A")" = 1 ]
+[ "$(varz_epoch "$BASE_B")" = 1 ]
+
+python -m repro promote --model "$WORK/model_b.pkl" --bundles "$FLEET_ROOT"
+# Traffic against both replicas overlaps both flips (polls every 0.5s,
+# each burst runs ~2s); --fail-on-server-error is the zero-5xx gate.
+python -m repro loadgen --url "$BASE_A" --preset utgeo2011 \
+  --n-queries 120 --duration 2 --concurrency 8 \
+  --fail-on-server-error --json >"$FLEET/loadgen_a.json"
+python -m repro loadgen --url "$BASE_B" --preset utgeo2011 \
+  --n-queries 120 --duration 2 --concurrency 8 \
+  --fail-on-server-error --json >"$FLEET/loadgen_b.json"
+
+wait_for_epoch "$BASE_A" 2 60
+wait_for_epoch "$BASE_B" 2 60
+
+# Each replica gated the candidate itself: two promote verdicts for the
+# same epoch, and no veto/rollback noise, in the shared decision log.
+python - "$FLEET_ROOT" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+log = (Path(sys.argv[1]) / "decisions.jsonl").read_text().splitlines()
+actions = [
+    (d["action"], d.get("epoch")) for d in map(json.loads, log)
+]
+assert actions == [("promote", 2), ("promote", 2)], actions
+print("fleet decisions:", json.dumps(actions))
+EOF
+
+kill -TERM "$REPLICA_A" "$REPLICA_B"
+wait "$REPLICA_A" "$REPLICA_B"
+grep -q 'server drained and stopped' "$FLEET/serve_a.log"
+grep -q 'server drained and stopped' "$FLEET/serve_b.log"
+
 echo "lifecycle smoke: OK"
